@@ -1,0 +1,132 @@
+// Package artmem is the public face of the ArtMem reproduction: an
+// RL-enabled tiered-memory manager (ISCA 2025) together with the
+// simulated two-tier machine, seven baseline tiering policies, the
+// paper's workloads, and an experiment harness.
+//
+// Most users need three things:
+//
+//   - NewPolicy builds the ArtMem agent (or an ablation/variant of it);
+//   - Baselines lists the comparison systems from the paper's Table 1;
+//   - Simulate runs any registered workload under any policy at a chosen
+//     DRAM:PM ratio and returns the measured Result.
+//
+// Example:
+//
+//	res, err := artmem.Simulate("XSBench", artmem.NewPolicy(artmem.Config{}),
+//		artmem.Options{Ratio: artmem.Ratio{Fast: 1, Slow: 4}})
+//	if err != nil { ... }
+//	fmt.Println(res.ExecNs, res.DRAMRatio)
+//
+// For long-lived online use (background sampling/migration goroutines,
+// the paper's §4.4 architecture) see NewSystem. The deeper layers —
+// machine model, PEBS sampling, LRU lists, EMA histograms, tabular RL,
+// the individual baselines, workload generators, trace recording and the
+// per-figure experiments — live in the internal packages documented in
+// the README.
+package artmem
+
+import (
+	"fmt"
+
+	"artmem/internal/core"
+	"artmem/internal/harness"
+	"artmem/internal/policies"
+	"artmem/internal/workloads"
+)
+
+// Re-exported core types. See the originating packages for full
+// documentation.
+type (
+	// Config parameterizes the ArtMem agent (hyperparameters, action
+	// ladders, ablation toggles). The zero value is the paper's tuned
+	// configuration.
+	Config = core.Config
+	// ArtMem is the reinforcement-learning tiering policy.
+	ArtMem = core.ArtMem
+	// System is the online runtime with background sampling/migration
+	// goroutines.
+	System = core.System
+	// SystemConfig parameterizes a System.
+	SystemConfig = core.SystemConfig
+	// Policy is the tiering-policy contract all systems implement.
+	Policy = policies.Policy
+	// Ratio is a DRAM:PM capacity split such as {Fast: 1, Slow: 4}.
+	Ratio = harness.Ratio
+	// Result is the outcome of one simulated run.
+	Result = harness.Result
+	// Profile scales workloads relative to the paper's footprints.
+	Profile = workloads.Profile
+	// Workload generates a memory-access trace.
+	Workload = workloads.Workload
+)
+
+// NewPolicy returns a fresh ArtMem agent.
+func NewPolicy(cfg Config) *ArtMem { return core.New(cfg) }
+
+// NewSystem returns an online ArtMem runtime; call Start/Stop around use.
+func NewSystem(cfg SystemConfig) *System { return core.NewSystem(cfg) }
+
+// Baselines returns constructors for the paper's comparison systems
+// (Static, MEMTIS, AutoTiering, TPP, AutoNUMA, Multi-clock, Nimble,
+// Tiering-0.8).
+func Baselines() []policies.Factory { return policies.Baselines() }
+
+// BaselineByName returns one baseline policy by name.
+func BaselineByName(name string) (Policy, error) {
+	f, err := policies.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.New(), nil
+}
+
+// Workloads returns the names of every registered workload: the paper's
+// eight applications, the synthetic patterns S1–S4, and the mixed
+// combinations.
+func Workloads() []string {
+	var names []string
+	for _, s := range workloads.Apps {
+		names = append(names, s.Name)
+	}
+	for _, s := range workloads.SyntheticSpecs() {
+		names = append(names, s.Name)
+	}
+	for _, s := range workloads.MixedSpecs() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// Options configures a Simulate call. The zero value uses the default
+// scale profile and a 1:1 ratio.
+type Options struct {
+	// Ratio splits the footprint across the tiers (default 1:1).
+	Ratio Ratio
+	// Profile scales the workload (default workloads.DefaultProfile).
+	Profile Profile
+	// CollectSeries captures migration/ratio time series in the Result.
+	CollectSeries bool
+}
+
+// Simulate runs the named workload under pol and returns the measured
+// result. It returns an error only for an unknown workload name; the
+// simulation itself is infallible.
+func Simulate(workload string, pol Policy, opts Options) (Result, error) {
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return Result{}, fmt.Errorf("artmem: %w", err)
+	}
+	prof := opts.Profile
+	if prof.Div == 0 {
+		prof = workloads.DefaultProfile()
+	}
+	ratio := opts.Ratio
+	if ratio.Fast == 0 && ratio.Slow == 0 {
+		ratio = Ratio{Fast: 1, Slow: 1}
+	}
+	return harness.Run(spec.New(prof), pol, harness.Config{
+		PageSize:      prof.PageSize(),
+		Ratio:         ratio,
+		CollectSeries: opts.CollectSeries,
+	}), nil
+}

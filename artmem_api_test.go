@@ -1,0 +1,100 @@
+package artmem_test
+
+import (
+	"testing"
+
+	"artmem"
+	"artmem/internal/workloads"
+)
+
+func quickProfile() artmem.Profile {
+	p := workloads.QuickProfile()
+	return p
+}
+
+func TestSimulateArtMemVsStatic(t *testing.T) {
+	opts := artmem.Options{
+		Ratio:   artmem.Ratio{Fast: 1, Slow: 2},
+		Profile: quickProfile(),
+	}
+	static, err := artmem.BaselineByName("Static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := artmem.Simulate("S3", static, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := artmem.Simulate("S3", artmem.NewPolicy(artmem.Config{}), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ExecNs <= 0 || ra.ExecNs <= 0 {
+		t.Fatalf("non-positive exec times: %d / %d", rs.ExecNs, ra.ExecNs)
+	}
+	if ra.Migrations == 0 {
+		t.Error("ArtMem never migrated on a hot-in-slow pattern")
+	}
+	if ra.DRAMRatio <= rs.DRAMRatio {
+		t.Errorf("ArtMem ratio %.3f not above static %.3f", ra.DRAMRatio, rs.DRAMRatio)
+	}
+}
+
+func TestSimulateUnknownWorkload(t *testing.T) {
+	if _, err := artmem.Simulate("not-a-workload",
+		artmem.NewPolicy(artmem.Config{}), artmem.Options{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestBaselinesComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, f := range artmem.Baselines() {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"Static", "MEMTIS", "AutoTiering", "TPP",
+		"AutoNUMA", "Multi-clock", "Nimble", "Tiering-0.8"} {
+		if !names[want] {
+			t.Errorf("baseline %q missing", want)
+		}
+	}
+	if _, err := artmem.BaselineByName("nope"); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestWorkloadsRegistry(t *testing.T) {
+	names := artmem.Workloads()
+	if len(names) < 12 {
+		t.Fatalf("only %d workloads registered", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate workload %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"YCSB", "CC", "SSSP", "PR", "XSBench",
+		"DLRM", "Btree", "Liblinear", "S1", "S2", "S3", "S4"} {
+		if !seen[want] {
+			t.Errorf("workload %q missing", want)
+		}
+	}
+}
+
+func TestSimulateDefaultsAndSeries(t *testing.T) {
+	// Zero-value options must work (default profile is heavier, so use a
+	// cheap pattern via the profile override to keep the test fast).
+	opts := artmem.Options{Profile: quickProfile(), CollectSeries: true}
+	r, err := artmem.Simulate("S1", artmem.NewPolicy(artmem.Config{}), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio.Fast != 1 || r.Ratio.Slow != 1 {
+		t.Errorf("default ratio = %v", r.Ratio)
+	}
+	if r.MigrationSeries.Len() == 0 {
+		t.Error("series not collected")
+	}
+}

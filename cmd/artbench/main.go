@@ -1,0 +1,123 @@
+// Command artbench regenerates the paper's tables and figures from the
+// simulator. Each experiment prints the same rows/series the paper
+// reports (see DESIGN.md §3 for the per-experiment index).
+//
+// Usage:
+//
+//	artbench -list                 # enumerate experiments
+//	artbench -exp fig7             # run one experiment at full scale
+//	artbench -exp fig2 -quick      # trimmed sweep at miniature scale
+//	artbench -all                  # run everything (long)
+//	artbench -exp fig7 -div 128 -accesses 3000000 -v
+//
+// Output goes to stdout as aligned text tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"artmem/internal/exp"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment id to run (see -list)")
+		list     = flag.Bool("list", false, "list available experiments")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "miniature scale, trimmed sweeps")
+		verbose  = flag.Bool("v", false, "log every simulation run")
+		div      = flag.Int64("div", 0, "override the footprint divisor (paper scale / div)")
+		accesses = flag.Int64("accesses", 0, "override the per-run access budget")
+		seed     = flag.Uint64("seed", 0, "override the base RNG seed")
+		par      = flag.Int("parallel", 1, "with -all: run this many experiments concurrently")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments (paper artifact → id):")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-10s paper: %s\n", "", e.Paper)
+		}
+		return
+	}
+
+	o := exp.DefaultOptions()
+	if *quick {
+		o = exp.QuickOptions()
+	}
+	if *div > 0 {
+		o.Profile.Div = *div
+	}
+	if *accesses > 0 {
+		o.Profile.AppAccesses = *accesses
+		o.Profile.PatternAccesses = 2 * *accesses
+	}
+	if *seed != 0 {
+		o.Profile.Seed = *seed
+	}
+	if *verbose {
+		o.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	render := func(e exp.Experiment) string {
+		start := time.Now()
+		var b strings.Builder
+		fmt.Fprintf(&b, "### %s — %s\n", e.ID, e.Title)
+		fmt.Fprintf(&b, "### paper: %s\n\n", e.Paper)
+		for _, tb := range e.Run(o) {
+			fmt.Fprintln(&b, tb.Render())
+		}
+		fmt.Fprintf(&b, "### %s done in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		return b.String()
+	}
+	run := func(e exp.Experiment) { fmt.Print(render(e)) }
+
+	switch {
+	case *all:
+		if *par > 1 {
+			// Experiments are independent; shared caches (graphs, B-trees,
+			// pretrained Q-tables) are mutex-protected. Render in
+			// parallel, print in registry order.
+			exps := exp.All()
+			outs := make([]string, len(exps))
+			sem := make(chan struct{}, *par)
+			var wg sync.WaitGroup
+			for i, e := range exps {
+				wg.Add(1)
+				go func(i int, e exp.Experiment) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					outs[i] = render(e)
+				}(i, e)
+			}
+			wg.Wait()
+			for _, out := range outs {
+				fmt.Print(out)
+			}
+			return
+		}
+		for _, e := range exp.All() {
+			run(e)
+		}
+	case *expID != "":
+		e, err := exp.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "use -list to see available experiments")
+			os.Exit(1)
+		}
+		run(e)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,101 @@
+// Command artdiff compares two benchmark-result directories (as written
+// by `go test -bench .` into bench_results/) and reports cells whose
+// values moved by more than a threshold — the regression tracker for
+// the reproduction itself.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x            # baseline
+//	mv bench_results bench_results.old
+//	...change a model...
+//	go test -bench . -benchtime 1x            # new results
+//	artdiff -threshold 0.05 bench_results.old bench_results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"artmem/internal/benchdiff"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.05, "report cells changing by more than this fraction")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: artdiff [-threshold F] <old-dir> <new-dir>")
+		os.Exit(2)
+	}
+	oldDir, newDir := flag.Arg(0), flag.Arg(1)
+
+	names := map[string]bool{}
+	for _, dir := range []string{oldDir, newDir} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.txt"))
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range files {
+			names[filepath.Base(f)] = true
+		}
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no *.txt result files under %s or %s", oldDir, newDir))
+	}
+
+	totalDeltas := 0
+	for _, name := range sortedSet(names) {
+		oldTables, okOld := parseFile(filepath.Join(oldDir, name))
+		newTables, okNew := parseFile(filepath.Join(newDir, name))
+		switch {
+		case !okOld:
+			fmt.Printf("%s: only in %s\n", name, newDir)
+			continue
+		case !okNew:
+			fmt.Printf("%s: only in %s\n", name, oldDir)
+			continue
+		}
+		deltas := benchdiff.Compare(oldTables, newTables, *threshold)
+		if len(deltas) == 0 {
+			continue
+		}
+		totalDeltas += len(deltas)
+		fmt.Printf("--- %s ---\n%s", name, benchdiff.Format(deltas))
+	}
+	if totalDeltas == 0 {
+		fmt.Printf("no cells changed by more than %.0f%%\n", *threshold*100)
+	}
+}
+
+func parseFile(path string) ([]benchdiff.Table, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	tables, err := benchdiff.Parse(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return tables, true
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Simple insertion sort keeps this dependency-free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "artdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command artmemd runs the online ArtMem system against a workload and
+// serves the paper's §5 interaction channels over HTTP — the simulator's
+// analogue of the kernel prototype's cgroup pseudo-files:
+//
+//	curl localhost:7600/memory.hit_ratio_show
+//	curl localhost:7600/memory.action_show
+//	curl localhost:7600/memory.threshold_show
+//	curl localhost:7600/stats
+//
+// Usage:
+//
+//	artmemd -workload XSBench -ratio 1:4 -listen :7600
+//
+// The workload replays in a loop until interrupted, so the agent keeps
+// learning and the endpoints always show live state.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"artmem/internal/core"
+	"artmem/internal/memsim"
+	"artmem/internal/workloads"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "XSBench", "workload to drive the system with")
+		ratio  = flag.String("ratio", "1:4", "DRAM:PM ratio")
+		div    = flag.Int64("div", 256, "footprint divisor")
+		acc    = flag.Int64("accesses", 3_000_000, "accesses per workload replay")
+		listen = flag.String("listen", "127.0.0.1:7600", "HTTP listen address")
+	)
+	flag.Parse()
+
+	spec, err := workloads.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	prof := workloads.Profile{Div: *div, PatternAccesses: *acc, AppAccesses: *acc, Seed: 1}
+	var fast, slow int
+	if _, err := fmt.Sscanf(*ratio, "%d:%d", &fast, &slow); err != nil {
+		fatal(fmt.Errorf("bad -ratio %q: %v", *ratio, err))
+	}
+	// Size the machine from a probe instance of the workload.
+	probe := spec.New(prof)
+	foot := probe.FootprintBytes()
+	probe.Close()
+	mcfg := memsim.DefaultConfig(foot, foot*int64(fast)/int64(fast+slow), prof.PageSize())
+
+	sys := core.NewSystem(core.SystemConfig{
+		Machine:           mcfg,
+		Policy:            core.Config{},
+		SamplingInterval:  time.Millisecond,
+		MigrationInterval: 10 * time.Millisecond,
+	})
+	sys.Start()
+	defer sys.Stop()
+
+	srv := &http.Server{Addr: *listen, Handler: sys.ControlHandler()}
+	go func() {
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	fmt.Printf("artmemd: serving interaction channels on http://%s\n", *listen)
+	fmt.Printf("artmemd: replaying %s (%d MB) at %s in a loop; ctrl-c to stop\n",
+		*name, foot>>20, *ratio)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	replays := 0
+loop:
+	for {
+		w := spec.New(prof)
+		for {
+			b, ok := w.Next()
+			if !ok {
+				break
+			}
+			for _, a := range b {
+				sys.Access(a.Addr, a.Write)
+			}
+			select {
+			case <-stop:
+				w.Close()
+				break loop
+			default:
+			}
+		}
+		w.Close()
+		replays++
+		c := sys.Counters()
+		fmt.Printf("replay %d done: DRAM ratio %.3f, %d migrations, %d RL decisions\n",
+			replays, c.DRAMRatio(), c.Migrations, sys.Policy().Decisions())
+	}
+	srv.Close()
+	fmt.Println("artmemd: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "artmemd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Command artrace records workload access traces to disk and replays
+// them through the simulator — capture a trace once, then evaluate every
+// policy against the byte-identical access stream.
+//
+// Usage:
+//
+//	artrace record -workload CC -o cc.trace
+//	artrace info cc.trace
+//	artrace replay -policy ArtMem -ratio 1:4 cc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"artmem/internal/core"
+	"artmem/internal/harness"
+	"artmem/internal/policies"
+	"artmem/internal/trace"
+	"artmem/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  artrace record -workload <name> [-div N] [-accesses N] -o <file>
+  artrace info <file>
+  artrace replay [-policy P] [-ratio F:S] [-pagesize N] <file>`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "artrace:", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	name := fs.String("workload", "S1", "workload to record")
+	div := fs.Int64("div", 128, "footprint divisor")
+	acc := fs.Int64("accesses", 4_000_000, "access budget")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		usage()
+	}
+	spec, err := workloads.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	prof := workloads.Profile{Div: *div, PatternAccesses: *acc, AppAccesses: *acc, Seed: 1}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := trace.Record(f, spec.New(prof))
+	if err != nil {
+		fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("recorded %d accesses of %s into %s (%.1f MB, %.2f bytes/access)\n",
+		n, *name, *out, float64(st.Size())/(1<<20), float64(st.Size())/float64(n))
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var n, writes int64
+	for {
+		b, ok := r.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			if a.Write {
+				writes++
+			}
+		}
+		n += int64(len(b))
+	}
+	if r.Err() != nil {
+		fatal(r.Err())
+	}
+	h := r.Header()
+	fmt.Printf("workload   %s\n", h.Name)
+	fmt.Printf("footprint  %d MB\n", h.Footprint>>20)
+	fmt.Printf("accesses   %d (%.1f%% writes)\n", n, 100*float64(writes)/float64(n))
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	policy := fs.String("policy", "ArtMem", "tiering policy")
+	ratio := fs.String("ratio", "1:1", "DRAM:PM ratio")
+	pageSize := fs.Int64("pagesize", 16<<10, "migration page size (bytes)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var pol policies.Policy
+	if strings.EqualFold(*policy, "artmem") {
+		pol = core.New(core.Config{})
+	} else {
+		fct, err := policies.ByName(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		pol = fct.New()
+	}
+	var fast, slow int
+	if _, err := fmt.Sscanf(*ratio, "%d:%d", &fast, &slow); err != nil {
+		fatal(fmt.Errorf("bad -ratio %q: %v", *ratio, err))
+	}
+	res := harness.Run(r, pol, harness.Config{
+		PageSize: *pageSize,
+		Ratio:    harness.Ratio{Fast: fast, Slow: slow},
+	})
+	if r.Err() != nil {
+		fatal(r.Err())
+	}
+	fmt.Printf("%s under %s @ %s: exec %.1f ms, DRAM ratio %.3f, %d migrations\n",
+		res.Workload, res.Policy, res.Ratio,
+		float64(res.ExecNs)/1e6, res.DRAMRatio, res.Migrations)
+}

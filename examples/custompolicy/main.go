@@ -1,0 +1,103 @@
+// Custom tiering policy: the policy framework is open — anything
+// implementing the four-method Policy contract can be benchmarked
+// against the built-in systems. This example implements a simple
+// "probabilistic promotion" policy (promote a slow page on a sampled
+// access with probability p, demote from the cold tail when full) and
+// races it against ArtMem and Static on pattern S3. It also shows the
+// paper's §6.3.4 customization hook: ArtMem with the latency-based
+// reward instead of the DRAM-access-ratio reward.
+//
+//	go run ./examples/custompolicy
+package main
+
+import (
+	"fmt"
+
+	"artmem/internal/core"
+	"artmem/internal/dist"
+	"artmem/internal/harness"
+	"artmem/internal/lru"
+	"artmem/internal/memsim"
+	"artmem/internal/pebs"
+	"artmem/internal/policies"
+	"artmem/internal/workloads"
+)
+
+// coinFlip promotes sampled slow-tier pages with fixed probability — a
+// deliberately naive baseline that demonstrates the Policy contract.
+type coinFlip struct {
+	m       *memsim.Machine
+	lists   *lru.PageLists
+	sampler *pebs.Sampler
+	rng     *dist.RNG
+	prob    float64
+}
+
+func newCoinFlip(prob float64) *coinFlip {
+	return &coinFlip{rng: dist.NewRNG(42), prob: prob}
+}
+
+func (c *coinFlip) Name() string    { return fmt.Sprintf("CoinFlip(%.2f)", c.prob) }
+func (c *coinFlip) Interval() int64 { return policies.DefaultTickInterval }
+
+func (c *coinFlip) Attach(m *memsim.Machine) {
+	c.m = m
+	c.lists = lru.New(m.NumPages())
+	m.SetAllocHook(func(p memsim.PageID, t memsim.TierID) {
+		c.lists.PushHead(lru.ActiveOf(t), p)
+	})
+	c.sampler = pebs.New(pebs.Config{Period: 10, Charge: m.ChargeBackground,
+		SampleCostNs: 20})
+	m.SetSampler(c.sampler)
+}
+
+func (c *coinFlip) Tick(now int64) {
+	// Age both tiers so the inactive tail is a sane demotion victim pool.
+	c.lists.Age(memsim.Fast, c.m.NumPages()/4, c.m.TestAndClearAccessed)
+	c.lists.Age(memsim.Slow, c.m.NumPages()/4, c.m.TestAndClearAccessed)
+	c.sampler.Drain(func(s pebs.Sample) {
+		if s.Tier != memsim.Slow || c.rng.Float64() >= c.prob {
+			return
+		}
+		if c.m.FreePages(memsim.Fast) == 0 {
+			victim := c.lists.Tail(lru.FastInactive)
+			if victim == memsim.NoPage {
+				return
+			}
+			if c.m.MovePage(victim, memsim.Slow) != nil {
+				return
+			}
+			c.lists.PushHead(lru.SlowInactive, victim)
+		}
+		if c.m.MovePage(s.Page, memsim.Fast) == nil {
+			c.lists.PushHead(lru.FastActive, s.Page)
+		}
+	})
+}
+
+func main() {
+	prof := workloads.Profile{Div: 256, PatternAccesses: 6_000_000, Seed: 1}
+	spec, err := workloads.ByName("S3")
+	if err != nil {
+		panic(err)
+	}
+	cfg := harness.Config{PageSize: prof.PageSize(), Ratio: harness.Ratio{Fast: 1, Slow: 2}}
+
+	contestants := []policies.Policy{
+		policies.NewStatic(),
+		newCoinFlip(0.05),
+		core.New(core.Config{LatencyReward: true}), // §6.3.4 customization
+		core.New(core.Config{}),
+	}
+	fmt.Println("pattern S3, DRAM:PM = 1:2")
+	var staticNs int64
+	for _, pol := range contestants {
+		r := harness.Run(spec.New(prof), pol, cfg)
+		if staticNs == 0 {
+			staticNs = r.ExecNs
+		}
+		fmt.Printf("%-16s exec %7.1f ms  (%.2fx vs static)  ratio %.3f  migrations %6d\n",
+			r.Policy, float64(r.ExecNs)/1e6, float64(staticNs)/float64(r.ExecNs),
+			r.DRAMRatio, r.Migrations)
+	}
+}

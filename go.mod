@@ -1,0 +1,3 @@
+module artmem
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package benchdiff parses the text tables written by the benchmark
+// harness (bench_results/*.txt) and compares two result sets cell by
+// cell — the regression-tracking companion for the reproduction: run the
+// suite before and after a model change, then diff the shapes.
+package benchdiff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Table is a parsed result table: a header, row labels, and numeric
+// cells (NaN-free; non-numeric cells are skipped).
+type Table struct {
+	Title  string
+	Header []string
+	// Rows maps a row label (built from its leading non-numeric cells)
+	// to its numeric cells in column order.
+	Rows map[string][]float64
+	// RowOrder preserves the file's row order.
+	RowOrder []string
+}
+
+// Parse reads every table from one rendered results file.
+func Parse(r io.Reader) ([]Table, error) {
+	sc := bufio.NewScanner(r)
+	var tables []Table
+	var cur *Table
+	flush := func() {
+		if cur != nil && len(cur.Rows) > 0 {
+			tables = append(tables, *cur)
+		}
+		cur = nil
+	}
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " ")
+		switch {
+		case strings.HasPrefix(line, "== ") && strings.HasSuffix(line, " =="):
+			flush()
+			cur = &Table{
+				Title: strings.TrimSuffix(strings.TrimPrefix(line, "== "), " =="),
+				Rows:  map[string][]float64{},
+			}
+		case cur == nil || line == "" || strings.HasPrefix(line, "#") ||
+			strings.HasPrefix(line, "note:") || strings.HasPrefix(line, "---"):
+			continue
+		case cur.Header == nil:
+			cur.Header = strings.Fields(line)
+		default:
+			label, nums := splitRow(line)
+			if label == "" && len(nums) == 0 {
+				continue
+			}
+			if _, dup := cur.Rows[label]; dup {
+				label = fmt.Sprintf("%s#%d", label, len(cur.RowOrder))
+			}
+			cur.Rows[label] = nums
+			cur.RowOrder = append(cur.RowOrder, label)
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// splitRow separates a table row into its textual label (the leading
+// cells that do not parse as numbers) and its numeric cells.
+func splitRow(line string) (string, []float64) {
+	fields := strings.Fields(line)
+	var labelParts []string
+	var nums []float64
+	seenNum := false
+	for _, f := range fields {
+		clean := strings.TrimSuffix(f, "%")
+		if v, err := strconv.ParseFloat(clean, 64); err == nil {
+			nums = append(nums, v)
+			seenNum = true
+		} else if !seenNum {
+			labelParts = append(labelParts, f)
+		}
+		// Non-numeric tokens after the first number (sparklines, units)
+		// are ignored.
+	}
+	return strings.Join(labelParts, " "), nums
+}
+
+// Delta is one cell-level difference between two result sets.
+type Delta struct {
+	Table string
+	Row   string
+	Col   int
+	Old   float64
+	New   float64
+}
+
+// RelChange returns the relative change (new-old)/|old|; ±Inf-safe: a
+// zero old value with a different new value reports 1 (100%).
+func (d Delta) RelChange() float64 {
+	if d.Old == 0 {
+		if d.New == 0 {
+			return 0
+		}
+		return 1
+	}
+	rel := (d.New - d.Old) / d.Old
+	if rel < 0 {
+		return -rel
+	}
+	return rel
+}
+
+// Compare diffs two parsed result sets and returns the cells whose
+// relative change exceeds threshold, sorted by decreasing change.
+// Tables/rows present on only one side are reported with the missing
+// side's cells absent (Old or New = NaN is avoided; such rows are
+// returned as a Delta with Col -1 and zero values).
+func Compare(old, new []Table, threshold float64) []Delta {
+	idx := func(ts []Table) map[string]Table {
+		m := map[string]Table{}
+		for _, t := range ts {
+			m[t.Title] = t
+		}
+		return m
+	}
+	oldIdx, newIdx := idx(old), idx(new)
+	var out []Delta
+	for title, ot := range oldIdx {
+		nt, ok := newIdx[title]
+		if !ok {
+			out = append(out, Delta{Table: title, Row: "<table missing in new>", Col: -1})
+			continue
+		}
+		for row, ocells := range ot.Rows {
+			ncells, ok := nt.Rows[row]
+			if !ok {
+				out = append(out, Delta{Table: title, Row: row + " <row missing in new>", Col: -1})
+				continue
+			}
+			n := len(ocells)
+			if len(ncells) < n {
+				n = len(ncells)
+			}
+			for c := 0; c < n; c++ {
+				d := Delta{Table: title, Row: row, Col: c, Old: ocells[c], New: ncells[c]}
+				if d.RelChange() > threshold {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	for title := range newIdx {
+		if _, ok := oldIdx[title]; !ok {
+			out = append(out, Delta{Table: title, Row: "<table missing in old>", Col: -1})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Col == -1 || out[j].Col == -1 {
+			return out[i].Col == -1 && out[j].Col != -1
+		}
+		return out[i].RelChange() > out[j].RelChange()
+	})
+	return out
+}
+
+// Format renders a delta list as aligned text.
+func Format(ds []Delta) string {
+	if len(ds) == 0 {
+		return "no differences above threshold\n"
+	}
+	var b strings.Builder
+	for _, d := range ds {
+		if d.Col == -1 {
+			fmt.Fprintf(&b, "%-40s %s\n", d.Table, d.Row)
+			continue
+		}
+		fmt.Fprintf(&b, "%-40s %-20s col %d: %g -> %g (%+.1f%%)\n",
+			d.Table, d.Row, d.Col, d.Old, d.New,
+			100*(d.New-d.Old)/nonZero(d.Old))
+	}
+	return b.String()
+}
+
+func nonZero(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}

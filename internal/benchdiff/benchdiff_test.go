@@ -1,0 +1,150 @@
+package benchdiff
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleA = `# Figure X
+# paper: something
+
+== Normalized runtime ==
+system          S1     S2
+---------------------------
+MEMTIS       0.550  0.748
+ArtMem       0.569  0.738
+note: a note
+
+== DRAM access ratio ==
+system          S1     S2
+---------------------------
+MEMTIS       0.923  0.756
+ArtMem       0.893  0.768
+`
+
+func TestParse(t *testing.T) {
+	tables, err := Parse(strings.NewReader(sampleA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("parsed %d tables", len(tables))
+	}
+	rt := tables[0]
+	if rt.Title != "Normalized runtime" {
+		t.Errorf("title = %q", rt.Title)
+	}
+	if len(rt.RowOrder) != 2 || rt.RowOrder[0] != "MEMTIS" {
+		t.Errorf("rows = %v", rt.RowOrder)
+	}
+	cells := rt.Rows["ArtMem"]
+	if len(cells) != 2 || cells[0] != 0.569 || cells[1] != 0.738 {
+		t.Errorf("ArtMem cells = %v", cells)
+	}
+}
+
+func TestParsePercentAndMixedCells(t *testing.T) {
+	src := `== Overheads ==
+workload  sampling  bytes
+--------------------------
+XSBench   1.44%     1344
+`
+	tables, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := tables[0].Rows["XSBench"]
+	if len(cells) != 2 || cells[0] != 1.44 || cells[1] != 1344 {
+		t.Errorf("cells = %v", cells)
+	}
+}
+
+func TestCompareFindsChangedCells(t *testing.T) {
+	b := strings.Replace(sampleA, "0.569", "0.900", 1)
+	ta, _ := Parse(strings.NewReader(sampleA))
+	tb, _ := Parse(strings.NewReader(b))
+	deltas := Compare(ta, tb, 0.10)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	d := deltas[0]
+	if d.Table != "Normalized runtime" || d.Row != "ArtMem" || d.Col != 0 {
+		t.Errorf("delta = %+v", d)
+	}
+	if d.Old != 0.569 || d.New != 0.900 {
+		t.Errorf("values = %g -> %g", d.Old, d.New)
+	}
+	// Below threshold: nothing.
+	if ds := Compare(ta, tb, 0.99); len(ds) != 0 {
+		t.Errorf("high threshold still found %v", ds)
+	}
+	// Identical sets: nothing.
+	if ds := Compare(ta, ta, 0); len(ds) != 0 {
+		t.Errorf("self-compare found %v", ds)
+	}
+}
+
+func TestCompareMissingTableAndRow(t *testing.T) {
+	ta, _ := Parse(strings.NewReader(sampleA))
+	short := strings.SplitAfter(sampleA, "note: a note\n")[0]
+	tbv, _ := Parse(strings.NewReader(short))
+	deltas := Compare(ta, tbv, 0)
+	found := false
+	for _, d := range deltas {
+		if d.Col == -1 && strings.Contains(d.Row, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing table not reported: %+v", deltas)
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if got := (Delta{Old: 2, New: 3}).RelChange(); got != 0.5 {
+		t.Errorf("RelChange = %g", got)
+	}
+	if got := (Delta{Old: 0, New: 3}).RelChange(); got != 1 {
+		t.Errorf("zero-old RelChange = %g", got)
+	}
+	if got := (Delta{Old: 0, New: 0}).RelChange(); got != 0 {
+		t.Errorf("zero-zero RelChange = %g", got)
+	}
+	if got := (Delta{Old: 4, New: 2}).RelChange(); got != 0.5 {
+		t.Errorf("negative RelChange = %g", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := Format(nil)
+	if !strings.Contains(out, "no differences") {
+		t.Errorf("empty format = %q", out)
+	}
+	out = Format([]Delta{{Table: "T", Row: "r", Col: 1, Old: 1, New: 2}})
+	if !strings.Contains(out, "1 -> 2") || !strings.Contains(out, "+100.0%") {
+		t.Errorf("format = %q", out)
+	}
+}
+
+// The parser must handle every real results file the harness writes.
+func TestParseRealBenchResults(t *testing.T) {
+	files, _ := filepath.Glob("../../bench_results/*.txt")
+	if len(files) == 0 {
+		t.Skip("no bench_results present")
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables, err := Parse(strings.NewReader(string(data)))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+		if len(tables) == 0 {
+			t.Errorf("%s: no tables parsed", f)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package btreeidx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"artmem/internal/dist"
+)
+
+func testTree(order int) *Tree {
+	return New(Config{Base: 1 << 16, Order: order})
+}
+
+func TestNewPanicsOnSmallOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("order 2 accepted")
+		}
+	}()
+	New(Config{Order: 2})
+}
+
+func TestInsertLookupSmall(t *testing.T) {
+	tr := testTree(4)
+	keys := []uint64{5, 3, 8, 1, 9, 7, 2, 6, 4, 0}
+	for _, k := range keys {
+		if !tr.Insert(k, nil) {
+			t.Fatalf("Insert(%d) reported duplicate", k)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, k := range keys {
+		if !tr.Lookup(k, nil) {
+			t.Errorf("Lookup(%d) missed", k)
+		}
+	}
+	if tr.Lookup(100, nil) {
+		t.Error("Lookup(100) hit")
+	}
+	if err := tr.check(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestDuplicateInsertIgnored(t *testing.T) {
+	tr := testTree(4)
+	tr.Insert(1, nil)
+	if tr.Insert(1, nil) {
+		t.Error("duplicate insert returned true")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after duplicate", tr.Len())
+	}
+}
+
+func TestSplitsGrowHeight(t *testing.T) {
+	tr := testTree(3)
+	for k := uint64(0); k < 100; k++ {
+		tr.Insert(k, nil)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d after 100 sequential inserts at order 3", tr.Height())
+	}
+	if err := tr.check(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if !tr.Lookup(k, nil) {
+			t.Fatalf("Lookup(%d) missed after splits", k)
+		}
+	}
+}
+
+func TestFootprintGrowsWithNodes(t *testing.T) {
+	tr := testTree(8)
+	f0 := tr.Footprint()
+	if f0 != int64(8*16) {
+		t.Errorf("initial footprint = %d (one node)", f0)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		tr.Insert(k, nil)
+	}
+	if tr.Footprint() <= f0 {
+		t.Error("footprint did not grow with splits")
+	}
+}
+
+func TestLookupTouchesDescend(t *testing.T) {
+	tr := testTree(4)
+	rng := dist.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		tr.Insert(rng.Uint64()%10000, nil)
+	}
+	var addrs []uint64
+	tr.Lookup(4242, func(a uint64, w bool) {
+		if w {
+			t.Error("lookup produced a write")
+		}
+		addrs = append(addrs, a)
+	})
+	if len(addrs) == 0 {
+		t.Fatal("lookup produced no touches")
+	}
+	// All touches stay within the allocated node region.
+	lo, hi := uint64(1<<16), uint64(1<<16)+uint64(tr.Footprint())
+	for _, a := range addrs {
+		if a < lo || a >= hi {
+			t.Errorf("touch %#x outside node region", a)
+		}
+	}
+	// The first probes must hit the root node (lowest address region is
+	// the first allocated node — the original leaf; root changes after
+	// splits, but every touch sequence must begin at the current root).
+	root := tr.root.addr
+	if addrs[0] < root || addrs[0] >= root+tr.cfg.NodeBytes {
+		t.Errorf("first touch %#x not in root node [%#x,%#x)", addrs[0], root,
+			root+tr.cfg.NodeBytes)
+	}
+}
+
+func TestInsertTouchesIncludeWrite(t *testing.T) {
+	tr := testTree(4)
+	sawWrite := false
+	tr.Insert(7, func(_ uint64, w bool) {
+		if w {
+			sawWrite = true
+		}
+	})
+	if !sawWrite {
+		t.Error("insert produced no write touch")
+	}
+}
+
+func TestNodeBytesDefault(t *testing.T) {
+	tr := New(Config{Base: 0, Order: 16})
+	if tr.cfg.NodeBytes != 16*16 {
+		t.Errorf("NodeBytes = %d, want 256", tr.cfg.NodeBytes)
+	}
+	tr2 := New(Config{Base: 0, Order: 16, NodeBytes: 4096})
+	if tr2.cfg.NodeBytes != 4096 {
+		t.Errorf("explicit NodeBytes overridden: %d", tr2.cfg.NodeBytes)
+	}
+}
+
+// Property: after inserting an arbitrary key set, every inserted key is
+// found, absent keys are not, Len matches, and invariants hold.
+func TestTreePropertyRandomKeys(t *testing.T) {
+	f := func(keys []uint64, probes []uint64, orderRaw uint8) bool {
+		order := int(orderRaw%14) + 3
+		tr := New(Config{Base: 0, Order: order})
+		set := map[uint64]bool{}
+		for _, k := range keys {
+			want := !set[k]
+			if tr.Insert(k, nil) != want {
+				return false
+			}
+			set[k] = true
+		}
+		if tr.Len() != len(set) {
+			return false
+		}
+		if err := tr.check(); err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !tr.Lookup(k, nil) {
+				return false
+			}
+		}
+		for _, p := range probes {
+			if tr.Lookup(p, nil) != set[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeSequentialAndRandom(t *testing.T) {
+	tr := testTree(64)
+	rng := dist.NewRNG(99)
+	for i := 0; i < 20000; i++ {
+		tr.Insert(rng.Uint64()%1000000, nil)
+	}
+	if err := tr.check(); err != nil {
+		t.Fatalf("invariants after 20k inserts: %v", err)
+	}
+	h := tr.Height()
+	if h < 2 || h > 6 {
+		t.Errorf("height = %d, implausible for 20k keys at order 64", h)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr := New(Config{Base: 0, Order: 64})
+	rng := dist.NewRNG(1)
+	for i := 0; i < 1<<18; i++ {
+		tr.Insert(rng.Uint64(), nil)
+	}
+	nop := func(uint64, bool) {}
+	probe := dist.NewRNG(2)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(probe.Uint64(), nop)
+	}
+}

@@ -1,0 +1,552 @@
+// Package core implements ArtMem, the paper's contribution: a
+// reinforcement-learning-enabled tiered memory manager that adaptively
+// chooses *how many* pages to migrate and *how hot* a page must be to
+// qualify, from real-time feedback on the fast-tier access ratio.
+//
+// The implementation follows §4 and Algorithm 1 of the paper:
+//
+//   - State: the PEBS-sampled fast-tier access ratio, discretized into
+//     k+1 levels (Equation 1), plus a dedicated state for "no events
+//     sampled" — k+2 states total.
+//   - Actions: two Q-tables, one selecting the migration number from
+//     {0, 16MB, 32MB, …, 2048MB} (paper §5, expressed in pages here so
+//     scaled page sizes carry over), one adjusting the hotness threshold
+//     by {−8, −4, 0, +4, +8} with a 16-access floor.
+//   - Reward: τᵢ − β + λ(τᵢ − τᵢ₋₁)  (Equation 2), where λ is 1 only if
+//     the previous period migrated pages.
+//   - Page sorting: samples refresh recency in per-tier active/inactive
+//     LRU lists; demotion victims come from the fast inactive tail,
+//     promotion candidates from the slow active head, and promoted pages
+//     are inserted at the *head of the fast active list* regardless of
+//     prior status (§4.3's aggressive insertion).
+//   - EMA frequency: per-page counts in base-2 bins with periodic
+//     cooling; the threshold resets to the capacity-derived value after
+//     each cooling and is refined by the RL agent in between.
+//
+// Config toggles reproduce the paper's ablations: DisableRL (heuristic
+// thresholds, fixed migration number), DisableSorting (conservative
+// status-preserving insertion), and LatencyReward (§6.3.4).
+package core
+
+import (
+	"sync/atomic"
+
+	"artmem/internal/dist"
+	"artmem/internal/ema"
+	"artmem/internal/lru"
+	"artmem/internal/memsim"
+	"artmem/internal/pebs"
+	"artmem/internal/rl"
+)
+
+// Config parameterizes ArtMem. The zero value is completed to the
+// paper's tuned configuration by defaults().
+type Config struct {
+	// K is the access-ratio discretization: states 0..K plus the
+	// no-sample state. The paper uses K = 10 (12 states total, §5).
+	K int
+	// Beta is the desired fast-tier access ratio in state units; the
+	// paper finds 8–10 optimal and we default to 9 (§6.3.7).
+	Beta float64
+	// Alpha, Gamma, Epsilon are the RL hyperparameters; zero values use
+	// the paper's e⁻², e⁻¹, 0.3.
+	Alpha, Gamma, Epsilon float64
+	// Algorithm selects Q-learning (default) or SARSA (§6.3.5).
+	Algorithm rl.Algorithm
+	// TickInterval is the RL decision + migration period in virtual ns.
+	// The paper uses 10s against minutes-long runs; scaled to the
+	// simulator's second-long runs this is 10ms (see DESIGN.md).
+	TickInterval int64
+	// SamplePeriod and CoolingSamples configure PEBS sampling and EMA
+	// cooling (paper: 200 and 2M; scaled defaults 5 and 500000).
+	SamplePeriod   uint64
+	CoolingSamples uint64
+	// TargetSamplesPerPeriod, when non-zero, enables the paper's dynamic
+	// sampling-period adjustment (§6.4: "We dynamically adjust the
+	// sampling period to control the sampling overhead"): the period is
+	// raised when a decision interval drains more than twice the target
+	// and lowered when it drains less than half, within
+	// [SamplePeriod, 8×SamplePeriod].
+	TargetSamplesPerPeriod int
+	// MinThreshold is the hotness-threshold floor in per-page access
+	// counts (paper §5: 16).
+	MinThreshold uint32
+	// MigrationPages are the selectable migration sizes in pages. Nil
+	// uses the paper's ladder {0, 8, 16, …, 1024} (16MB…2048MB of 2MB
+	// pages).
+	MigrationPages []int
+	// ThresholdDeltas are the selectable threshold adjustments. Nil uses
+	// the paper's {−8, −4, 0, +4, +8}.
+	ThresholdDeltas []int
+	// Seed drives exploration.
+	Seed uint64
+
+	// PretrainedMig and PretrainedThr, when non-nil, initialize the two
+	// Q-tables from previously trained ones (dimensions must match). The
+	// paper primes its agent the same way: "ArtMem runs the Liblinear
+	// program several times to initialize the RL algorithm, primarily to
+	// obtain a Q-table with learning experiences" (§6.2).
+	PretrainedMig *rl.Table
+	PretrainedThr *rl.Table
+
+	// DisableRL replaces the agent with the heuristic: capacity-derived
+	// threshold and a fixed mid-ladder migration number (ablation §6.3.1,
+	// "heuristic adjustment strategies" in Figure 9).
+	DisableRL bool
+	// DisableSorting turns off the page-sorting component (ablation
+	// §6.3.1): sampled accesses no longer refresh list recency, and
+	// migrated pages keep their activity status (the conservative
+	// insertion of prior systems) instead of landing at the head of the
+	// fast active list.
+	DisableSorting bool
+	// LatencyReward switches the reward to the approximated
+	// memory-latency signal (§6.3.4).
+	LatencyReward bool
+
+	// Debug, when non-nil, receives a per-tick trace line (printf-style).
+	Debug func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.Beta == 0 {
+		c.Beta = 9
+	}
+	if c.Alpha == 0 {
+		c.Alpha = rl.DefaultAlpha
+	}
+	if c.Gamma == 0 {
+		c.Gamma = rl.DefaultGamma
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = rl.DefaultEpsilon
+	}
+	if c.TickInterval == 0 {
+		c.TickInterval = 10_000_000 // 10ms, the scaled 10s interval
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = 5
+	}
+	if c.CoolingSamples == 0 {
+		c.CoolingSamples = 500_000
+	}
+	if c.MinThreshold == 0 {
+		// The paper's floor is 16 accesses per 2MB page. Scaled pages
+		// aggregate far fewer accesses each, so the floor scales down
+		// with them (see DESIGN.md on count scaling).
+		c.MinThreshold = 2
+	}
+	if c.MigrationPages == nil {
+		// 0 plus eight doublings from 8 pages (16MB of 2MB pages) to
+		// 1024 pages (2048MB) — nine actions (§5).
+		c.MigrationPages = []int{0, 8, 16, 32, 64, 128, 256, 512, 1024}
+	}
+	if c.ThresholdDeltas == nil {
+		// The paper uses {−8, −4, 0, +4, +8} against its 16-access floor;
+		// scaled to the simulator's floor of 2 this is {−2, −1, 0, +1, +2}.
+		c.ThresholdDeltas = []int{-2, -1, 0, 1, 2}
+	}
+}
+
+// ArtMem is the policy. It implements the same Policy contract as the
+// baselines in internal/policies (Name/Attach/Interval/Tick).
+type ArtMem struct {
+	cfg Config
+
+	m       *memsim.Machine
+	lists   *lru.PageLists
+	sampler *pebs.Sampler
+	hist    *ema.Histogram
+
+	qMig *rl.Table // migration-number Q-table
+	qThr *rl.Table // threshold-delta Q-table
+
+	threshold uint32
+
+	state     int // τ of the previous period
+	actMig    int // actions taken in the previous period
+	actThr    int
+	migrated  bool // λ: did the previous period migrate?
+	latEMA    float64
+	scanQuota int
+
+	// Stats surfaced for experiments. decisions is read from other
+	// goroutines through the online runtime's control channels.
+	decisions     atomic.Uint64
+	rlNanos       float64
+	lastWinFast   uint64
+	lastWinSlow   uint64
+	lastMigrated  int
+	coolingResets uint64
+}
+
+// New returns an ArtMem policy with the given configuration.
+func New(cfg Config) *ArtMem {
+	cfg.defaults()
+	return &ArtMem{cfg: cfg}
+}
+
+// Name implements the policy contract.
+func (a *ArtMem) Name() string {
+	switch {
+	case a.cfg.DisableRL && a.cfg.DisableSorting:
+		return "ArtMem-base"
+	case a.cfg.DisableRL:
+		return "ArtMem-heuristic"
+	case a.cfg.DisableSorting:
+		return "ArtMem-nosort"
+	case a.cfg.LatencyReward:
+		return "ArtMem-latency"
+	case a.cfg.Algorithm == rl.SARSA:
+		return "ArtMem-sarsa"
+	}
+	return "ArtMem"
+}
+
+// Interval implements the policy contract.
+func (a *ArtMem) Interval() int64 { return a.cfg.TickInterval }
+
+// numStates returns K+2: ratios 0..K plus the no-sample state.
+func (a *ArtMem) numStates() int { return a.cfg.K + 2 }
+
+// noSampleState is the dedicated state for empty sampling windows.
+func (a *ArtMem) noSampleState() int { return a.cfg.K + 1 }
+
+// Attach implements the policy contract.
+func (a *ArtMem) Attach(m *memsim.Machine) {
+	a.m = m
+	a.lists = lru.New(m.NumPages())
+	m.SetAllocHook(func(p memsim.PageID, t memsim.TierID) {
+		a.lists.PushHead(lru.ActiveOf(t), p)
+	})
+	a.sampler = pebs.New(pebs.Config{
+		Period:       a.cfg.SamplePeriod,
+		RingSize:     64 * 1024,
+		SampleCostNs: 20,
+		Charge:       m.ChargeBackground,
+	})
+	m.SetSampler(a.sampler)
+	a.hist = ema.New(m.NumPages(), a.cfg.CoolingSamples)
+	a.scanQuota = m.NumPages()/4 + 1
+
+	rngSeed := a.cfg.Seed ^ 0xa57a57
+	migCfg := rl.Config{
+		States: a.numStates(), Actions: len(a.cfg.MigrationPages),
+		Alpha: a.cfg.Alpha, Gamma: a.cfg.Gamma, Epsilon: a.cfg.Epsilon,
+		Algorithm: a.cfg.Algorithm,
+	}
+	thrCfg := migCfg
+	thrCfg.Actions = len(a.cfg.ThresholdDeltas)
+	a.qMig = rl.NewTable(migCfg, dist.NewRNG(rngSeed))
+	a.qThr = rl.NewTable(thrCfg, dist.NewRNG(rngSeed+1))
+
+	// Algorithm 1 line 1–2: the program loads from DRAM, so start in
+	// state k with Q(k, no-migration) = 1 and τ₋₁ = k.
+	a.qMig.SetQ(a.cfg.K, 0, 1)
+	if a.cfg.PretrainedMig != nil {
+		if err := a.qMig.CopyQFrom(a.cfg.PretrainedMig); err != nil {
+			panic(err)
+		}
+	}
+	if a.cfg.PretrainedThr != nil {
+		if err := a.qThr.CopyQFrom(a.cfg.PretrainedThr); err != nil {
+			panic(err)
+		}
+	}
+	a.state = a.cfg.K
+	a.actMig, a.actThr = 0, a.thresholdZeroAction()
+
+	a.threshold = a.capacityThreshold()
+}
+
+// thresholdZeroAction returns the index of the 0 delta.
+func (a *ArtMem) thresholdZeroAction() int {
+	for i, d := range a.cfg.ThresholdDeltas {
+		if d == 0 {
+			return i
+		}
+	}
+	return len(a.cfg.ThresholdDeltas) / 2
+}
+
+// capacityThreshold is the MEMTIS-style starting threshold, floored at
+// the minimum (§5: "Heuristic Minimum Hotness Threshold").
+func (a *ArtMem) capacityThreshold() uint32 {
+	t := a.hist.CapacityThreshold(a.m.CapacityPages(memsim.Fast))
+	if t < a.cfg.MinThreshold {
+		t = a.cfg.MinThreshold
+	}
+	return t
+}
+
+// Threshold returns the current hotness threshold (for experiments).
+func (a *ArtMem) Threshold() uint32 { return a.threshold }
+
+// Decisions returns the number of RL periods elapsed. Safe to call
+// concurrently with a running System.
+func (a *ArtMem) Decisions() uint64 { return a.decisions.Load() }
+
+// RLOverheadNs returns the cumulative virtual CPU time attributed to
+// Q-table computation (§6.4 reports at most 0.07% of a CPU).
+func (a *ArtMem) RLOverheadNs() float64 { return a.rlNanos }
+
+// SamplingOverheadNs returns the virtual CPU time attributed to PEBS
+// sampling: recorded samples times the per-sample processing cost (§6.4
+// reports sampling at most 3% of a CPU).
+func (a *ArtMem) SamplingOverheadNs() float64 {
+	if a.sampler == nil {
+		return 0
+	}
+	return float64(a.sampler.Total()) * 20
+}
+
+// QTables returns the two live Q-tables (migration-number, threshold).
+// Used by the robustness study to transplant trained tables (§6.3.6).
+func (a *ArtMem) QTables() (mig, thr *rl.Table) { return a.qMig, a.qThr }
+
+// LoadQTables copies pre-trained Q values into the agent. Must be
+// called after Attach. Returns an error on dimension mismatch.
+func (a *ArtMem) LoadQTables(mig, thr *rl.Table) error {
+	if err := a.qMig.CopyQFrom(mig); err != nil {
+		return err
+	}
+	return a.qThr.CopyQFrom(thr)
+}
+
+// observeState computes τᵢ from the sampling window (Equation 1).
+func (a *ArtMem) observeState() int {
+	fast, slow := a.sampler.WindowCounts()
+	a.lastWinFast, a.lastWinSlow = fast, slow
+	total := fast + slow
+	if total == 0 {
+		// All accesses hit in cache or nothing ran: the dedicated state.
+		return a.noSampleState()
+	}
+	tau := int(fast * uint64(a.cfg.K) / total)
+	if tau > a.cfg.K {
+		tau = a.cfg.K
+	}
+	return tau
+}
+
+// reward computes Equation 2 for the transition prev → cur, or the
+// latency-based alternative of §6.3.4.
+func (a *ArtMem) reward(prev, cur int) float64 {
+	lambda := 0.0
+	if a.migrated {
+		lambda = 1
+	}
+	if a.cfg.LatencyReward {
+		// Approximate latency from the window's access mix, smoothed —
+		// pending-request estimation reacts more slowly than the direct
+		// ratio, giving the delayed adjustments seen in Figure 12.
+		fast, slow := float64(a.lastWinFast), float64(a.lastWinSlow)
+		tot := fast + slow
+		lat := 0.0
+		if tot > 0 {
+			cfg := a.m.Config()
+			lat = (fast*cfg.Fast.LatencyNs + slow*cfg.Slow.LatencyNs) / tot
+		} else {
+			lat = a.m.Config().Fast.LatencyNs
+		}
+		a.latEMA = 0.6*a.latEMA + 0.4*lat
+		cfg := a.m.Config()
+		// Map [fastLat, slowLat] onto the same 0..K scale, inverted so
+		// lower latency scores higher.
+		span := cfg.Slow.LatencyNs - cfg.Fast.LatencyNs
+		score := float64(a.cfg.K) * (cfg.Slow.LatencyNs - a.latEMA) / span
+		prevScore := float64(prev)
+		a.m.ChargeBackground(800) // extra collection cost (§6.3.4)
+		return score - a.cfg.Beta + lambda*(score-prevScore)
+	}
+	ti, tprev := float64(cur), float64(prev)
+	if cur == a.noSampleState() {
+		// No sampled events: treat as fully cache-served (best case).
+		ti = float64(a.cfg.K)
+	}
+	if prev == a.noSampleState() {
+		tprev = float64(a.cfg.K)
+	}
+	return ti - a.cfg.Beta + lambda*(ti-tprev)
+}
+
+// PumpSamples performs the sampling thread's work (§4.4): drain the
+// PEBS ring buffer into the EMA distribution ②, sort sampled pages by
+// recency ③, run second-chance aging, and handle cooling. The harness's
+// Tick calls it inline; the online runtime (System) calls it from a
+// dedicated sampling goroutine between migration periods.
+func (a *ArtMem) PumpSamples() {
+	cooled := false
+	drained := a.sampler.Pending()
+	if t := a.cfg.TargetSamplesPerPeriod; t > 0 {
+		// Dynamic period adjustment bounds the sampling overhead (§6.4).
+		switch period := a.sampler.Period(); {
+		case drained > 2*t && period < a.cfg.SamplePeriod*8:
+			a.sampler.SetPeriod(period * 2)
+		case drained < t/2 && period > a.cfg.SamplePeriod:
+			a.sampler.SetPeriod(period / 2)
+		}
+	}
+	a.sampler.Drain(func(s pebs.Sample) {
+		if a.hist.Record(s.Page) {
+			cooled = true
+		}
+		if !a.cfg.DisableSorting {
+			// Page sorting: a sampled access is evidence of recency.
+			a.lists.PushHead(lru.ActiveOf(a.m.TierOf(s.Page)), s.Page)
+		}
+	})
+	// Second-chance aging keeps the inactive lists meaningful.
+	a.lists.Age(memsim.Fast, a.scanQuota, a.m.TestAndClearAccessed)
+	a.lists.Age(memsim.Slow, a.scanQuota, a.m.TestAndClearAccessed)
+	a.m.ChargeBackground(float64(4*a.scanQuota) * 15)
+
+	if cooled {
+		// Reset the threshold after each cooling (§4.3).
+		a.threshold = a.capacityThreshold()
+		a.coolingResets++
+	}
+}
+
+// Tick implements the policy contract: one iteration of Algorithm 1.
+func (a *ArtMem) Tick(now int64) {
+	a.decisions.Add(1)
+	// ① Drain sampling data and maintain the distribution and lists.
+	a.PumpSamples()
+
+	if a.cfg.DisableRL {
+		// Heuristic ablation: capacity threshold, fixed migration number.
+		a.threshold = a.capacityThreshold()
+		mid := len(a.cfg.MigrationPages) / 2
+		a.lastMigrated = a.migrate(a.cfg.MigrationPages[mid])
+		a.migrated = a.lastMigrated > 0
+		return
+	}
+
+	// ⑤ Observe the new state; ⑥ compute the reward and update both
+	// Q-tables; then choose the next actions (ε-greedy) and ④ migrate.
+	cur := a.observeState()
+	r := a.reward(a.state, cur)
+
+	nextMig := a.qMig.Choose(cur)
+	nextThr := a.qThr.Choose(cur)
+	a.qMig.Update(a.state, a.actMig, r, cur, nextMig)
+	a.qThr.Update(a.state, a.actThr, r, cur, nextThr)
+	a.rlNanos += 120 // two table updates + two selections (§6.4)
+	a.m.ChargeBackground(120)
+
+	// Apply the threshold action with the minimum-threshold floor (§5)
+	// and a generous ceiling that keeps exploration from walking the
+	// threshold beyond any page's plausible count.
+	delta := a.cfg.ThresholdDeltas[nextThr]
+	nt := int64(a.threshold) + int64(delta)
+	if nt < int64(a.cfg.MinThreshold) {
+		nt = int64(a.cfg.MinThreshold)
+	}
+	if max := int64(a.cfg.MinThreshold) * 16; nt > max {
+		nt = max
+	}
+	a.threshold = uint32(nt)
+
+	// Apply the migration action.
+	a.lastMigrated = a.migrate(a.cfg.MigrationPages[nextMig])
+	a.migrated = a.lastMigrated > 0
+
+	if a.cfg.Debug != nil {
+		a.cfg.Debug("tick %d: state=%d r=%.2f thr=%d act=(mig %d pages, thr %+d) promoted=%d win=%d/%d slowActive=%d",
+			a.decisions.Load(), cur, r, a.threshold, a.cfg.MigrationPages[nextMig],
+			delta, a.lastMigrated, a.lastWinFast, a.lastWinSlow,
+			a.lists.Len(lru.SlowActive))
+	}
+
+	a.state = cur
+	a.actMig, a.actThr = nextMig, nextThr
+}
+
+// migrate executes one migration period: promote up to want qualifying
+// pages (count ≥ threshold) from the head of the slow tier's active
+// list, demoting from the fast inactive tail first when space is needed
+// (§4.4's migration thread). It returns the number of pages promoted.
+func (a *ArtMem) migrate(want int) int {
+	if want == 0 {
+		return 0
+	}
+	m := a.m
+	// Collect promotion candidates from the head of the slow tier's
+	// active list *in order* (§4.4): recency ranks first, and the
+	// frequency threshold gates which of the recent pages qualify. The
+	// walk is depth-limited — pages deep in the list are not recent, and
+	// scavenging them would promote stale frequency (the exact failure
+	// ArtMem's sorting is designed to avoid).
+	cands := make([]memsim.PageID, 0, want)
+	depth := want*4 + 64
+	for p := a.lists.Head(lru.SlowActive); p != memsim.NoPage && len(cands) < want && depth > 0; p = a.lists.Next(p) {
+		depth--
+		if a.hist.Count(p) >= a.threshold {
+			cands = append(cands, p)
+		}
+	}
+	promoted := 0
+	for _, p := range cands {
+		if m.FreePages(memsim.Fast) == 0 {
+			// Demotion starts from the tail of the fast inactive list.
+			victim := a.lists.Tail(lru.FastInactive)
+			if victim == memsim.NoPage {
+				victim = a.lists.Tail(lru.FastActive)
+			}
+			if victim == memsim.NoPage {
+				break
+			}
+			// Recency decides the victim (tail of the inactive list): a
+			// page that has not been referenced recently is demotable even
+			// if its accumulated EMA count is still high — stale frequency
+			// is exactly what the paper's page sorting corrects for (§4.3).
+			// Only an *actively hot* victim (still on the active list with
+			// a count above the incoming page's) blocks the swap.
+			if a.lists.ListOf(victim) == lru.FastActive &&
+				a.hist.Count(victim) > a.hist.Count(p) {
+				break
+			}
+			if m.MovePage(victim, memsim.Slow) != nil {
+				break
+			}
+			a.insertAfterMigration(victim, memsim.Slow, a.lists.ListOf(victim) == lru.FastActive)
+		}
+		wasActive := a.lists.ListOf(p) == lru.SlowActive
+		if m.MovePage(p, memsim.Fast) != nil {
+			break
+		}
+		a.insertAfterMigration(p, memsim.Fast, wasActive)
+		promoted++
+	}
+	return promoted
+}
+
+// insertAfterMigration places a migrated page on the destination tier's
+// lists. ArtMem's aggressive policy inserts promoted pages at the head
+// of the active list regardless of prior status; the DisableSorting
+// ablation preserves status like prior systems (§4.3).
+func (a *ArtMem) insertAfterMigration(p memsim.PageID, dst memsim.TierID, wasActive bool) {
+	if a.cfg.DisableSorting {
+		if wasActive {
+			a.lists.PushHead(lru.ActiveOf(dst), p)
+		} else {
+			a.lists.PushHead(lru.InactiveOf(dst), p)
+		}
+		return
+	}
+	if dst == memsim.Fast {
+		// Always to the head of the fast active list.
+		a.lists.PushHead(lru.FastActive, p)
+	} else {
+		// Demotions keep status (the asymmetry is deliberate: the paper's
+		// aggressive insertion concerns promoted pages).
+		if wasActive {
+			a.lists.PushHead(lru.SlowActive, p)
+		} else {
+			a.lists.PushHead(lru.SlowInactive, p)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// This file exposes the paper's §5 "interaction channels for environment
+// and agent information" over HTTP. The kernel prototype adds pseudo-
+// files under the memory cgroup directory — memory.hit_ratio_show to
+// read the sampled access ratio, memory.action_show and
+// memory.threshold_show to observe the agent's decisions — "allowing the
+// reinforcement learning algorithm to be implemented in user space,
+// facilitating algorithm parameter adjustments and comparative
+// experiments". The simulator's analogue serves the same three files
+// (plus machine counters) as HTTP endpoints on a System.
+
+// ControlHandler returns an http.Handler exposing the system's
+// interaction channels:
+//
+//	GET /memory.hit_ratio_show   sampled fast/slow window counts & ratio
+//	GET /memory.action_show      the agent's last migration action
+//	GET /memory.threshold_show   the current hotness threshold
+//	GET /stats                   machine counters as JSON
+func (s *System) ControlHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /memory.hit_ratio_show", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		fast, slow := s.pol.sampler.PeekWindowCounts()
+		state := s.pol.state
+		s.mu.Unlock()
+		// The kernel file prints plain numbers; keep that spirit.
+		fmt.Fprintf(w, "fast %d\nslow %d\nstate %d\n", fast, slow, state)
+	})
+	mux.HandleFunc("GET /memory.action_show", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		pages := s.pol.cfg.MigrationPages[s.pol.actMig]
+		migrated := s.pol.lastMigrated
+		decisions := s.pol.decisions.Load()
+		s.mu.Unlock()
+		fmt.Fprintf(w, "migration_pages %d\nlast_migrated %d\ndecisions %d\n",
+			pages, migrated, decisions)
+	})
+	mux.HandleFunc("GET /memory.threshold_show", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		thr := s.pol.threshold
+		delta := s.pol.cfg.ThresholdDeltas[s.pol.actThr]
+		s.mu.Unlock()
+		fmt.Fprintf(w, "threshold %d\nlast_delta %d\n", thr, delta)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		c := s.m.Counters()
+		now := s.m.Now()
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			VirtualNs     int64   `json:"virtual_ns"`
+			FastAccesses  uint64  `json:"fast_accesses"`
+			SlowAccesses  uint64  `json:"slow_accesses"`
+			CacheHits     uint64  `json:"cache_hits"`
+			DRAMRatio     float64 `json:"dram_ratio"`
+			Migrations    uint64  `json:"migrations"`
+			Promotions    uint64  `json:"promotions"`
+			Demotions     uint64  `json:"demotions"`
+			MigratedBytes uint64  `json:"migrated_bytes"`
+		}{
+			VirtualNs:     now,
+			FastAccesses:  c.FastAccesses,
+			SlowAccesses:  c.SlowAccesses,
+			CacheHits:     c.CacheHits,
+			DRAMRatio:     c.DRAMRatio(),
+			Migrations:    c.Migrations,
+			Promotions:    c.Promotions,
+			Demotions:     c.Demotions,
+			MigratedBytes: c.MigratedBytes,
+		})
+	})
+	return mux
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestControlHandlerEndpoints(t *testing.T) {
+	s := NewSystem(testSystemConfig())
+	// Generate some activity without starting background threads (keeps
+	// the test deterministic), then drive one decision manually.
+	for p := uint64(0); p < 32; p++ {
+		s.Access(p*64*1024, false)
+	}
+	s.mu.Lock()
+	s.pol.Tick(s.m.Now())
+	s.mu.Unlock()
+
+	srv := httptest.NewServer(s.ControlHandler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	if body := get("/memory.hit_ratio_show"); !strings.Contains(body, "fast ") ||
+		!strings.Contains(body, "slow ") || !strings.Contains(body, "state ") {
+		t.Errorf("hit_ratio_show body:\n%s", body)
+	}
+	if body := get("/memory.action_show"); !strings.Contains(body, "migration_pages ") ||
+		!strings.Contains(body, "decisions 1") {
+		t.Errorf("action_show body:\n%s", body)
+	}
+	if body := get("/memory.threshold_show"); !strings.Contains(body, "threshold ") {
+		t.Errorf("threshold_show body:\n%s", body)
+	}
+
+	var stats struct {
+		VirtualNs    int64   `json:"virtual_ns"`
+		FastAccesses uint64  `json:"fast_accesses"`
+		SlowAccesses uint64  `json:"slow_accesses"`
+		DRAMRatio    float64 `json:"dram_ratio"`
+	}
+	if err := json.Unmarshal([]byte(get("/stats")), &stats); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if stats.FastAccesses+stats.SlowAccesses != 32 {
+		t.Errorf("stats accesses = %d/%d, want 32 total",
+			stats.FastAccesses, stats.SlowAccesses)
+	}
+	if stats.VirtualNs <= 0 {
+		t.Errorf("virtual time %d", stats.VirtualNs)
+	}
+}
+
+func TestControlHandlerUnknownPath(t *testing.T) {
+	s := NewSystem(testSystemConfig())
+	srv := httptest.NewServer(s.ControlHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestQTableSnapshotRoundTrip(t *testing.T) {
+	a := New(Config{})
+	a.Attach(testMachine(16))
+	mig, thr := a.QTables()
+	mig.SetQ(2, 3, 1.25)
+	thr.SetQ(7, 1, -0.5)
+
+	var buf bytes.Buffer
+	if err := a.SaveQTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{})
+	b.Attach(testMachine(16))
+	if err := b.RestoreQTables(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	bm, bt := b.QTables()
+	if bm.Q(2, 3) != 1.25 || bt.Q(7, 1) != -0.5 {
+		t.Errorf("restored Q = %g/%g", bm.Q(2, 3), bt.Q(7, 1))
+	}
+	// The optimistic init survives too (it was saved).
+	if bm.Q(10, 0) != 1 {
+		t.Errorf("Q(k,0) = %g after restore", bm.Q(10, 0))
+	}
+}
+
+func TestQTableSnapshotErrors(t *testing.T) {
+	unattached := New(Config{})
+	var buf bytes.Buffer
+	if err := unattached.SaveQTables(&buf); err == nil {
+		t.Error("save before attach accepted")
+	}
+	if err := unattached.RestoreQTables(bytes.NewReader(nil)); err == nil {
+		t.Error("restore before attach accepted")
+	}
+
+	a := New(Config{})
+	a.Attach(testMachine(16))
+	if err := a.RestoreQTables(bytes.NewReader([]byte("garbage!"))); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	// Dimension mismatch: snapshot from a K=4 agent into a K=10 agent.
+	small := New(Config{K: 4})
+	small.Attach(testMachine(16))
+	var sbuf bytes.Buffer
+	if err := small.SaveQTables(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RestoreQTables(bytes.NewReader(sbuf.Bytes())); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// Truncation.
+	if err := a.RestoreQTables(bytes.NewReader(sbuf.Bytes()[:10])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestQTableSnapshotFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "qtables.bin")
+	a := New(Config{})
+	a.Attach(testMachine(16))
+	mig, _ := a.QTables()
+	mig.SetQ(1, 1, 9)
+	if err := a.SaveQTablesFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{})
+	b.Attach(testMachine(16))
+	if err := b.RestoreQTablesFile(path); err != nil {
+		t.Fatal(err)
+	}
+	bm, _ := b.QTables()
+	if bm.Q(1, 1) != 9 {
+		t.Errorf("file round trip lost Q values")
+	}
+	if err := b.RestoreQTablesFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"artmem/internal/memsim"
+)
+
+// System is the online ArtMem runtime: it wraps a machine and runs the
+// policy's sampling and migration work on dedicated background
+// goroutines — the userspace analogue of the paper's per-CPU ksampled
+// threads and the kmigrated kernel thread (§4.4). Application goroutines
+// drive memory accesses through Access; the background threads operate
+// asynchronously and never appear on the access path's critical section
+// longer than one sampling drain.
+//
+// The paper's kernel prototype exposes the agent↔environment channel
+// through cgroup pseudo-files (memory.hit_ratio_show and friends); here
+// the channel is the ArtMem policy object itself, reachable via Policy.
+type System struct {
+	mu  sync.Mutex
+	m   *memsim.Machine
+	pol *ArtMem
+
+	samplingInterval  time.Duration
+	migrationInterval time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	started bool
+}
+
+// SystemConfig parameterizes an online System.
+type SystemConfig struct {
+	// Machine configures the simulated tiered memory.
+	Machine memsim.Config
+	// Policy configures the ArtMem agent.
+	Policy Config
+	// SamplingInterval is the real-time period of the sampling thread
+	// (the paper's sampling thread wakes every 2ms). 0 uses 2ms.
+	SamplingInterval time.Duration
+	// MigrationInterval is the real-time period of the migration thread.
+	// 0 uses 20ms (scaled down from the paper's seconds-long interval so
+	// examples adapt within seconds).
+	MigrationInterval time.Duration
+}
+
+// NewSystem builds an online system. Call Start to launch the
+// background threads and Stop to halt them.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.SamplingInterval == 0 {
+		cfg.SamplingInterval = 2 * time.Millisecond
+	}
+	if cfg.MigrationInterval == 0 {
+		cfg.MigrationInterval = 20 * time.Millisecond
+	}
+	m := memsim.NewMachine(cfg.Machine)
+	pol := New(cfg.Policy)
+	pol.Attach(m)
+	return &System{
+		m:                 m,
+		pol:               pol,
+		samplingInterval:  cfg.SamplingInterval,
+		migrationInterval: cfg.MigrationInterval,
+		stop:              make(chan struct{}),
+	}
+}
+
+// Machine returns the underlying machine. Callers must not use it
+// concurrently with a started System except through System methods.
+func (s *System) Machine() *memsim.Machine { return s.m }
+
+// Policy returns the ArtMem agent (the paper's userspace-RL view).
+func (s *System) Policy() *ArtMem { return s.pol }
+
+// Start launches the sampling and migration threads. It is a no-op if
+// already started.
+func (s *System) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.wg.Add(2)
+	go s.samplingThread()
+	go s.migrationThread()
+}
+
+// Stop halts the background threads and waits for them. Idempotent.
+func (s *System) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// Access performs one application memory access.
+func (s *System) Access(addr uint64, write bool) {
+	s.mu.Lock()
+	s.m.Access(addr, write)
+	s.mu.Unlock()
+}
+
+// AccessBatch performs a batch of application accesses under one lock
+// acquisition. addrs and writes must have equal length.
+func (s *System) AccessBatch(addrs []uint64, writes []bool) {
+	s.mu.Lock()
+	for i, a := range addrs {
+		s.m.Access(a, writes[i])
+	}
+	s.mu.Unlock()
+}
+
+// Counters returns a snapshot of the machine's counters — the
+// equivalent of reading the paper's memory.hit_ratio_show interface.
+func (s *System) Counters() memsim.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Counters()
+}
+
+// Now returns the machine's virtual time.
+func (s *System) Now() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Now()
+}
+
+// samplingThread mirrors ksampled: it periodically drains the PEBS
+// buffer into the histogram and the recency lists.
+func (s *System) samplingThread() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.samplingInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			s.pol.PumpSamples()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// migrationThread mirrors kmigrated: it periodically runs one RL
+// decision period (Algorithm 1) and executes the chosen migrations.
+func (s *System) migrationThread() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.migrationInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			s.pol.Tick(s.m.Now())
+			s.mu.Unlock()
+		}
+	}
+}

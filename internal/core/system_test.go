@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"artmem/internal/memsim"
+)
+
+func testSystemConfig() SystemConfig {
+	mcfg := memsim.DefaultConfig(64*64*1024, 16*64*1024, 64*1024)
+	mcfg.CacheLines = 0
+	return SystemConfig{
+		Machine:           mcfg,
+		Policy:            Config{SamplePeriod: 1},
+		SamplingInterval:  500 * time.Microsecond,
+		MigrationInterval: time.Millisecond,
+	}
+}
+
+func TestSystemStartStopIdempotent(t *testing.T) {
+	s := NewSystem(testSystemConfig())
+	s.Start()
+	s.Start() // no-op
+	s.Stop()
+	s.Stop() // no-op
+}
+
+func TestSystemStopWithoutStart(t *testing.T) {
+	s := NewSystem(testSystemConfig())
+	s.Stop() // must not hang or panic
+}
+
+func TestSystemAccessAndCounters(t *testing.T) {
+	s := NewSystem(testSystemConfig())
+	s.Start()
+	defer s.Stop()
+	for i := 0; i < 1000; i++ {
+		s.Access(uint64(i*64)%uint64(64*64*1024), i%4 == 0)
+	}
+	c := s.Counters()
+	if c.FastAccesses+c.SlowAccesses != 1000 {
+		t.Errorf("accesses = %d, want 1000", c.FastAccesses+c.SlowAccesses)
+	}
+	if s.Now() <= 0 {
+		t.Errorf("virtual time did not advance")
+	}
+}
+
+func TestSystemAccessBatch(t *testing.T) {
+	s := NewSystem(testSystemConfig())
+	addrs := make([]uint64, 100)
+	writes := make([]bool, 100)
+	for i := range addrs {
+		addrs[i] = uint64(i * 64)
+		writes[i] = i%2 == 0
+	}
+	s.AccessBatch(addrs, writes)
+	c := s.Counters()
+	if c.FastAccesses+c.SlowAccesses != 100 {
+		t.Errorf("batch accesses = %d", c.FastAccesses+c.SlowAccesses)
+	}
+}
+
+// The background threads must migrate a hot-in-slow working set into the
+// fast tier while the application keeps accessing it.
+func TestSystemBackgroundMigration(t *testing.T) {
+	s := NewSystem(testSystemConfig())
+	m := s.Machine()
+	ps := uint64(m.PageSize())
+	// First-touch: 16 cold pages fill fast, pages 16..31 land in slow.
+	for p := uint64(0); p < 32; p++ {
+		s.Access(p*ps, false)
+	}
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for rep := 0; rep < 50; rep++ {
+			for p := uint64(16); p < 32; p++ {
+				s.Access(p*ps, false)
+			}
+		}
+		if c := s.Counters(); c.Promotions >= 8 {
+			return // background migration worked
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Errorf("background threads promoted only %d pages in 5s",
+		s.Counters().Promotions)
+}
+
+func TestSystemDecisionsAdvance(t *testing.T) {
+	s := NewSystem(testSystemConfig())
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		s.Access(0, false)
+		if s.Policy().Decisions() >= 3 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("migration thread made %d decisions in 3s", s.Policy().Decisions())
+}
+
+// A short soak: several application goroutines hammer the system while
+// the background threads sample and migrate; counters must stay
+// consistent and nothing may deadlock. The race detector covers the
+// synchronization when run with -race.
+func TestSystemSoakConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	s := NewSystem(testSystemConfig())
+	s.Start()
+	defer s.Stop()
+	const clients = 4
+	const perClient = 20000
+	done := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		go func(seed uint64) {
+			defer func() { done <- struct{}{} }()
+			x := seed
+			for i := 0; i < perClient; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				s.Access(x%(64*64*1024), x&1 == 0)
+			}
+		}(uint64(c + 1))
+	}
+	for c := 0; c < clients; c++ {
+		<-done
+	}
+	ctr := s.Counters()
+	total := ctr.FastAccesses + ctr.SlowAccesses + ctr.CacheHits
+	if total != clients*perClient {
+		t.Errorf("accesses = %d, want %d", total, clients*perClient)
+	}
+	if s.Now() <= 0 {
+		t.Errorf("clock did not advance")
+	}
+}

@@ -1,0 +1,184 @@
+package damon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"artmem/internal/memsim"
+)
+
+func testMachine(pages int) *memsim.Machine {
+	cfg := memsim.DefaultConfig(int64(pages)*4096, int64(pages)*4096/2, 4096)
+	cfg.CacheLines = 0
+	return memsim.NewMachine(cfg)
+}
+
+func TestInitialRegionsPartitionSpace(t *testing.T) {
+	m := testMachine(1000)
+	mon := NewMonitor(m, DefaultConfig())
+	if err := mon.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mon.Regions()); got != 10 {
+		t.Errorf("initial regions = %d, want MinRegions", got)
+	}
+}
+
+func TestTinySpaceFewerRegionsThanMin(t *testing.T) {
+	m := testMachine(4)
+	mon := NewMonitor(m, DefaultConfig())
+	if err := mon.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mon.Regions()); got > 4 {
+		t.Errorf("%d regions for a 4-page space", got)
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	m := testMachine(100)
+	mon := NewMonitor(m, Config{})
+	if mon.cfg.MinRegions != 10 || mon.cfg.SamplesPerAggregation != 20 {
+		t.Errorf("defaults not applied: %+v", mon.cfg)
+	}
+	if mon.cfg.MaxRegions < mon.cfg.MinRegions {
+		t.Errorf("MaxRegions %d below MinRegions", mon.cfg.MaxRegions)
+	}
+}
+
+func TestAggregationCadence(t *testing.T) {
+	m := testMachine(100)
+	cfg := DefaultConfig()
+	cfg.SamplesPerAggregation = 5
+	mon := NewMonitor(m, cfg)
+	for i := 0; i < 4; i++ {
+		mon.Sample()
+	}
+	if mon.Aggregations() != 0 {
+		t.Fatalf("aggregated after %d samples", 4)
+	}
+	mon.Sample()
+	if mon.Aggregations() != 1 {
+		t.Errorf("no aggregation after %d samples", cfg.SamplesPerAggregation)
+	}
+}
+
+func TestHotRegionGetsHighCount(t *testing.T) {
+	m := testMachine(1024)
+	cfg := DefaultConfig()
+	cfg.MaxRegions = 64
+	cfg.Seed = 3
+	mon := NewMonitor(m, cfg)
+	// Pages 0..127 are hot; touch them between samples for several
+	// aggregation windows.
+	for w := 0; w < 30*cfg.SamplesPerAggregation; w++ {
+		for p := uint64(0); p < 128; p += 4 {
+			m.Access(p*4096+uint64(w%4)*4096, false)
+		}
+		mon.Sample()
+		if err := mon.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Estimate heat in the hot eighth vs the cold rest.
+	snap := mon.Snapshot(8)
+	cold := 0.0
+	for _, v := range snap[1:] {
+		cold += v
+	}
+	cold /= 7
+	if snap[0] <= cold*2 {
+		t.Errorf("hot bin %g not ≫ mean cold bin %g (snapshot %v)", snap[0], cold, snap)
+	}
+}
+
+func TestRegionCountBounded(t *testing.T) {
+	m := testMachine(4096)
+	cfg := DefaultConfig()
+	cfg.MinRegions = 8
+	cfg.MaxRegions = 32
+	mon := NewMonitor(m, cfg)
+	for i := 0; i < 200; i++ {
+		// Random traffic to drive splits and merges.
+		m.Access(uint64(i*977%4096)*4096, false)
+		mon.Sample()
+		if got := len(mon.Regions()); got > 32 {
+			t.Fatalf("region count %d exceeds max after %d samples", got, i)
+		}
+		if err := mon.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSampleChargesOverheadProportionalToRegions(t *testing.T) {
+	m := testMachine(1 << 14)
+	cfg := DefaultConfig()
+	cfg.MaxRegions = 20
+	mon := NewMonitor(m, cfg)
+	before := m.BackgroundNs()
+	mon.Sample()
+	perSample := m.BackgroundNs() - before
+	// Cost scales with regions (≤ 20·10ns), not the 16k-page footprint.
+	if perSample > 20*10+1 {
+		t.Errorf("sample cost %gns scales with footprint, want region-bounded", perSample)
+	}
+}
+
+func TestSnapshotSpreadsRegionCounts(t *testing.T) {
+	m := testMachine(100)
+	mon := NewMonitor(m, Config{MinRegions: 2, MaxRegions: 2, SamplesPerAggregation: 1})
+	mon.regions = []Region{
+		{Start: 0, End: 50, NrAccesses: 10},
+		{Start: 50, End: 100, NrAccesses: 0},
+	}
+	snap := mon.Snapshot(4)
+	if snap[0] <= 0 || snap[1] <= 0 {
+		t.Errorf("hot half missing heat: %v", snap)
+	}
+	if snap[2] != 0 || snap[3] != 0 {
+		t.Errorf("cold half has heat: %v", snap)
+	}
+	// Degenerate bins.
+	if got := mon.Snapshot(0); len(got) != 0 {
+		t.Errorf("Snapshot(0) = %v", got)
+	}
+}
+
+// Property: invariants hold under arbitrary access/sample interleavings.
+func TestInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		m := testMachine(256)
+		cfg := DefaultConfig()
+		cfg.MinRegions = 4
+		cfg.MaxRegions = 24
+		cfg.SamplesPerAggregation = 3
+		cfg.Seed = seed
+		mon := NewMonitor(m, cfg)
+		for _, op := range ops {
+			if op%3 == 0 {
+				mon.Sample()
+			} else {
+				m.Access(uint64(op%256)*4096, op%2 == 0)
+			}
+			if mon.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	m := testMachine(1 << 16)
+	cfg := DefaultConfig()
+	cfg.MaxRegions = 100
+	mon := NewMonitor(m, cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mon.Sample()
+	}
+}

@@ -1,0 +1,205 @@
+// Package ema tracks per-page access frequency the way MEMTIS and ArtMem
+// do (paper §4.3): each sampled access increments the page's count,
+// pages are grouped into exponential bins with base 2 to compactly
+// represent the access distribution, and a cooling operation periodically
+// halves all counts so stale history decays — together an exponential
+// moving average of access frequency.
+//
+// The histogram also provides the hotness-threshold machinery: the
+// MEMTIS-style capacity-derived threshold (the smallest access count such
+// that all pages at or above it fit in the fast tier) that ArtMem uses as
+// its starting point and resets to after each cooling, before the RL
+// agent refines it.
+package ema
+
+import "artmem/internal/memsim"
+
+// NumBins is the number of exponential bins. Bin 0 holds never-sampled
+// pages; bin i (i ≥ 1) holds pages with count in [2^(i-1), 2^i). 32 bins
+// cover counts beyond any realistic sampling volume.
+const NumBins = 32
+
+// BinOf returns the bin index for an access count.
+func BinOf(count uint32) int {
+	if count == 0 {
+		return 0
+	}
+	b := 1
+	for count > 1 {
+		count >>= 1
+		b++
+	}
+	if b >= NumBins {
+		return NumBins - 1
+	}
+	return b
+}
+
+// BinLower returns the smallest access count that falls in bin b
+// (0 for bin 0).
+func BinLower(b int) uint32 {
+	if b <= 0 {
+		return 0
+	}
+	return 1 << (b - 1)
+}
+
+// DefaultCoolingPeriod is the paper's cooling trigger: every two million
+// samples, all bin counts and per-page records are halved (§4.3).
+const DefaultCoolingPeriod = 2_000_000
+
+// Histogram tracks per-page EMA access counts and the bin distribution.
+// It is not safe for concurrent use.
+type Histogram struct {
+	counts []uint32
+	bins   [NumBins]int
+
+	coolingPeriod    uint64
+	samplesSinceCool uint64
+	coolings         uint64
+	totalSamples     uint64
+}
+
+// New returns a Histogram over numPages pages. coolingPeriod is the
+// number of recorded samples between cooling operations; 0 uses
+// DefaultCoolingPeriod.
+func New(numPages int, coolingPeriod uint64) *Histogram {
+	if coolingPeriod == 0 {
+		coolingPeriod = DefaultCoolingPeriod
+	}
+	h := &Histogram{
+		counts:        make([]uint32, numPages),
+		coolingPeriod: coolingPeriod,
+	}
+	h.bins[0] = numPages
+	return h
+}
+
+// NumPages returns the size of the tracked page space.
+func (h *Histogram) NumPages() int { return len(h.counts) }
+
+// Record notes one sampled access to page p, updating its bin
+// assignment, and performs a cooling pass when the cooling period
+// elapses. It reports whether this call triggered a cooling.
+func (h *Histogram) Record(p memsim.PageID) (cooled bool) {
+	c := h.counts[p]
+	oldBin := BinOf(c)
+	c++
+	h.counts[p] = c
+	if nb := BinOf(c); nb != oldBin {
+		h.bins[oldBin]--
+		h.bins[nb]++
+	}
+	h.totalSamples++
+	h.samplesSinceCool++
+	if h.samplesSinceCool >= h.coolingPeriod {
+		h.Cool()
+		return true
+	}
+	return false
+}
+
+// Count returns page p's current EMA access count.
+func (h *Histogram) Count(p memsim.PageID) uint32 { return h.counts[p] }
+
+// Bin returns page p's current bin index.
+func (h *Histogram) Bin(p memsim.PageID) int { return BinOf(h.counts[p]) }
+
+// BinPages returns the number of pages currently in bin b.
+func (h *Histogram) BinPages(b int) int { return h.bins[b] }
+
+// Coolings returns how many cooling passes have run.
+func (h *Histogram) Coolings() uint64 { return h.coolings }
+
+// TotalSamples returns the number of recorded samples.
+func (h *Histogram) TotalSamples() uint64 { return h.totalSamples }
+
+// Cool halves every page's count and rebuilds the bin distribution —
+// the paper's cooling operation that gradually discounts stale accesses.
+func (h *Histogram) Cool() {
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+	for p, c := range h.counts {
+		c >>= 1
+		h.counts[p] = c
+		h.bins[BinOf(c)]++
+	}
+	h.coolings++
+	h.samplesSinceCool = 0
+}
+
+// PagesAtOrAbove returns how many pages have count ≥ threshold. For
+// thresholds on bin boundaries this is a bin-sum; otherwise the partial
+// bin is counted exactly.
+func (h *Histogram) PagesAtOrAbove(threshold uint32) int {
+	if threshold == 0 {
+		return len(h.counts)
+	}
+	b := BinOf(threshold)
+	n := 0
+	for i := b + 1; i < NumBins; i++ {
+		n += h.bins[i]
+	}
+	if BinLower(b) == threshold {
+		// Exactly on the bin's lower bound: the whole bin qualifies.
+		return n + h.bins[b]
+	}
+	// Partial bin: count exactly.
+	for _, c := range h.counts {
+		if c >= threshold && BinOf(c) == b {
+			n++
+		}
+	}
+	return n
+}
+
+// CapacityThreshold returns the MEMTIS-style hotness threshold for a
+// fast tier of capPages pages: the smallest bin lower-bound count T such
+// that the pages with count ≥ T fit within capPages. If even the hottest
+// bin alone overflows the capacity, the hottest occupied bin's lower
+// bound is returned.
+func (h *Histogram) CapacityThreshold(capPages int) uint32 {
+	hottest := 0 // hottest occupied bin ≥ 1
+	for b := NumBins - 1; b >= 1; b-- {
+		if h.bins[b] > 0 {
+			hottest = b
+			break
+		}
+	}
+	if hottest == 0 {
+		// No page has been sampled yet.
+		return 1
+	}
+	cum := 0
+	// Walk from the hottest bin downward; stop before overflowing.
+	lastFit := NumBins // sentinel: nothing fits
+	for b := NumBins - 1; b >= 1; b-- {
+		cum += h.bins[b]
+		if cum > capPages {
+			break
+		}
+		lastFit = b
+	}
+	if lastFit > hottest {
+		// Even the hottest occupied bin overflows the capacity. Real
+		// MEMTIS still classifies that bin as hot and migrates it — the
+		// thrashing behaviour the paper observes on pattern S4 — so the
+		// threshold admits it rather than admitting nothing.
+		return BinLower(hottest)
+	}
+	return BinLower(lastFit)
+}
+
+// Reset zeroes all counts and bins (used when a policy detects a
+// workload change, e.g. Tiering-0.8's threshold reset).
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	for i := range h.bins {
+		h.bins[i] = 0
+	}
+	h.bins[0] = len(h.counts)
+	h.samplesSinceCool = 0
+}

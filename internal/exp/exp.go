@@ -1,0 +1,224 @@
+// Package exp defines one reproducible experiment per table and figure
+// of the paper's evaluation (the per-experiment index in DESIGN.md §3).
+// Each experiment runs the necessary workload × policy × configuration
+// sweep through the harness and renders the same rows/series the paper
+// reports, as text tables. cmd/artbench and the top-level benchmarks are
+// thin wrappers around this package.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"artmem/internal/core"
+	"artmem/internal/harness"
+	"artmem/internal/policies"
+	"artmem/internal/rl"
+	"artmem/internal/textplot"
+	"artmem/internal/workloads"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Profile sets the workload scale.
+	Profile workloads.Profile
+	// Quick trims sweeps (fewer ratios/workloads) for smoke runs.
+	Quick bool
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options {
+	return Options{Profile: workloads.DefaultProfile()}
+}
+
+// QuickOptions returns a fast smoke-run configuration.
+func QuickOptions() Options {
+	return Options{Profile: workloads.QuickProfile(), Quick: true}
+}
+
+// BenchOptions returns the scale used by the repository's testing.B
+// benchmarks: large enough for the shapes to emerge, small enough that
+// the full suite finishes in minutes.
+func BenchOptions() Options {
+	return Options{
+		Profile: workloads.Profile{
+			Div:             128,
+			PatternAccesses: 12_000_000,
+			AppAccesses:     3_000_000,
+			Seed:            1,
+		},
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	// ID is the registry key, e.g. "fig7".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Paper summarizes what the paper reports, for comparison.
+	Paper string
+	// Run executes the experiment and returns its result tables.
+	Run func(o Options) []textplot.Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		Table2(), Fig1(), Fig2(), Fig3(), Fig4(),
+		Fig7(), Fig8(), Fig9(), Fig10(), Fig11(),
+		Fig12(), Fig13(), Fig14(), Fig15(),
+		Fig16a(), Fig16b(), Fig16c(), Fig17(), Overheads(),
+		LiblinearSampling(), PageSize(),
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// ---- pretrained agent ------------------------------------------------------
+
+// trainKey identifies a pretraining cache entry.
+type trainKey struct {
+	div      int64
+	accesses int64
+	seed     uint64
+	alg      rl.Algorithm
+	workload string
+}
+
+var (
+	trainMu    sync.Mutex
+	trainCache = map[trainKey]*trainedTables{}
+)
+
+type trainedTables struct {
+	mig, thr *rl.Table
+}
+
+// TrainTables pretrains ArtMem Q-tables by running the named workload
+// at two memory ratios (the paper primes its agent on Liblinear, §6.2).
+// Results are memoized per profile.
+func TrainTables(o Options, workload string, alg rl.Algorithm) (mig, thr *rl.Table) {
+	key := trainKey{o.Profile.Div, o.Profile.AppAccesses, o.Profile.Seed, alg, workload}
+	trainMu.Lock()
+	if t, ok := trainCache[key]; ok {
+		trainMu.Unlock()
+		return t.mig, t.thr
+	}
+	trainMu.Unlock()
+
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		panic(err)
+	}
+	o.logf("pretraining ArtMem on %s", workload)
+	var prevMig, prevThr *rl.Table
+	for round, ratio := range []harness.Ratio{
+		{Fast: 1, Slow: 1}, {Fast: 1, Slow: 2}, {Fast: 1, Slow: 8}, {Fast: 1, Slow: 16},
+	} {
+		pol := core.New(core.Config{
+			Algorithm:     alg,
+			Seed:          o.Profile.Seed + uint64(round),
+			PretrainedMig: prevMig,
+			PretrainedThr: prevThr,
+		})
+		harness.Run(spec.New(o.Profile), pol, harness.Config{
+			PageSize: o.Profile.PageSize(),
+			Ratio:    ratio,
+		})
+		prevMig, prevThr = pol.QTables()
+	}
+	trainMu.Lock()
+	trainCache[key] = &trainedTables{mig: prevMig, thr: prevThr}
+	trainMu.Unlock()
+	return prevMig, prevThr
+}
+
+// ArtMemPolicy returns a fresh ArtMem policy with pretrained Q-tables
+// applied on top of cfg.
+func (o Options) ArtMemPolicy(cfg core.Config) *core.ArtMem {
+	mig, thr := TrainTables(o, "Liblinear", cfg.Algorithm)
+	cfg.PretrainedMig = mig
+	cfg.PretrainedThr = thr
+	return core.New(cfg)
+}
+
+// AllPolicies returns the eight evaluated systems: the seven baselines
+// of Table 1 plus ArtMem (pretrained).
+func (o Options) AllPolicies() []policies.Factory {
+	fs := []policies.Factory{}
+	for _, f := range policies.Baselines() {
+		if f.Name == "Static" {
+			continue // Static is only the Figure 2 normalization baseline
+		}
+		fs = append(fs, f)
+	}
+	fs = append(fs, policies.Factory{
+		Name: "ArtMem",
+		New:  func() policies.Policy { return o.ArtMemPolicy(core.Config{}) },
+	})
+	return fs
+}
+
+// ---- shared run helpers ------------------------------------------------------
+
+// runOne executes a single workload/policy/ratio combination.
+func (o Options) runOne(workload string, pol policies.Policy, cfg harness.Config) harness.Result {
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = o.Profile.PageSize()
+	}
+	res := harness.Run(spec.New(o.Profile), pol, cfg)
+	o.logf("  %s/%s@%s: exec=%.1fms ratio=%.3f mig=%d",
+		res.Workload, res.Policy, res.Ratio, float64(res.ExecNs)/1e6,
+		res.DRAMRatio, res.Migrations)
+	return res
+}
+
+// ratios returns the experiment's memory-ratio sweep, trimmed in quick
+// mode.
+func (o Options) ratios() []harness.Ratio {
+	if o.Quick {
+		return []harness.Ratio{{Fast: 1, Slow: 1}, {Fast: 1, Slow: 8}}
+	}
+	return harness.PaperRatios
+}
+
+// appNames returns the evaluated application list, trimmed in quick mode.
+func (o Options) appNames() []string {
+	if o.Quick {
+		return []string{"YCSB", "CC", "XSBench", "Liblinear"}
+	}
+	names := make([]string, len(workloads.Apps))
+	for i, s := range workloads.Apps {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// normalize divides each value by base, guarding zero.
+func normalize(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return v / base
+}

@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"fmt"
+
+	"artmem/internal/core"
+	"artmem/internal/harness"
+	"artmem/internal/policies"
+	"artmem/internal/textplot"
+	"artmem/internal/workloads"
+)
+
+// mustPolicy constructs a fresh baseline policy by name.
+func mustPolicy(name string) policies.Policy {
+	f, err := policies.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f.New()
+}
+
+func ratioHeaders(ratios []harness.Ratio) []string {
+	hs := make([]string, len(ratios))
+	for i, r := range ratios {
+		hs[i] = r.String()
+	}
+	return hs
+}
+
+// Fig7 reproduces the headline evaluation: eight applications × eight
+// systems × six DRAM:PM ratios, runtimes normalized to AutoNUMA at 1:16
+// (lower is better).
+func Fig7() Experiment {
+	return Experiment{
+		ID:    "fig7",
+		Title: "Figure 7: application performance across systems and memory ratios",
+		Paper: "ArtMem best or near-best almost everywhere; 35%-172% improvements over baselines on average",
+		Run: func(o Options) []textplot.Table {
+			ratios := o.ratios()
+			var out []textplot.Table
+			for _, wl := range o.appNames() {
+				// Normalization baseline: AutoNUMA at 1:16.
+				base := o.runOne(wl, mustPolicy("AutoNUMA"), harness.Config{
+					Ratio: harness.Ratio{Fast: 1, Slow: 16}})
+				t := textplot.Table{
+					Title:  fmt.Sprintf("%s runtime (normalized to AutoNUMA 1:16; lower is better)", wl),
+					Header: append([]string{"system"}, ratioHeaders(ratios)...),
+				}
+				for _, f := range o.AllPolicies() {
+					cells := []any{f.Name}
+					for _, ratio := range ratios {
+						r := o.runOne(wl, f.New(), harness.Config{Ratio: ratio})
+						cells = append(cells, normalize(float64(r.ExecNs), float64(base.ExecNs)))
+					}
+					t.AddRow(cells...)
+				}
+				out = append(out, t)
+			}
+			return out
+		},
+	}
+}
+
+// Fig8 reproduces the ablation study: full ArtMem versus the heuristic
+// (no RL), no-page-sorting, and base variants, with a DRAM-only run as
+// the lower bound.
+func Fig8() Experiment {
+	return Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: ablation of ArtMem components",
+		Paper: "RL contributes most (more as DRAM shrinks); page sorting adds >10% on PR and XSBench",
+		Run: func(o Options) []textplot.Table {
+			names := o.appNames()
+			ratios := []harness.Ratio{{Fast: 1, Slow: 1}, {Fast: 1, Slow: 8}}
+			variants := []struct {
+				label string
+				cfg   core.Config
+			}{
+				{"ArtMem-full", core.Config{}},
+				{"no-RL (heuristic)", core.Config{DisableRL: true}},
+				{"no-sorting", core.Config{DisableSorting: true}},
+				{"base (neither)", core.Config{DisableRL: true, DisableSorting: true}},
+			}
+			var out []textplot.Table
+			for _, ratio := range ratios {
+				t := textplot.Table{
+					Title:  fmt.Sprintf("Runtime at %s, normalized to DRAM-only (lower is better)", ratio),
+					Header: append([]string{"variant"}, names...),
+				}
+				dram := map[string]float64{}
+				for _, n := range names {
+					r := o.runOne(n, policies.NewStatic(), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 0}})
+					dram[n] = float64(r.ExecNs)
+				}
+				for _, v := range variants {
+					cells := []any{v.label}
+					for _, n := range names {
+						pol := o.ArtMemPolicy(v.cfg)
+						r := o.runOne(n, pol, harness.Config{Ratio: ratio})
+						cells = append(cells, normalize(float64(r.ExecNs), dram[n]))
+					}
+					t.AddRow(cells...)
+				}
+				out = append(out, t)
+			}
+			return out
+		},
+	}
+}
+
+// Fig9 reproduces the DRAM-access-ratio comparison between the RL-based
+// and heuristic threshold adjustment on SSSP and CC across ratios.
+func Fig9() Experiment {
+	return Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: DRAM access ratio, RL vs heuristic adjustment (SSSP, CC)",
+		Paper: "RL consistently above heuristic; CC plateaus beyond 1:4 while SSSP climbs gradually",
+		Run: func(o Options) []textplot.Table {
+			var out []textplot.Table
+			for _, wl := range []string{"SSSP", "CC"} {
+				t := textplot.Table{
+					Title:  fmt.Sprintf("%s DRAM access ratio", wl),
+					Header: append([]string{"method"}, ratioHeaders(o.ratios())...),
+				}
+				for _, v := range []struct {
+					label string
+					cfg   core.Config
+				}{
+					{"RL-based", core.Config{}},
+					{"heuristic", core.Config{DisableRL: true}},
+				} {
+					cells := []any{v.label}
+					for _, ratio := range o.ratios() {
+						r := o.runOne(wl, o.ArtMemPolicy(v.cfg), harness.Config{Ratio: ratio})
+						cells = append(cells, r.DRAMRatio)
+					}
+					t.AddRow(cells...)
+				}
+				out = append(out, t)
+			}
+			return out
+		},
+	}
+}
+
+// Fig10 reproduces the DAMON-style access footprints of SSSP and CC:
+// access density per address-space region over time, the data that
+// explains Figure 9's trends (CC's hot set is compact, SSSP's broad).
+func Fig10() Experiment {
+	return Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: access footprints of SSSP and CC (DAMON-style)",
+		Paper: "CC: hot data concentrated in small regions; SSSP: broad hot distribution with small frequency differences",
+		Run: func(o Options) []textplot.Table {
+			const spaceBins, timeBins = 24, 10
+			var out []textplot.Table
+			for _, wl := range []string{"SSSP", "CC"} {
+				spec, err := workloads.ByName(wl)
+				if err != nil {
+					panic(err)
+				}
+				w := spec.New(o.Profile)
+				foot := uint64(w.FootprintBytes())
+				counts := make([][]float64, spaceBins)
+				for i := range counts {
+					counts[i] = make([]float64, timeBins)
+				}
+				var accesses []workloads.Access
+				for {
+					b, ok := w.Next()
+					if !ok {
+						break
+					}
+					accesses = append(accesses, b...)
+				}
+				w.Close()
+				total := int64(len(accesses))
+				for i, a := range accesses {
+					sb := int(a.Addr * spaceBins / foot)
+					tb := int(int64(i) * timeBins / total)
+					if sb >= spaceBins {
+						sb = spaceBins - 1
+					}
+					if tb >= timeBins {
+						tb = timeBins - 1
+					}
+					counts[sb][tb]++
+				}
+				t := textplot.Table{
+					Title:  fmt.Sprintf("%s access heat (rows: address 24ths; cols: run 10ths)", wl),
+					Header: []string{"region", "heat over time", "share"},
+				}
+				for sb := 0; sb < spaceBins; sb++ {
+					rowTot := 0.0
+					for _, c := range counts[sb] {
+						rowTot += c
+					}
+					t.AddRow(fmt.Sprintf("%2d", sb), textplot.Sparkline(counts[sb]),
+						fmt.Sprintf("%.1f%%", 100*rowTot/float64(total)))
+				}
+				out = append(out, t)
+			}
+			return out
+		},
+	}
+}
+
+// Fig11 reproduces the migration-volume comparison on CC and DLRM.
+func Fig11() Experiment {
+	return Experiment{
+		ID:    "fig11",
+		Title: "Figure 11: page migration volume (CC, DLRM)",
+		Paper: "MEMTIS migrates by far the most (capacity-derived threshold); ArtMem and AutoNUMA stay low; DLRM ≪ CC under ArtMem",
+		Run: func(o Options) []textplot.Table {
+			ratio := harness.Ratio{Fast: 1, Slow: 4}
+			t := textplot.Table{
+				Title:  fmt.Sprintf("Pages migrated at %s", ratio),
+				Header: []string{"system", "CC", "DLRM"},
+			}
+			for _, f := range o.AllPolicies() {
+				cc := o.runOne("CC", f.New(), harness.Config{Ratio: ratio})
+				dl := o.runOne("DLRM", f.New(), harness.Config{Ratio: ratio})
+				t.AddRow(f.Name, fmt.Sprintf("%d", cc.Migrations), fmt.Sprintf("%d", dl.Migrations))
+			}
+			return []textplot.Table{t}
+		},
+	}
+}

@@ -1,0 +1,226 @@
+package exp
+
+import (
+	"fmt"
+
+	"artmem/internal/harness"
+	"artmem/internal/memsim"
+	"artmem/internal/policies"
+	"artmem/internal/stats"
+	"artmem/internal/textplot"
+	"artmem/internal/workloads"
+)
+
+// Table2 reproduces the hardware characterization table: the tier
+// latencies and bandwidths the machine model is built from.
+func Table2() Experiment {
+	return Experiment{
+		ID:    "table2",
+		Title: "Table 2: memory tier characteristics",
+		Paper: "fast 92ns / 81 GB/s, slow 323ns / 26 GB/s",
+		Run: func(o Options) []textplot.Table {
+			cfg := memsim.DefaultConfig(1<<30, 1<<29, 2<<20)
+			t := textplot.Table{
+				Title:  "Memory tier model (from paper Table 2)",
+				Header: []string{"tier", "latency (ns)", "read BW (GB/s)", "write BW (GB/s)"},
+			}
+			t.AddRow(cfg.Fast.Name, cfg.Fast.LatencyNs, cfg.Fast.ReadBWGBs, cfg.Fast.WriteBWGBs)
+			t.AddRow(cfg.Slow.Name, cfg.Slow.LatencyNs, cfg.Slow.ReadBWGBs, cfg.Slow.WriteBWGBs)
+			return []textplot.Table{t}
+		},
+	}
+}
+
+// Fig1 reproduces the four constructed access patterns by measuring
+// each pattern's access density across the address space and across
+// time — the data behind the paper's Figure 1 scatter plots.
+func Fig1() Experiment {
+	return Experiment{
+		ID:    "fig1",
+		Title: "Figure 1: four manually-generated access patterns",
+		Paper: "S1 two small intense regions; S2 shifting region; S3 12GB hot region; S4 20GB lukewarm region",
+		Run: func(o Options) []textplot.Table {
+			var out []textplot.Table
+			const spaceBins, timeBins = 16, 8
+			for _, pat := range workloads.Patterns(o.Profile) {
+				w := pat.NewWorkload(o.Profile.Seed)
+				foot := uint64(pat.Footprint)
+				counts := make([][]int, spaceBins)
+				for i := range counts {
+					counts[i] = make([]int, timeBins)
+				}
+				total := pat.TotalAccesses()
+				var i int64
+				for {
+					b, ok := w.Next()
+					if !ok {
+						break
+					}
+					for _, a := range b {
+						sb := int(a.Addr * spaceBins / foot)
+						tb := int(i * timeBins / total)
+						if sb >= spaceBins {
+							sb = spaceBins - 1
+						}
+						if tb >= timeBins {
+							tb = timeBins - 1
+						}
+						counts[sb][tb]++
+						i++
+					}
+				}
+				w.Close()
+				t := textplot.Table{
+					Title:  fmt.Sprintf("%s access density (rows: address space 16ths; cols: run 8ths)", pat.Name),
+					Header: []string{"region", "density over time", "share"},
+				}
+				for sb := 0; sb < spaceBins; sb++ {
+					rowTotal := 0
+					series := make([]float64, timeBins)
+					for tb := 0; tb < timeBins; tb++ {
+						rowTotal += counts[sb][tb]
+						series[tb] = float64(counts[sb][tb])
+					}
+					t.AddRow(
+						fmt.Sprintf("%2d/16", sb),
+						textplot.Sparkline(series),
+						fmt.Sprintf("%.1f%%", 100*float64(rowTotal)/float64(i)),
+					)
+				}
+				out = append(out, t)
+			}
+			return out
+		},
+	}
+}
+
+// Fig2 reproduces the motivation comparison: seven tiering systems plus
+// ArtMem on S1–S4 at a 1:1 ratio, normalized to the static (no
+// migration) configuration, together with each run's DRAM access ratio.
+func Fig2() Experiment {
+	return Experiment{
+		ID:    "fig2",
+		Title: "Figure 2: systems on synthetic patterns (runtime normalized to Static; lower is better)",
+		Paper: "each system wins some patterns and loses others (Observation 1); DRAM ratio tracks performance",
+		Run: func(o Options) []textplot.Table {
+			patterns := []string{"S1", "S2", "S3", "S4"}
+			perf := textplot.Table{
+				Title:  "Normalized runtime (Static = 1.0)",
+				Header: append([]string{"system"}, patterns...),
+			}
+			ratio := textplot.Table{
+				Title:  "DRAM access ratio",
+				Header: append([]string{"system"}, patterns...),
+			}
+			static := map[string]float64{}
+			for _, pat := range patterns {
+				r := o.runOne(pat, policies.NewStatic(), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 1}})
+				static[pat] = float64(r.ExecNs)
+			}
+			row := func(name string, mk func() policies.Policy) {
+				perfCells := []any{name}
+				ratioCells := []any{name}
+				for _, pat := range patterns {
+					r := o.runOne(pat, mk(), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 1}})
+					perfCells = append(perfCells, normalize(float64(r.ExecNs), static[pat]))
+					ratioCells = append(ratioCells, r.DRAMRatio)
+				}
+				perf.AddRow(perfCells...)
+				ratio.AddRow(ratioCells...)
+			}
+			for _, f := range o.AllPolicies() {
+				row(f.Name, f.New)
+			}
+			return []textplot.Table{perf, ratio}
+		},
+	}
+}
+
+// Fig3 reproduces the performance ↔ DRAM-access-ratio correlation: each
+// point is one workload run under a system; the paper reports Pearson
+// coefficients of 0.89, 0.81 and 0.87 for its three systems.
+func Fig3() Experiment {
+	return Experiment{
+		ID:    "fig3",
+		Title: "Figure 3: correlation between performance and DRAM access ratio",
+		Paper: "strong positive correlation (Pearson ≈ 0.8-0.9) for every system",
+		Run: func(o Options) []textplot.Table {
+			systems := []string{"MEMTIS", "AutoTiering", "TPP"}
+			names := append([]string{"S1", "S2", "S3", "S4"}, o.appNames()...)
+			if o.Quick {
+				names = []string{"S1", "S2", "S3", "S4"}
+			}
+			t := textplot.Table{
+				Title:  "Pearson correlation of normalized performance vs DRAM access ratio",
+				Header: []string{"system", "pearson r", "points"},
+				Note:   "performance normalized to a DRAM-only run of the same workload",
+			}
+			// DRAM-only reference per workload.
+			dramOnly := map[string]float64{}
+			for _, n := range names {
+				r := o.runOne(n, policies.NewStatic(), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 0}})
+				dramOnly[n] = float64(r.ExecNs)
+			}
+			for _, sys := range systems {
+				f, err := policies.ByName(sys)
+				if err != nil {
+					panic(err)
+				}
+				var xs, ys []float64
+				for _, n := range names {
+					for _, ratio := range []harness.Ratio{{Fast: 1, Slow: 1}, {Fast: 1, Slow: 4}} {
+						r := o.runOne(n, f.New(), harness.Config{Ratio: ratio})
+						xs = append(xs, r.DRAMRatio)
+						// Higher = better performance (DRAM-only = 1).
+						ys = append(ys, normalize(dramOnly[n], float64(r.ExecNs)))
+					}
+				}
+				t.AddRow(sys, stats.Pearson(xs, ys), len(xs))
+			}
+			return []textplot.Table{t}
+		},
+	}
+}
+
+// Fig4 reproduces the manual-threshold-tuning study: MEMTIS with its
+// default capacity-derived threshold versus a manually tuned one, on
+// Liblinear and XSBench — migration volume and normalized runtime.
+func Fig4() Experiment {
+	return Experiment{
+		ID:    "fig4",
+		Title: "Figure 4: MEMTIS default vs manually tuned hotness threshold",
+		Paper: "tuning cuts Liblinear migrations sharply; performance improves ~47% (Liblinear) and ~42% (XSBench)",
+		Run: func(o Options) []textplot.Table {
+			names := []string{"Liblinear", "XSBench"}
+			ratio := harness.Ratio{Fast: 1, Slow: 4}
+			mig := textplot.Table{
+				Title:  "Migration volume (MB migrated)",
+				Header: []string{"workload", "default", "tuned"},
+			}
+			perf := textplot.Table{
+				Title:  "Runtime normalized to default threshold (lower is better)",
+				Header: []string{"workload", "default", "tuned", "tuned threshold"},
+			}
+			for _, n := range names {
+				def := o.runOne(n, policies.NewMEMTIS(policies.MEMTISConfig{}),
+					harness.Config{Ratio: ratio})
+				// Manual tuning: sweep a few fixed thresholds, keep the best
+				// runtime (the paper's "manually reducing the hotness bins").
+				best := def
+				bestThr := uint32(0)
+				for _, thr := range []uint32{4, 8, 16, 32} {
+					r := o.runOne(n, policies.NewMEMTIS(policies.MEMTISConfig{
+						ThresholdOverride: thr}), harness.Config{Ratio: ratio})
+					if r.ExecNs < best.ExecNs {
+						best, bestThr = r, thr
+					}
+				}
+				mig.AddRow(n, float64(def.MigratedBytes)/(1<<20),
+					float64(best.MigratedBytes)/(1<<20))
+				perf.AddRow(n, 1.0, normalize(float64(best.ExecNs), float64(def.ExecNs)),
+					fmt.Sprintf("%d", bestThr))
+			}
+			return []textplot.Table{mig, perf}
+		},
+	}
+}

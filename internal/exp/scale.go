@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"fmt"
+
+	"artmem/internal/core"
+	"artmem/internal/harness"
+	"artmem/internal/policies"
+	"artmem/internal/textplot"
+	"artmem/internal/workloads"
+)
+
+// Fig16a reproduces the memory-size scalability study: CC's footprint
+// grows from 69GB to 290GB (scaled) with the fast tier fixed at 54GB
+// (scaled).
+func Fig16a() Experiment {
+	return Experiment{
+		ID:    "fig16a",
+		Title: "Figure 16a: scalability with memory footprint (CC, fixed 54GB fast tier)",
+		Paper: "ArtMem's advantage persists (≥6% improvement) as the footprint grows",
+		Run: func(o Options) []textplot.Table {
+			paperGBs := []float64{69, 137, 200, 290}
+			if o.Quick {
+				paperGBs = []float64{69, 200}
+			}
+			fastBytes := o.Profile.Bytes(54)
+			t := textplot.Table{
+				Title:  "Runtime normalized to AutoNUMA at each size (lower is better)",
+				Header: []string{"footprint (paper GB)", "AutoNUMA", "MEMTIS", "ArtMem"},
+			}
+			for _, gb := range paperGBs {
+				// Rebuild CC at the requested footprint by scaling the
+				// profile's divisor inversely (bigger graph, same budget).
+				prof := o.Profile
+				prof.Div = int64(float64(o.Profile.Div) * 69 / gb)
+				if prof.Div < 1 {
+					prof.Div = 1
+				}
+				runCC := func(pol policies.Policy) harness.Result {
+					spec, _ := workloads.ByName("CC")
+					w := spec.New(prof)
+					foot := w.FootprintBytes()
+					slow := foot - fastBytes
+					if slow < 0 {
+						slow = 0
+					}
+					return harness.Run(w, pol, harness.Config{
+						PageSize: o.Profile.PageSize(),
+						// Fixed fast tier expressed as an exact byte split.
+						Ratio: harness.Ratio{Fast: int(fastBytes >> 12), Slow: int(slow >> 12)},
+					})
+				}
+				an := runCC(mustPolicy("AutoNUMA"))
+				me := runCC(mustPolicy("MEMTIS"))
+				am := runCC(o.ArtMemPolicy(core.Config{}))
+				t.AddRow(textplot.FormatFloat(gb),
+					1.0,
+					normalize(float64(me.ExecNs), float64(an.ExecNs)),
+					normalize(float64(am.ExecNs), float64(an.ExecNs)))
+			}
+			return []textplot.Table{t}
+		},
+	}
+}
+
+// Fig16b reproduces the relative-latency sensitivity study: the slow
+// tier is modeled as remote-socket DRAM (152ns), local PM (323ns), and
+// remote PM (431ns), running SSSP with a fixed fast tier.
+func Fig16b() Experiment {
+	return Experiment{
+		ID:    "fig16b",
+		Title: "Figure 16b: sensitivity to slow-tier latency (SSSP)",
+		Paper: "the performance gap between systems widens as the latency gap grows; ArtMem stays best",
+		Run: func(o Options) []textplot.Table {
+			latencies := []struct {
+				name string
+				ns   float64
+				bw   float64
+			}{
+				{"remote DRAM (152ns)", 152, 60},
+				{"local PM (323ns)", 323, 26},
+				{"remote PM (431ns)", 431, 20},
+			}
+			systems := []string{"AutoNUMA", "TPP", "MEMTIS"}
+			t := textplot.Table{
+				Title:  "Runtime normalized to AutoNUMA at 152ns (lower is better)",
+				Header: append([]string{"slow tier"}, append(systems, "ArtMem")...),
+			}
+			ratio := harness.Ratio{Fast: 1, Slow: 1}
+			var base float64
+			for i, lat := range latencies {
+				cells := []any{lat.name}
+				for _, sys := range systems {
+					r := o.runOne("SSSP", mustPolicy(sys), harness.Config{
+						Ratio: ratio, SlowLatencyNs: lat.ns, SlowBWGBs: lat.bw})
+					if i == 0 && sys == "AutoNUMA" {
+						base = float64(r.ExecNs)
+					}
+					cells = append(cells, normalize(float64(r.ExecNs), base))
+				}
+				r := o.runOne("SSSP", o.ArtMemPolicy(core.Config{}), harness.Config{
+					Ratio: ratio, SlowLatencyNs: lat.ns, SlowBWGBs: lat.bw})
+				cells = append(cells, normalize(float64(r.ExecNs), base))
+				t.AddRow(cells...)
+			}
+			return []textplot.Table{t}
+		},
+	}
+}
+
+// Fig16c reproduces the mixed-workload study: concurrent combinations
+// of SSSP, XSBench and DLRM.
+func Fig16c() Experiment {
+	return Experiment{
+		ID:    "fig16c",
+		Title: "Figure 16c: adaptability to highly irregular (mixed) workloads",
+		Paper: "ArtMem beats the second-best method by ~11% on average across the mixes",
+		Run: func(o Options) []textplot.Table {
+			mixes := []string{"SSSP+XSBench", "SSSP+DLRM", "XSBench+DLRM", "SSSP+XSBench+DLRM"}
+			if o.Quick {
+				mixes = mixes[:2]
+			}
+			systems := []string{"AutoNUMA", "TPP", "MEMTIS", "Multi-clock"}
+			t := textplot.Table{
+				Title:  "Mixed-workload runtime normalized to AutoNUMA (lower is better)",
+				Header: append([]string{"mix"}, append(systems, "ArtMem")...),
+			}
+			for _, mix := range mixes {
+				ratio := harness.Ratio{Fast: 1, Slow: 2}
+				cells := []any{mix}
+				var base float64
+				for _, sys := range systems {
+					r := o.runOne(mix, mustPolicy(sys), harness.Config{Ratio: ratio})
+					if sys == "AutoNUMA" {
+						base = float64(r.ExecNs)
+					}
+					cells = append(cells, normalize(float64(r.ExecNs), base))
+				}
+				r := o.runOne(mix, o.ArtMemPolicy(core.Config{}), harness.Config{Ratio: ratio})
+				cells = append(cells, normalize(float64(r.ExecNs), base))
+				t.AddRow(cells...)
+			}
+			return []textplot.Table{t}
+		},
+	}
+}
+
+// Fig17 reproduces the behaviour-over-time comparison on the mixed
+// SSSP+XSBench workload: migration operations and DRAM access ratio per
+// time slice for ArtMem versus TPP.
+func Fig17() Experiment {
+	return Experiment{
+		ID:    "fig17",
+		Title: "Figure 17: migrations and DRAM ratio over time (SSSP+XSBench mix)",
+		Paper: "ArtMem explores early then stabilizes (action 0 at 100% ratio); TPP keeps migrating ~17.5x more",
+		Run: func(o Options) []textplot.Table {
+			const bins = 24
+			ratio := harness.Ratio{Fast: 1, Slow: 2}
+			t := textplot.Table{
+				Title:  "Behaviour over time",
+				Header: []string{"system", "metric", "over time", "total/mean"},
+			}
+			for _, mk := range []struct {
+				name string
+				pol  policies.Policy
+			}{
+				{"ArtMem", o.ArtMemPolicy(core.Config{})},
+				{"TPP", mustPolicy("TPP")},
+			} {
+				r := o.runOne("SSSP+XSBench", mk.pol, harness.Config{
+					Ratio: ratio, CollectSeries: true})
+				migs := r.MigrationSeries.Bin(0, r.ExecNs, bins)
+				rat := r.RatioSeries.BinMean(0, r.ExecNs, bins)
+				t.AddRow(mk.name, "migrations", textplot.Sparkline(migs),
+					fmt.Sprintf("%d", r.Migrations))
+				t.AddRow(mk.name, "DRAM ratio", textplot.Sparkline(rat),
+					fmt.Sprintf("%.3f", r.DRAMRatio))
+			}
+			return []textplot.Table{t}
+		},
+	}
+}
+
+// Overheads reproduces the §6.4 overhead accounting: sampling CPU,
+// Q-table computation, and Q-table memory.
+func Overheads() Experiment {
+	return Experiment{
+		ID:    "overheads",
+		Title: "§6.4 Overheads: sampling, RL computation, Q-table memory",
+		Paper: "sampling ≤3% CPU; Q computation ≤0.07% CPU; Q-tables <10KB",
+		Run: func(o Options) []textplot.Table {
+			t := textplot.Table{
+				Title: "ArtMem overheads",
+				Header: []string{"workload", "sampling / exec", "RL compute / exec",
+					"all background / exec", "Q-table bytes"},
+				Note: "'all background' additionally includes LRU aging scans and the overlapped share of migration copies",
+			}
+			for _, n := range []string{"XSBench", "CC"} {
+				pol := o.ArtMemPolicy(core.Config{})
+				r := o.runOne(n, pol, harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 4}})
+				mig, thr := pol.QTables()
+				t.AddRow(n,
+					fmt.Sprintf("%.2f%%", 100*pol.SamplingOverheadNs()/float64(r.ExecNs)),
+					fmt.Sprintf("%.4f%%", 100*pol.RLOverheadNs()/float64(r.ExecNs)),
+					fmt.Sprintf("%.2f%%", 100*r.OverheadFraction()),
+					fmt.Sprintf("%d", mig.MemoryBytes()+thr.MemoryBytes()))
+			}
+			return []textplot.Table{t}
+		},
+	}
+}

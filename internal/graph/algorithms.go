@@ -1,0 +1,151 @@
+package graph
+
+// This file contains the three GAP algorithms the paper evaluates (CC,
+// SSSP, PR), instrumented to report every logical memory reference.
+// Each algorithm walks the CSR arrays sequentially (high spatial
+// locality) while reading and writing per-vertex state indexed by
+// neighbor ID (data-dependent, scattered) — the combination that makes
+// graph analytics interesting for tiered memory (paper §6.2: "the
+// performance of graph processing algorithms largely depends on data
+// locality").
+
+// ConnectedComponents runs label-propagation connected components
+// (the Shiloach-Vishkin flavour used by GAP's cc_sv) over g, reporting
+// every reference through touch. It returns the component label of each
+// vertex and the number of full passes performed.
+func ConnectedComponents(g *Graph, l *Layout, touch Touch) ([]uint32, int) {
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	for v := range labels {
+		labels[v] = uint32(v)
+		touch(l.PropAddr(uint32(v)), true)
+	}
+	passes := 0
+	for changed := true; changed; {
+		changed = false
+		passes++
+		var ei uint64
+		for v := 0; v < n; v++ {
+			touch(l.OffsetAddr(uint32(v)), false)
+			lv := labels[v]
+			touch(l.PropAddr(uint32(v)), false)
+			for _, w := range g.Neighbors(uint32(v)) {
+				touch(l.EdgeAddr(ei), false)
+				ei++
+				touch(l.PropAddr(w), false)
+				lw := labels[w]
+				switch {
+				case lw < lv:
+					lv = lw
+					labels[v] = lv
+					touch(l.PropAddr(uint32(v)), true)
+					changed = true
+				case lv < lw:
+					labels[w] = lv
+					touch(l.PropAddr(w), true)
+					changed = true
+				}
+			}
+		}
+	}
+	return labels, passes
+}
+
+// inf is the SSSP "unreached" distance.
+const inf = ^uint32(0)
+
+// SSSP runs single-source shortest paths from source using frontier-based
+// Bellman-Ford (the data-access skeleton of GAP's delta-stepping: each
+// round scans the CSR rows of the active frontier and relaxes per-vertex
+// distances). It returns the distance array and the number of rounds.
+func SSSP(g *Graph, l *Layout, source uint32, touch Touch) ([]uint32, int) {
+	n := g.NumVertices()
+	distArr := make([]uint32, n)
+	for v := range distArr {
+		distArr[v] = inf
+		touch(l.PropAddr(uint32(v)), true)
+	}
+	distArr[source] = 0
+	touch(l.PropAddr(source), true)
+
+	frontier := []uint32{source}
+	inNext := make([]bool, n)
+	rounds := 0
+	for len(frontier) > 0 {
+		rounds++
+		var next []uint32
+		for _, v := range frontier {
+			touch(l.OffsetAddr(v), false)
+			dv := distArr[v]
+			touch(l.PropAddr(v), false)
+			nbrs := g.Neighbors(v)
+			ws := g.Weights(v)
+			base := l.Base // avoid unused when unweighted
+			_ = base
+			for i, w := range nbrs {
+				touch(l.EdgeAddr(g.offsets[v]+uint64(i)), false)
+				weight := uint32(1)
+				if ws != nil {
+					weight = uint32(ws[i])
+				}
+				nd := dv + weight
+				touch(l.PropAddr(w), false)
+				if nd < distArr[w] {
+					distArr[w] = nd
+					touch(l.PropAddr(w), true)
+					touch(l.Prop2Addr(w), false)
+					if !inNext[w] {
+						inNext[w] = true
+						touch(l.Prop2Addr(w), true)
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		for _, v := range next {
+			inNext[v] = false
+			touch(l.Prop2Addr(v), true)
+		}
+		frontier = next
+	}
+	return distArr, rounds
+}
+
+// PageRank runs iters iterations of synchronous PageRank with damping
+// factor d, reporting every reference. It returns the final ranks.
+func PageRank(g *Graph, l *Layout, iters int, d float64, touch Touch) []float64 {
+	n := g.NumVertices()
+	ranks := make([]float64, n)
+	next := make([]float64, n)
+	initial := 1 / float64(n)
+	for v := range ranks {
+		ranks[v] = initial
+		touch(l.PropAddr(uint32(v)), true)
+	}
+	base := (1 - d) / float64(n)
+	for it := 0; it < iters; it++ {
+		for v := range next {
+			next[v] = base
+			touch(l.Prop2Addr(uint32(v)), true)
+		}
+		var ei uint64
+		for v := 0; v < n; v++ {
+			touch(l.OffsetAddr(uint32(v)), false)
+			deg := g.Degree(uint32(v))
+			if deg == 0 {
+				continue
+			}
+			touch(l.PropAddr(uint32(v)), false)
+			share := d * ranks[v] / float64(deg)
+			for _, w := range g.Neighbors(uint32(v)) {
+				touch(l.EdgeAddr(ei), false)
+				ei++
+				touch(l.Prop2Addr(w), false)
+				next[w] += share
+				touch(l.Prop2Addr(w), true)
+			}
+		}
+		ranks, next = next, ranks
+	}
+	return ranks
+}

@@ -1,0 +1,248 @@
+// Package graph provides the graph-analytics substrate used to reproduce
+// the paper's GAP workloads (CC, SSSP, PageRank — Table 3).
+//
+// A Graph is stored in compressed sparse row (CSR) form, like GAP. The
+// algorithms are real implementations (Shiloach-Vishkin style label
+// propagation for CC, Bellman-Ford with an active frontier for SSSP,
+// iterative PageRank); each one reports every logical memory reference it
+// makes through a Touch callback, mapping its data structures onto a
+// virtual address-space layout. Feeding those touches into the memsim
+// machine yields the same kind of address trace the paper's kernel saw
+// from the real GAP binaries: sequential sweeps over the CSR arrays mixed
+// with data-dependent scattered reads of per-vertex state.
+//
+// Graph generators cover the paper's three input classes: uniform random
+// (Erdős–Rényi, the "Urand" input), power-law (Kronecker-like, standing
+// in for the Twitter graph), and a grid-ish "web" graph with strong
+// locality.
+package graph
+
+import (
+	"fmt"
+
+	"artmem/internal/dist"
+)
+
+// Touch reports one logical memory access at a virtual address.
+type Touch func(addr uint64, write bool)
+
+// Graph is a directed graph in CSR form. Vertex IDs are dense [0, N).
+type Graph struct {
+	// offsets has N+1 entries; the out-neighbors of vertex v are
+	// edges[offsets[v]:offsets[v+1]].
+	offsets []uint64
+	edges   []uint32
+	// weights, when non-nil, parallels edges (for SSSP).
+	weights []uint16
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v uint32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the out-neighbor slice of v. The slice aliases the
+// graph; callers must not modify it.
+func (g *Graph) Neighbors(v uint32) []uint32 {
+	return g.edges[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Weights returns the edge-weight slice of v (nil for unweighted graphs).
+func (g *Graph) Weights(v uint32) []uint16 {
+	if g.weights == nil {
+		return nil
+	}
+	return g.weights[g.offsets[v]:g.offsets[v+1]]
+}
+
+// fromAdjacency builds CSR from an adjacency list, attaching uniform
+// random weights in [1, 64) when weighted is set.
+func fromAdjacency(adj [][]uint32, weighted bool, rng *dist.RNG) *Graph {
+	n := len(adj)
+	g := &Graph{offsets: make([]uint64, n+1)}
+	total := 0
+	for _, a := range adj {
+		total += len(a)
+	}
+	g.edges = make([]uint32, 0, total)
+	if weighted {
+		g.weights = make([]uint16, 0, total)
+	}
+	for v, a := range adj {
+		g.offsets[v] = uint64(len(g.edges))
+		g.edges = append(g.edges, a...)
+		if weighted {
+			for range a {
+				g.weights = append(g.weights, uint16(1+rng.Intn(63)))
+			}
+		}
+		_ = v
+	}
+	g.offsets[n] = uint64(len(g.edges))
+	return g
+}
+
+// GenUniform generates an Erdős–Rényi style random graph with n vertices
+// and approximately m directed edges — the GAP "Urand" input class, which
+// has essentially no locality and a flat degree distribution.
+func GenUniform(rng *dist.RNG, n, m int, weighted bool) *Graph {
+	if n <= 0 || m < 0 {
+		panic(fmt.Sprintf("graph: invalid size n=%d m=%d", n, m))
+	}
+	adj := make([][]uint32, n)
+	per := m / n
+	for v := range adj {
+		d := per
+		// Spread the remainder.
+		if v < m%n {
+			d++
+		}
+		a := make([]uint32, d)
+		for i := range a {
+			a[i] = uint32(rng.Intn(n))
+		}
+		adj[v] = a
+	}
+	return fromAdjacency(adj, weighted, rng)
+}
+
+// GenPowerLaw generates a graph with a Zipfian in-degree distribution —
+// the class the Twitter social graph belongs to. A few celebrity vertices
+// receive a large share of the edges, producing a small, very hot region
+// of per-vertex state.
+func GenPowerLaw(rng *dist.RNG, n, m int, weighted bool) *Graph {
+	if n <= 0 || m < 0 {
+		panic(fmt.Sprintf("graph: invalid size n=%d m=%d", n, m))
+	}
+	z := dist.NewZipf(rng, uint64(n), 0.75)
+	// Scatter the popular endpoints across the ID space deterministically
+	// so "hot vertices" are not all page-adjacent.
+	perm := rng.Perm(n)
+	adj := make([][]uint32, n)
+	per := m / n
+	for v := range adj {
+		d := per
+		if v < m%n {
+			d++
+		}
+		a := make([]uint32, d)
+		for i := range a {
+			a[i] = uint32(perm[z.Next()])
+		}
+		adj[v] = a
+	}
+	return fromAdjacency(adj, weighted, rng)
+}
+
+// GenWeb generates a locality-heavy graph: most edges connect to nearby
+// vertex IDs (as in crawled web graphs, where lexicographic URL ordering
+// makes links local). This is the "Web" input class.
+func GenWeb(rng *dist.RNG, n, m int, weighted bool) *Graph {
+	if n <= 0 || m < 0 {
+		panic(fmt.Sprintf("graph: invalid size n=%d m=%d", n, m))
+	}
+	adj := make([][]uint32, n)
+	per := m / n
+	for v := range adj {
+		d := per
+		if v < m%n {
+			d++
+		}
+		a := make([]uint32, d)
+		for i := range a {
+			if rng.Float64() < 0.85 {
+				// Local edge within a ±4096 window.
+				delta := rng.Intn(8192) - 4096
+				t := v + delta
+				if t < 0 {
+					t += n
+				}
+				a[i] = uint32(t % n)
+			} else {
+				a[i] = uint32(rng.Intn(n))
+			}
+		}
+		adj[v] = a
+	}
+	return fromAdjacency(adj, weighted, rng)
+}
+
+// Layout maps the graph's data structures and per-vertex algorithm state
+// onto a virtual address space, so algorithm touches become addresses.
+// Strides are virtual bytes per element; they let a modest in-memory
+// graph stand in for the paper's tens-of-GB inputs while preserving the
+// shape of the page-level access pattern (see DESIGN.md).
+type Layout struct {
+	// Base is the first virtual address of the graph region.
+	Base uint64
+	// OffsetsStride, EdgesStride, PropStride are virtual bytes per
+	// offsets entry, per edge entry, and per vertex-property entry.
+	OffsetsStride uint64
+	EdgesStride   uint64
+	PropStride    uint64
+
+	offsetsBase uint64
+	edgesBase   uint64
+	propBase    uint64
+	prop2Base   uint64
+	end         uint64
+}
+
+// NewLayout lays out graph g starting at base with the given strides
+// (zero strides default to 8/8/8).
+func NewLayout(g *Graph, base uint64, offStride, edgeStride, propStride uint64) *Layout {
+	if offStride == 0 {
+		offStride = 8
+	}
+	if edgeStride == 0 {
+		edgeStride = 8
+	}
+	if propStride == 0 {
+		propStride = 8
+	}
+	l := &Layout{
+		Base:          base,
+		OffsetsStride: offStride,
+		EdgesStride:   edgeStride,
+		PropStride:    propStride,
+	}
+	n := uint64(g.NumVertices())
+	m := uint64(g.NumEdges())
+	l.offsetsBase = base
+	l.edgesBase = l.offsetsBase + (n+1)*offStride
+	l.propBase = l.edgesBase + m*edgeStride
+	l.prop2Base = l.propBase + n*propStride
+	l.end = l.prop2Base + n*propStride
+	return l
+}
+
+// Footprint returns the number of virtual bytes the layout spans.
+func (l *Layout) Footprint() int64 { return int64(l.end - l.Base) }
+
+// OffsetAddr returns the virtual address of offsets[v].
+func (l *Layout) OffsetAddr(v uint32) uint64 {
+	return l.offsetsBase + uint64(v)*l.OffsetsStride
+}
+
+// EdgeAddr returns the virtual address of edges[i].
+func (l *Layout) EdgeAddr(i uint64) uint64 {
+	return l.edgesBase + i*l.EdgesStride
+}
+
+// PropAddr returns the virtual address of the primary per-vertex
+// property of v (labels for CC, distances for SSSP, ranks for PR).
+func (l *Layout) PropAddr(v uint32) uint64 {
+	return l.propBase + uint64(v)*l.PropStride
+}
+
+// Prop2Addr returns the virtual address of the secondary per-vertex
+// property (next-iteration ranks for PR, frontier flags for SSSP).
+func (l *Layout) Prop2Addr(v uint32) uint64 {
+	return l.prop2Base + uint64(v)*l.PropStride
+}

@@ -1,0 +1,303 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"artmem/internal/dist"
+)
+
+func countingTouch() (Touch, *int) {
+	n := new(int)
+	return func(uint64, bool) { *n++ }, n
+}
+
+func TestGenUniformShape(t *testing.T) {
+	g := GenUniform(dist.NewRNG(1), 100, 1000, false)
+	if g.NumVertices() != 100 {
+		t.Errorf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 1000 {
+		t.Errorf("edges = %d, want 1000", g.NumEdges())
+	}
+	// All targets must be valid vertex IDs.
+	for v := uint32(0); v < 100; v++ {
+		for _, w := range g.Neighbors(v) {
+			if w >= 100 {
+				t.Fatalf("edge %d→%d out of range", v, w)
+			}
+		}
+	}
+	if g.Weights(0) != nil {
+		t.Error("unweighted graph has weights")
+	}
+}
+
+func TestGenWeighted(t *testing.T) {
+	g := GenUniform(dist.NewRNG(1), 50, 500, true)
+	total := 0
+	for v := uint32(0); v < 50; v++ {
+		ws := g.Weights(v)
+		if len(ws) != g.Degree(v) {
+			t.Fatalf("weights len %d != degree %d", len(ws), g.Degree(v))
+		}
+		for _, w := range ws {
+			if w < 1 || w >= 64 {
+				t.Fatalf("weight %d out of [1,64)", w)
+			}
+		}
+		total += len(ws)
+	}
+	if total != 500 {
+		t.Errorf("total weights %d", total)
+	}
+}
+
+func TestGenPowerLawSkew(t *testing.T) {
+	g := GenPowerLaw(dist.NewRNG(2), 1000, 20000, false)
+	indeg := make([]int, 1000)
+	for v := uint32(0); v < 1000; v++ {
+		for _, w := range g.Neighbors(v) {
+			indeg[w]++
+		}
+	}
+	maxDeg, sum := 0, 0
+	for _, d := range indeg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		sum += d
+	}
+	mean := sum / 1000
+	if maxDeg < mean*5 {
+		t.Errorf("max in-degree %d not ≫ mean %d; degree distribution not skewed",
+			maxDeg, mean)
+	}
+}
+
+func TestGenWebLocality(t *testing.T) {
+	g := GenWeb(dist.NewRNG(3), 100000, 200000, false)
+	local, total := 0, 0
+	for v := uint32(0); v < 100000; v++ {
+		for _, w := range g.Neighbors(v) {
+			d := int(v) - int(w)
+			if d < 0 {
+				d = -d
+			}
+			if d <= 4096 || d >= 100000-4096 {
+				local++
+			}
+			total++
+		}
+	}
+	if frac := float64(local) / float64(total); frac < 0.7 {
+		t.Errorf("local edge fraction = %g, want high locality", frac)
+	}
+}
+
+func TestGeneratorsPanicOnBadSize(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"uniform":  func() { GenUniform(dist.NewRNG(1), 0, 10, false) },
+		"powerlaw": func() { GenPowerLaw(dist.NewRNG(1), 10, -1, false) },
+		"web":      func() { GenWeb(dist.NewRNG(1), -1, 10, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLayoutDisjointRegions(t *testing.T) {
+	g := GenUniform(dist.NewRNG(1), 100, 500, false)
+	l := NewLayout(g, 4096, 8, 8, 16)
+	// offsets end where edges begin, etc.
+	if l.OffsetAddr(100)+8 != l.EdgeAddr(0) {
+		t.Errorf("offsets/edges regions overlap or gap: %d vs %d",
+			l.OffsetAddr(100)+8, l.EdgeAddr(0))
+	}
+	if l.EdgeAddr(499)+8 != l.PropAddr(0) {
+		t.Errorf("edges/prop boundary wrong")
+	}
+	if l.PropAddr(99)+16 != l.Prop2Addr(0) {
+		t.Errorf("prop/prop2 boundary wrong")
+	}
+	wantFoot := int64((100+1)*8 + 500*8 + 100*16*2)
+	if l.Footprint() != wantFoot {
+		t.Errorf("Footprint = %d, want %d", l.Footprint(), wantFoot)
+	}
+}
+
+func TestLayoutDefaultStrides(t *testing.T) {
+	g := GenUniform(dist.NewRNG(1), 10, 10, false)
+	l := NewLayout(g, 0, 0, 0, 0)
+	if l.OffsetsStride != 8 || l.EdgesStride != 8 || l.PropStride != 8 {
+		t.Errorf("default strides = %d/%d/%d", l.OffsetsStride, l.EdgesStride, l.PropStride)
+	}
+}
+
+// A small graph with two components: {0,1,2} in a triangle, {3,4} an edge.
+func twoComponentGraph() *Graph {
+	adj := [][]uint32{
+		{1, 2}, {0, 2}, {0, 1}, {4}, {3},
+	}
+	return fromAdjacency(adj, false, dist.NewRNG(1))
+}
+
+func TestConnectedComponentsCorrect(t *testing.T) {
+	g := twoComponentGraph()
+	l := NewLayout(g, 0, 8, 8, 8)
+	touch, n := countingTouch()
+	labels, passes := ConnectedComponents(g, l, touch)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("triangle labels differ: %v", labels[:3])
+	}
+	if labels[3] != labels[4] {
+		t.Errorf("edge labels differ: %v", labels[3:])
+	}
+	if labels[0] == labels[3] {
+		t.Errorf("distinct components share a label: %v", labels)
+	}
+	if passes < 1 {
+		t.Errorf("passes = %d", passes)
+	}
+	if *n == 0 {
+		t.Error("CC produced no touches")
+	}
+}
+
+func TestCCOnRandomGraphSingleLabelPerComponent(t *testing.T) {
+	g := GenUniform(dist.NewRNG(4), 200, 3000, false)
+	l := NewLayout(g, 0, 8, 8, 8)
+	labels, _ := ConnectedComponents(g, l, func(uint64, bool) {})
+	// Verify the CC invariant: every edge connects same-label vertices.
+	for v := uint32(0); v < 200; v++ {
+		for _, w := range g.Neighbors(v) {
+			if labels[v] != labels[w] {
+				t.Fatalf("edge %d→%d crosses labels %d/%d", v, w, labels[v], labels[w])
+			}
+		}
+	}
+}
+
+func TestSSSPCorrectOnKnownGraph(t *testing.T) {
+	// 0 →(1) 1 →(1) 2, and 0 →(4) 2 directly: shortest 0→2 is 2.
+	adj := [][]uint32{{1, 2}, {2}, {}}
+	g := fromAdjacency(adj, false, dist.NewRNG(1))
+	g.weights = []uint16{1, 4, 1}
+	l := NewLayout(g, 0, 8, 8, 8)
+	d, rounds := SSSP(g, l, 0, func(uint64, bool) {})
+	if d[0] != 0 || d[1] != 1 || d[2] != 2 {
+		t.Errorf("distances = %v, want [0 1 2]", d)
+	}
+	if rounds < 1 {
+		t.Errorf("rounds = %d", rounds)
+	}
+}
+
+func TestSSSPUnweightedIsBFS(t *testing.T) {
+	adj := [][]uint32{{1}, {2}, {3}, {}}
+	g := fromAdjacency(adj, false, dist.NewRNG(1))
+	l := NewLayout(g, 0, 8, 8, 8)
+	d, _ := SSSP(g, l, 0, func(uint64, bool) {})
+	for i, want := range []uint32{0, 1, 2, 3} {
+		if d[i] != want {
+			t.Errorf("d[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	adj := [][]uint32{{}, {}}
+	g := fromAdjacency(adj, false, dist.NewRNG(1))
+	l := NewLayout(g, 0, 8, 8, 8)
+	d, _ := SSSP(g, l, 0, func(uint64, bool) {})
+	if d[1] != inf {
+		t.Errorf("unreachable vertex distance = %d, want inf", d[1])
+	}
+}
+
+func TestPageRankConservesMass(t *testing.T) {
+	g := GenUniform(dist.NewRNG(5), 100, 1000, false)
+	l := NewLayout(g, 0, 8, 8, 8)
+	ranks := PageRank(g, l, 5, 0.85, func(uint64, bool) {})
+	sum := 0.0
+	for _, r := range ranks {
+		if r < 0 {
+			t.Fatalf("negative rank %g", r)
+		}
+		sum += r
+	}
+	// With no dangling-mass redistribution, total mass stays ≤ 1 and
+	// positive; for a degree-regular random graph it should stay near 1.
+	if sum < 0.5 || sum > 1.01 {
+		t.Errorf("rank mass = %g, want ≈ 1", sum)
+	}
+}
+
+func TestPageRankHubGetsHighRank(t *testing.T) {
+	// Star: all vertices point to 0.
+	adj := make([][]uint32, 50)
+	for v := 1; v < 50; v++ {
+		adj[v] = []uint32{0}
+	}
+	adj[0] = []uint32{1}
+	g := fromAdjacency(adj, false, dist.NewRNG(1))
+	l := NewLayout(g, 0, 8, 8, 8)
+	ranks := PageRank(g, l, 10, 0.85, func(uint64, bool) {})
+	// Vertex 1 receives all of the hub's rank, so compare against the
+	// ordinary leaves only.
+	for v := 2; v < 50; v++ {
+		if ranks[0] <= ranks[v] {
+			t.Fatalf("hub rank %g not above leaf %d rank %g", ranks[0], v, ranks[v])
+		}
+	}
+}
+
+func TestAlgorithmTouchesStayInLayout(t *testing.T) {
+	g := GenPowerLaw(dist.NewRNG(6), 300, 4000, true)
+	l := NewLayout(g, 1<<20, 8, 8, 8)
+	lo, hi := uint64(1<<20), uint64(1<<20)+uint64(l.Footprint())
+	check := func(addr uint64, _ bool) {
+		if addr < lo || addr >= hi {
+			t.Fatalf("touch at %#x outside layout [%#x, %#x)", addr, lo, hi)
+		}
+	}
+	ConnectedComponents(g, l, check)
+	SSSP(g, l, 0, check)
+	PageRank(g, l, 2, 0.85, check)
+}
+
+// Property: CC labels are the same regardless of the trace callback, and
+// are idempotent (running twice gives identical labels).
+func TestCCDeterministicProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := GenUniform(dist.NewRNG(seed), 64, 256, false)
+		l := NewLayout(g, 0, 8, 8, 8)
+		a, _ := ConnectedComponents(g, l, func(uint64, bool) {})
+		b, _ := ConnectedComponents(g, l, func(uint64, bool) {})
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPageRankTrace(b *testing.B) {
+	g := GenUniform(dist.NewRNG(1), 10000, 160000, false)
+	l := NewLayout(g, 0, 8, 8, 8)
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRank(g, l, 1, 0.85, func(uint64, bool) { sink++ })
+	}
+}

@@ -1,0 +1,194 @@
+// Package harness drives complete simulations: it sizes a machine from a
+// workload's footprint and a DRAM:PM ratio, attaches a tiering policy,
+// replays the workload's access trace, and fires the policy's periodic
+// tick on the virtual clock. The Result captures everything the paper's
+// evaluation reports: simulated execution time, DRAM access ratio,
+// migration counts and volume, fault counts, background CPU overhead,
+// and (optionally) migration/ratio time series for the
+// behaviour-over-time figures (12, 17).
+package harness
+
+import (
+	"fmt"
+
+	"artmem/internal/memsim"
+	"artmem/internal/policies"
+	"artmem/internal/stats"
+	"artmem/internal/workloads"
+)
+
+// Ratio is a DRAM:PM capacity ratio, e.g. {1, 4} for 1:4. The paper
+// splits each workload's footprint across the tiers in this proportion
+// (§6.1: "we set the memory ratios to 2:1, 1:1, 1:2, 1:4, 1:8, 1:16").
+type Ratio struct {
+	Fast int
+	Slow int
+}
+
+// String formats the ratio as "1:4".
+func (r Ratio) String() string { return fmt.Sprintf("%d:%d", r.Fast, r.Slow) }
+
+// FastBytes returns the fast-tier size for a footprint split at this
+// ratio.
+func (r Ratio) FastBytes(footprint int64) int64 {
+	return footprint * int64(r.Fast) / int64(r.Fast+r.Slow)
+}
+
+// PaperRatios are the six configurations of Figure 7.
+var PaperRatios = []Ratio{{Fast: 2, Slow: 1}, {Fast: 1, Slow: 1}, {Fast: 1, Slow: 2}, {Fast: 1, Slow: 4}, {Fast: 1, Slow: 8}, {Fast: 1, Slow: 16}}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// PageSize is the migration granularity; 0 uses the profile default
+	// from the workload scale (the caller passes it explicitly).
+	PageSize int64
+	// Ratio splits the footprint between the tiers.
+	Ratio Ratio
+	// SlowLatencyNs, when non-zero, overrides the slow tier's latency
+	// (the relative-latency sensitivity study, Figure 16b).
+	SlowLatencyNs float64
+	// SlowBWGBs, when non-zero, overrides the slow tier's bandwidth.
+	SlowBWGBs float64
+	// CacheLines overrides the CPU cache model size; 0 keeps the
+	// default, negative disables the cache.
+	CacheLines int
+	// FastHeadroom reserves extra fast-tier pages beyond the ratio split
+	// (some experiments give the fast tier slack); expressed in pages.
+	FastHeadroom int
+	// CollectSeries enables migration/ratio time-series capture.
+	CollectSeries bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Workload string
+	Policy   string
+	Ratio    Ratio
+
+	// ExecNs is the simulated application execution time — the paper's
+	// headline metric.
+	ExecNs int64
+	// Accesses is the number of trace accesses replayed; Misses the
+	// subset that reached memory (did not hit the CPU cache).
+	Accesses int64
+	Misses   uint64
+	// DRAMRatio is the exact fast-tier share of memory accesses (the
+	// "perf"-measured ratio of §3.2).
+	DRAMRatio float64
+	// Migration activity.
+	Migrations    uint64
+	Promotions    uint64
+	Demotions     uint64
+	MigratedBytes uint64
+	// Faults counts NUMA-hint faults taken (fault-driven policies).
+	Faults uint64
+	// BackgroundNs is virtual CPU time spent off the critical path
+	// (sampling, scanning, RL computation, overlapped migration copy).
+	BackgroundNs float64
+	// Ticks is the number of policy periods that fired.
+	Ticks int
+
+	// MigrationSeries (pages migrated per tick) and RatioSeries
+	// (windowed DRAM access ratio per tick), when collected.
+	MigrationSeries stats.Series
+	RatioSeries     stats.Series
+}
+
+// BandwidthGBps returns the achieved memory bandwidth implied by the
+// run: 64 bytes per miss over the execution time.
+func (r Result) BandwidthGBps() float64 {
+	if r.ExecNs == 0 {
+		return 0
+	}
+	return float64(r.Misses) * 64 / float64(r.ExecNs)
+}
+
+// OverheadFraction returns background CPU time relative to execution
+// time (the §6.4 overhead metric).
+func (r Result) OverheadFraction() float64 {
+	if r.ExecNs == 0 {
+		return 0
+	}
+	return r.BackgroundNs / float64(r.ExecNs)
+}
+
+// Run replays workload w under policy pol and returns the Result. It
+// closes the workload before returning.
+func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
+	defer w.Close()
+	foot := w.FootprintBytes()
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 2 << 20
+	}
+	if cfg.Ratio.Fast == 0 && cfg.Ratio.Slow == 0 {
+		cfg.Ratio = Ratio{1, 1}
+	}
+	fastBytes := cfg.Ratio.FastBytes(foot)
+	mcfg := memsim.DefaultConfig(foot, fastBytes, cfg.PageSize)
+	mcfg.Fast.CapacityPages += cfg.FastHeadroom
+	if mcfg.Fast.CapacityPages < 1 {
+		mcfg.Fast.CapacityPages = 1
+	}
+	if cfg.SlowLatencyNs > 0 {
+		mcfg.Slow.LatencyNs = cfg.SlowLatencyNs
+	}
+	if cfg.SlowBWGBs > 0 {
+		mcfg.Slow.ReadBWGBs = cfg.SlowBWGBs
+		mcfg.Slow.WriteBWGBs = cfg.SlowBWGBs / 3
+	}
+	if cfg.CacheLines > 0 {
+		mcfg.CacheLines = cfg.CacheLines
+	} else if cfg.CacheLines < 0 {
+		mcfg.CacheLines = 0
+	}
+	m := memsim.NewMachine(mcfg)
+	pol.Attach(m)
+
+	interval := pol.Interval()
+	if interval <= 0 {
+		interval = policies.DefaultTickInterval
+	}
+	res := Result{Workload: w.Name(), Policy: pol.Name(), Ratio: cfg.Ratio}
+	nextTick := interval
+	var prevMig uint64
+	var prevFast, prevSlow uint64
+
+	for {
+		batch, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, acc := range batch {
+			m.Access(acc.Addr, acc.Write)
+			if m.Now() >= nextTick {
+				pol.Tick(m.Now())
+				res.Ticks++
+				nextTick = m.Now() + interval
+				if cfg.CollectSeries {
+					c := m.Counters()
+					res.MigrationSeries.Append(m.Now(), float64(c.Migrations-prevMig))
+					prevMig = c.Migrations
+					df := c.FastAccesses - prevFast
+					ds := c.SlowAccesses - prevSlow
+					prevFast, prevSlow = c.FastAccesses, c.SlowAccesses
+					if df+ds > 0 {
+						res.RatioSeries.Append(m.Now(), float64(df)/float64(df+ds))
+					}
+				}
+			}
+		}
+		res.Accesses += int64(len(batch))
+	}
+
+	c := m.Counters()
+	res.ExecNs = m.Now()
+	res.Misses = c.FastAccesses + c.SlowAccesses
+	res.DRAMRatio = c.DRAMRatio()
+	res.Migrations = c.Migrations
+	res.Promotions = c.Promotions
+	res.Demotions = c.Demotions
+	res.MigratedBytes = c.MigratedBytes
+	res.Faults = c.Faults
+	res.BackgroundNs = m.BackgroundNs()
+	return res
+}

@@ -1,0 +1,59 @@
+package memsim
+
+// cacheModel approximates a CPU last-level cache with a direct-mapped tag
+// array over 64-byte lines. An access hits when the line's tag is still
+// resident at its slot; conflicting lines evict each other, which makes
+// the model behave like a cache of roughly `lines` lines under typical
+// mixing of addresses.
+//
+// The model exists so that accesses with high temporal locality are
+// absorbed before they reach memory, exactly as on real hardware — PEBS
+// only samples memory loads, and ArtMem's state machine has a dedicated
+// state for "no events sampled (most accesses hit in the CPU cache)"
+// (paper §4.2). It deliberately stays cheap: one array read and write per
+// access.
+type cacheModel struct {
+	tags []uint64
+	mask uint64
+}
+
+// init sizes the tag array to the next power of two ≥ lines.
+func (c *cacheModel) init(lines int) {
+	sz := 1
+	for sz < lines {
+		sz <<= 1
+	}
+	c.tags = make([]uint64, sz)
+	c.mask = uint64(sz - 1)
+	for i := range c.tags {
+		c.tags[i] = ^uint64(0) // invalid tag: never matches a real line
+	}
+}
+
+// lookup returns true on a cache hit for the given line address and
+// installs the line on a miss.
+func (c *cacheModel) lookup(line uint64) bool {
+	if c.tags == nil {
+		return false
+	}
+	// Mix the bits so pages do not all map to the same region of the tag
+	// array (line addresses are strongly structured).
+	h := line * 0x9e3779b97f4a7c15
+	slot := h & c.mask
+	if c.tags[slot] == line {
+		return true
+	}
+	c.tags[slot] = line
+	return false
+}
+
+// flush invalidates the whole cache. Used by tests and by workload phase
+// changes that model context switches.
+func (c *cacheModel) flush() {
+	for i := range c.tags {
+		c.tags[i] = ^uint64(0)
+	}
+}
+
+// FlushCache invalidates the machine's CPU cache model.
+func (m *Machine) FlushCache() { m.cache.flush() }

@@ -1,0 +1,383 @@
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sampler receives a callback for every cache-missing memory access. The
+// PEBS model in internal/pebs implements it; the sampler itself decides
+// which events to record (sampling period, buffer space).
+type Sampler interface {
+	OnMiss(page PageID, tier TierID, write bool, now int64)
+}
+
+// FaultHandler receives NUMA-hint faults: the first access to a page that
+// has been armed with PoisonPage/PoisonRange fires a fault, after which
+// the page is disarmed until re-poisoned. Fault-driven policies
+// (AutoNUMA, TPP, AutoTiering, Tiering-0.8) implement this.
+type FaultHandler interface {
+	OnFault(page PageID, tier TierID, write bool, now int64)
+}
+
+// Counters aggregates the machine's observable activity. Access counters
+// count cache-missing memory accesses (the events a real PMU would see).
+type Counters struct {
+	// FastAccesses and SlowAccesses count cache-missing accesses served
+	// by each tier. Their ratio is the ground-truth DRAM access ratio
+	// (the "perf" view in the paper's evaluation).
+	FastAccesses uint64
+	SlowAccesses uint64
+	// CacheHits counts accesses absorbed by the CPU cache model.
+	CacheHits uint64
+	// Migrations counts pages moved between tiers; Promotions (slow→fast)
+	// and Demotions (fast→slow) break it down. MigratedBytes is the total
+	// volume moved.
+	Migrations    uint64
+	Promotions    uint64
+	Demotions     uint64
+	MigratedBytes uint64
+	// Faults counts NUMA-hint faults taken.
+	Faults uint64
+	// Allocations counts first-touch page allocations, split by tier.
+	AllocFast uint64
+	AllocSlow uint64
+}
+
+// DRAMRatio returns the fraction of cache-missing accesses served by the
+// fast tier, in [0,1]; 0 when there were no accesses.
+func (c Counters) DRAMRatio() float64 {
+	tot := c.FastAccesses + c.SlowAccesses
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.FastAccesses) / float64(tot)
+}
+
+// Machine is the simulated two-tier memory system. It is not safe for
+// concurrent use; the online runtime in internal/core serializes access
+// to it.
+type Machine struct {
+	cfg       Config
+	pageShift uint
+	numPages  int
+
+	clock int64 // virtual time, ns
+
+	// Per-page state, indexed by PageID.
+	tier      []TierID
+	allocated []bool
+	accessed  []bool // page-table accessed ("young") bits
+	dirty     []bool
+	poisoned  []bool // armed for a NUMA-hint fault
+
+	used [NumTiers]int // pages resident per tier
+	cap  [NumTiers]int
+
+	// Cost model, precomputed per tier: latency + 64B transfer.
+	readCostNs  [NumTiers]float64
+	writeCostNs [NumTiers]float64
+	// Migration transfer cost per page between tiers, ns.
+	migCostNs [NumTiers][NumTiers]float64
+
+	cache cacheModel
+
+	sampler Sampler
+	faults  FaultHandler
+	onAlloc func(PageID, TierID)
+
+	ctr Counters
+	// Background (non-application) virtual CPU time consumed by
+	// migrations, in ns. The interference share is already folded into
+	// the clock.
+	backgroundNs float64
+	// fractional ns accumulator so sub-ns costs are not lost.
+	clockFrac float64
+}
+
+// NewMachine builds a Machine from cfg. It panics on an invalid
+// configuration (configs are built by the harness; an invalid one is a
+// programming error, not an input error).
+func NewMachine(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.NumPagesFor()
+	m := &Machine{
+		cfg:       cfg,
+		numPages:  n,
+		tier:      make([]TierID, n),
+		allocated: make([]bool, n),
+		accessed:  make([]bool, n),
+		dirty:     make([]bool, n),
+		poisoned:  make([]bool, n),
+	}
+	m.pageShift = uint(0)
+	for int64(1)<<m.pageShift < cfg.PageSize {
+		m.pageShift++
+	}
+	if int64(1)<<m.pageShift != cfg.PageSize {
+		// Non-power-of-two page size: fall back to division in addrToPage.
+		m.pageShift = 0
+	}
+	m.cap[Fast] = cfg.Fast.CapacityPages
+	m.cap[Slow] = cfg.Slow.CapacityPages
+	if m.cap[Slow] == 0 {
+		// Unbounded slow tier: size it so the footprint always fits.
+		m.cap[Slow] = n
+	}
+	specs := [NumTiers]TierSpec{cfg.Fast, cfg.Slow}
+	for t := 0; t < NumTiers; t++ {
+		m.readCostNs[t] = specs[t].LatencyNs + 64/gbsToBytesPerNs(specs[t].ReadBWGBs)
+		m.writeCostNs[t] = specs[t].LatencyNs + 64/gbsToBytesPerNs(specs[t].WriteBWGBs)
+	}
+	for src := 0; src < NumTiers; src++ {
+		for dst := 0; dst < NumTiers; dst++ {
+			read := gbsToBytesPerNs(specs[src].ReadBWGBs)
+			write := gbsToBytesPerNs(specs[dst].WriteBWGBs)
+			bw := read
+			if write < bw {
+				bw = write
+			}
+			m.migCostNs[src][dst] = float64(cfg.PageSize)/bw + cfg.MigrationFixedNs
+		}
+	}
+	if cfg.CacheLines > 0 {
+		m.cache.init(cfg.CacheLines)
+	}
+	return m
+}
+
+func gbsToBytesPerNs(gbs float64) float64 {
+	// 1 GB/s == 1 byte/ns (decimal GB). Table 2 uses GB/s.
+	return gbs
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumPages returns the size of the simulated address space in pages.
+func (m *Machine) NumPages() int { return m.numPages }
+
+// PageSize returns the page size in bytes.
+func (m *Machine) PageSize() int64 { return m.cfg.PageSize }
+
+// Now returns the current virtual time in nanoseconds.
+func (m *Machine) Now() int64 { return m.clock }
+
+// BackgroundNs returns virtual CPU time consumed off the application's
+// critical path (migration transfer time not charged as interference).
+func (m *Machine) BackgroundNs() float64 { return m.backgroundNs }
+
+// Counters returns a snapshot of the machine's cumulative counters.
+func (m *Machine) Counters() Counters { return m.ctr }
+
+// SetSampler installs the hardware-sampling hook (nil to remove).
+func (m *Machine) SetSampler(s Sampler) { m.sampler = s }
+
+// SetFaultHandler installs the NUMA-hint-fault hook (nil to remove).
+func (m *Machine) SetFaultHandler(h FaultHandler) { m.faults = h }
+
+// SetAllocHook installs a callback invoked on every first-touch page
+// allocation. Tiering policies use it to enroll new pages in their LRU
+// structures.
+func (m *Machine) SetAllocHook(h func(PageID, TierID)) { m.onAlloc = h }
+
+// PageOf returns the page containing byte address addr. Addresses beyond
+// the footprint wrap (workload generators keep addresses in range; the
+// wrap keeps a stray address from corrupting memory accounting).
+func (m *Machine) PageOf(addr uint64) PageID {
+	var p uint64
+	if m.pageShift != 0 {
+		p = addr >> m.pageShift
+	} else {
+		p = addr / uint64(m.cfg.PageSize)
+	}
+	if p >= uint64(m.numPages) {
+		p %= uint64(m.numPages)
+	}
+	return PageID(p)
+}
+
+// TierOf returns the tier a page resides in. Unallocated pages report
+// their future first-touch placement (Fast if it has room).
+func (m *Machine) TierOf(p PageID) TierID { return m.tier[p] }
+
+// Allocated reports whether the page has been first-touched.
+func (m *Machine) Allocated(p PageID) bool { return m.allocated[p] }
+
+// UsedPages returns the number of resident pages in tier t.
+func (m *Machine) UsedPages(t TierID) int { return m.used[t] }
+
+// FreePages returns the remaining capacity of tier t in pages.
+func (m *Machine) FreePages(t TierID) int { return m.cap[t] - m.used[t] }
+
+// CapacityPages returns the capacity of tier t in pages.
+func (m *Machine) CapacityPages(t TierID) int { return m.cap[t] }
+
+// Access simulates one memory access to byte address addr and advances
+// the virtual clock. This is the simulation's hot path.
+func (m *Machine) Access(addr uint64, write bool) {
+	p := m.PageOf(addr)
+	if !m.allocated[p] {
+		m.allocate(p)
+	}
+	m.accessed[p] = true
+	if write {
+		m.dirty[p] = true
+	}
+	if m.poisoned[p] {
+		m.poisoned[p] = false
+		m.ctr.Faults++
+		m.advance(m.cfg.FaultCostNs)
+		if m.faults != nil {
+			m.faults.OnFault(p, m.tier[p], write, m.clock)
+		}
+	}
+	if m.cache.lookup(addr >> 6) {
+		m.ctr.CacheHits++
+		m.advance(m.cfg.CacheHitNs)
+		return
+	}
+	t := m.tier[p]
+	if write {
+		m.advance(m.writeCostNs[t])
+	} else {
+		m.advance(m.readCostNs[t])
+	}
+	if t == Fast {
+		m.ctr.FastAccesses++
+	} else {
+		m.ctr.SlowAccesses++
+	}
+	if m.sampler != nil {
+		m.sampler.OnMiss(p, t, write, m.clock)
+	}
+}
+
+// advance adds ns of application time, carrying fractional nanoseconds.
+func (m *Machine) advance(ns float64) {
+	m.clockFrac += ns
+	whole := int64(m.clockFrac)
+	m.clock += whole
+	m.clockFrac -= float64(whole)
+}
+
+// AdvanceIdle advances the virtual clock by ns without any memory
+// activity (compute-only phases in workload models).
+func (m *Machine) AdvanceIdle(ns float64) {
+	if ns > 0 {
+		m.advance(ns)
+	}
+}
+
+// allocate performs first-touch placement: fast tier first, overflowing
+// to the slow tier when the fast tier is full (the paper's setup: "ArtMem
+// first places pages in fast memory before overflowing to the slower
+// tier", §6.2 — the same policy applies to every evaluated system).
+func (m *Machine) allocate(p PageID) {
+	t := Slow
+	if m.used[Fast] < m.cap[Fast] {
+		t = Fast
+		m.ctr.AllocFast++
+	} else {
+		m.ctr.AllocSlow++
+	}
+	m.tier[p] = t
+	m.allocated[p] = true
+	m.used[t]++
+	if m.onAlloc != nil {
+		m.onAlloc(p, t)
+	}
+	if m.used[Slow] > m.cap[Slow] {
+		// The footprint exceeded total machine capacity; this is a
+		// harness configuration error worth failing loudly on.
+		panic(fmt.Sprintf("memsim: slow tier overflow (%d > %d pages)",
+			m.used[Slow], m.cap[Slow]))
+	}
+}
+
+// ErrTierFull is returned by MovePage when the destination tier has no
+// free capacity.
+var ErrTierFull = errors.New("memsim: destination tier full")
+
+// ErrNotAllocated is returned by MovePage for pages never touched.
+var ErrNotAllocated = errors.New("memsim: page not allocated")
+
+// MovePage migrates page p to tier dst on the background migration
+// path: the configured interference fraction of the transfer time is
+// charged to the application, the rest overlaps with execution. Moving
+// a page to its current tier is a no-op.
+func (m *Machine) MovePage(p PageID, dst TierID) error {
+	return m.movePage(p, dst, m.cfg.MigrationInterference)
+}
+
+// MovePageSync migrates page p synchronously on the application's
+// critical path: the full transfer time is charged to application time.
+// This models access-path migration — e.g. AutoTiering's opportunistic
+// exchange, which copies pages during the fault that triggered it.
+func (m *Machine) MovePageSync(p PageID, dst TierID) error {
+	return m.movePage(p, dst, 1)
+}
+
+func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
+	if !m.allocated[p] {
+		return ErrNotAllocated
+	}
+	src := m.tier[p]
+	if src == dst {
+		return nil
+	}
+	if m.used[dst] >= m.cap[dst] {
+		return ErrTierFull
+	}
+	m.used[src]--
+	m.used[dst]++
+	m.tier[p] = dst
+	cost := m.migCostNs[src][dst]
+	m.advance(cost * appFrac)
+	m.backgroundNs += cost * (1 - appFrac)
+	m.ctr.Migrations++
+	m.ctr.MigratedBytes += uint64(m.cfg.PageSize)
+	if dst == Fast {
+		m.ctr.Promotions++
+	} else {
+		m.ctr.Demotions++
+	}
+	return nil
+}
+
+// ChargeBackground adds ns of background CPU time (sampling threads,
+// policy computation) to the overhead accounting without delaying the
+// application. The paper's §6.4 reports these as CPU overheads.
+func (m *Machine) ChargeBackground(ns float64) { m.backgroundNs += ns }
+
+// TestAndClearAccessed returns the page's accessed bit and clears it —
+// the primitive used by page-table-scanning policies (Nimble,
+// Multi-clock), mirroring the kernel's test_and_clear_young.
+func (m *Machine) TestAndClearAccessed(p PageID) bool {
+	a := m.accessed[p]
+	m.accessed[p] = false
+	return a
+}
+
+// Accessed returns the page's accessed bit without clearing it.
+func (m *Machine) Accessed(p PageID) bool { return m.accessed[p] }
+
+// Dirty returns whether the page has been written since allocation.
+func (m *Machine) Dirty(p PageID) bool { return m.dirty[p] }
+
+// PoisonPage arms page p so its next access raises a NUMA-hint fault.
+func (m *Machine) PoisonPage(p PageID) { m.poisoned[p] = true }
+
+// PoisonRange arms n pages starting at page start, wrapping at the end of
+// the address space — the moving scan window of the kernel's NUMA
+// balancing. It returns the page after the last armed page.
+func (m *Machine) PoisonRange(start PageID, n int) PageID {
+	p := uint64(start)
+	for i := 0; i < n; i++ {
+		m.poisoned[p%uint64(m.numPages)] = true
+		p++
+	}
+	return PageID(p % uint64(m.numPages))
+}

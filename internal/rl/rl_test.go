@@ -1,0 +1,336 @@
+package rl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"artmem/internal/dist"
+)
+
+func newTest(alg Algorithm, eps float64) *Table {
+	cfg := DefaultConfig(4, 3)
+	cfg.Algorithm = alg
+	cfg.Epsilon = eps
+	return NewTable(cfg, dist.NewRNG(1))
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	if math.Abs(DefaultAlpha-math.Exp(-2)) > 1e-12 {
+		t.Errorf("alpha = %g", DefaultAlpha)
+	}
+	if math.Abs(DefaultGamma-math.Exp(-1)) > 1e-12 {
+		t.Errorf("gamma = %g", DefaultGamma)
+	}
+	if DefaultEpsilon != 0.3 {
+		t.Errorf("epsilon = %g", DefaultEpsilon)
+	}
+}
+
+func TestNewTablePanics(t *testing.T) {
+	cases := []Config{
+		{States: 0, Actions: 1, Alpha: 0.5, Gamma: 0.5},
+		{States: 1, Actions: 0, Alpha: 0.5, Gamma: 0.5},
+		{States: 1, Actions: 1, Alpha: 0, Gamma: 0.5},
+		{States: 1, Actions: 1, Alpha: 1.5, Gamma: 0.5},
+		{States: 1, Actions: 1, Alpha: 0.5, Gamma: 1},
+		{States: 1, Actions: 1, Alpha: 0.5, Gamma: -0.1},
+		{States: 1, Actions: 1, Alpha: 0.5, Gamma: 0.5, Epsilon: 2},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic for %+v", i, cfg)
+				}
+			}()
+			NewTable(cfg, nil)
+		}()
+	}
+}
+
+func TestSetGetQ(t *testing.T) {
+	tb := newTest(QLearning, 0)
+	tb.SetQ(2, 1, 0.75)
+	if got := tb.Q(2, 1); got != 0.75 {
+		t.Errorf("Q(2,1) = %g", got)
+	}
+	if got := tb.Q(0, 0); got != 0 {
+		t.Errorf("untouched Q = %g", got)
+	}
+}
+
+func TestBestAndChooseGreedy(t *testing.T) {
+	tb := newTest(QLearning, 0) // ε = 0: always greedy
+	tb.SetQ(1, 2, 5)
+	tb.SetQ(1, 0, 3)
+	a, v := tb.Best(1)
+	if a != 2 || v != 5 {
+		t.Errorf("Best = (%d, %g), want (2, 5)", a, v)
+	}
+	for i := 0; i < 20; i++ {
+		if got := tb.Choose(1); got != 2 {
+			t.Fatalf("greedy Choose = %d, want 2", got)
+		}
+	}
+}
+
+func TestBestTieBreakCoversAll(t *testing.T) {
+	tb := newTest(QLearning, 0)
+	// All zeros in state 0: ties must be broken across all actions.
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		a, _ := tb.Best(0)
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("tie-break visited %d of 3 actions", len(seen))
+	}
+}
+
+func TestChooseExplores(t *testing.T) {
+	tb := newTest(QLearning, 1.0) // always explore
+	tb.SetQ(0, 0, 100)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[tb.Choose(0)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("exploration visited %d of 3 actions", len(seen))
+	}
+}
+
+func TestQLearningUpdateFormula(t *testing.T) {
+	cfg := Config{States: 2, Actions: 2, Alpha: 0.5, Gamma: 0.9}
+	tb := NewTable(cfg, dist.NewRNG(1))
+	tb.SetQ(1, 0, 2) // next-state values
+	tb.SetQ(1, 1, 4)
+	tb.SetQ(0, 0, 1)
+	// Q-learning bootstraps from max Q(s')=4 regardless of nextAction.
+	tb.Update(0, 0, 10, 1, 0)
+	want := 1 + 0.5*(10+0.9*4-1)
+	if got := tb.Q(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Q after update = %g, want %g", got, want)
+	}
+	if tb.Updates() != 1 {
+		t.Errorf("Updates = %d", tb.Updates())
+	}
+}
+
+func TestSARSAUpdateFormula(t *testing.T) {
+	cfg := Config{States: 2, Actions: 2, Alpha: 0.5, Gamma: 0.9, Algorithm: SARSA}
+	tb := NewTable(cfg, dist.NewRNG(1))
+	tb.SetQ(1, 0, 2)
+	tb.SetQ(1, 1, 4)
+	tb.SetQ(0, 0, 1)
+	// SARSA bootstraps from the chosen next action (0 → value 2).
+	tb.Update(0, 0, 10, 1, 0)
+	want := 1 + 0.5*(10+0.9*2-1)
+	if got := tb.Q(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Q after update = %g, want %g", got, want)
+	}
+}
+
+// A two-state chain MDP: in state 0, action 1 yields reward 1 and stays;
+// action 0 yields 0. Greedy Q-learning must learn to prefer action 1.
+func TestQLearningConvergesOnToyMDP(t *testing.T) {
+	cfg := Config{States: 1, Actions: 2, Alpha: 0.2, Gamma: 0.5, Epsilon: 0.2}
+	tb := NewTable(cfg, dist.NewRNG(7))
+	for i := 0; i < 2000; i++ {
+		a := tb.Choose(0)
+		r := 0.0
+		if a == 1 {
+			r = 1
+		}
+		tb.Update(0, a, r, 0, tb.Choose(0))
+	}
+	a, _ := tb.Best(0)
+	if a != 1 {
+		t.Errorf("learned action %d, want 1 (Q = %g vs %g)", a, tb.Q(0, 0), tb.Q(0, 1))
+	}
+	// Q(0,1) should approach r/(1-γ) = 2.
+	if q := tb.Q(0, 1); math.Abs(q-2) > 0.3 {
+		t.Errorf("Q(0,1) = %g, want ≈ 2", q)
+	}
+}
+
+func TestSARSAConvergesOnToyMDP(t *testing.T) {
+	cfg := Config{States: 1, Actions: 2, Alpha: 0.2, Gamma: 0.5, Epsilon: 0.2,
+		Algorithm: SARSA}
+	tb := NewTable(cfg, dist.NewRNG(7))
+	a := tb.Choose(0)
+	for i := 0; i < 2000; i++ {
+		r := 0.0
+		if a == 1 {
+			r = 1
+		}
+		a2 := tb.Choose(0)
+		tb.Update(0, a, r, 0, a2)
+		a = a2
+	}
+	best, _ := tb.Best(0)
+	if best != 1 {
+		t.Errorf("learned action %d, want 1", best)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	tb := newTest(QLearning, 0.3)
+	tb.SetQ(0, 0, 7)
+	c := tb.Clone()
+	if c.Q(0, 0) != 7 {
+		t.Fatalf("clone lost Q values")
+	}
+	c.SetQ(0, 0, 1)
+	if tb.Q(0, 0) != 7 {
+		t.Errorf("clone aliases the original")
+	}
+}
+
+func TestCopyQFrom(t *testing.T) {
+	a := newTest(QLearning, 0)
+	b := newTest(SARSA, 0.5)
+	a.SetQ(3, 2, 9)
+	if err := b.CopyQFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if b.Q(3, 2) != 9 {
+		t.Errorf("CopyQFrom did not copy")
+	}
+	other := NewTable(DefaultConfig(2, 2), nil)
+	if err := b.CopyQFrom(other); err == nil {
+		t.Error("dimension mismatch not rejected")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tb := newTest(QLearning, 0)
+	tb.SetQ(1, 1, 3.5)
+	tb.SetQ(3, 0, -2)
+	data, err := tb.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := newTest(SARSA, 0.9)
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		for a := 0; a < 3; a++ {
+			if restored.Q(s, a) != tb.Q(s, a) {
+				t.Errorf("Q(%d,%d) = %g, want %g", s, a, restored.Q(s, a), tb.Q(s, a))
+			}
+		}
+	}
+	// Wrong dimensions rejected.
+	small := NewTable(DefaultConfig(2, 2), nil)
+	if err := small.UnmarshalBinary(data); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// Corrupt magic rejected.
+	data[0] ^= 0xff
+	if err := restored.UnmarshalBinary(data); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated data rejected.
+	if err := restored.UnmarshalBinary(data[:5]); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestMemoryBytesIsSmall(t *testing.T) {
+	// The paper's configuration: 12 states, 9 + 5 actions across two
+	// tables → well under 10KB (§6.4).
+	mig := NewTable(DefaultConfig(12, 9), nil)
+	thr := NewTable(DefaultConfig(12, 5), nil)
+	if total := mig.MemoryBytes() + thr.MemoryBytes(); total >= 10*1024 {
+		t.Errorf("Q-tables take %d bytes, paper promises < 10KB", total)
+	}
+}
+
+// Property: Q values never become NaN/Inf under bounded rewards, and
+// Best always returns a valid action.
+func TestUpdateStabilityProperty(t *testing.T) {
+	f := func(transitions []uint16, rewards []int8) bool {
+		tb := NewTable(DefaultConfig(6, 4), dist.NewRNG(3))
+		for i, tr := range transitions {
+			s := int(tr % 6)
+			a := int(tr / 6 % 4)
+			s2 := int(tr / 24 % 6)
+			r := 0.0
+			if i < len(rewards) {
+				r = float64(rewards[i]) / 16
+			}
+			tb.Update(s, a, r, s2, tb.Choose(s2))
+		}
+		for s := 0; s < 6; s++ {
+			a, v := tb.Best(s)
+			if a < 0 || a >= 4 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if QLearning.String() != "q-learning" || SARSA.String() != "sarsa" {
+		t.Error("Algorithm.String wrong")
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	tb := NewTable(DefaultConfig(12, 9), dist.NewRNG(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Update(i%12, i%9, 0.5, (i+1)%12, (i+2)%9)
+	}
+}
+
+func BenchmarkChoose(b *testing.B) {
+	tb := NewTable(DefaultConfig(12, 9), dist.NewRNG(1))
+	for i := 0; i < b.N; i++ {
+		_ = tb.Choose(i % 12)
+	}
+}
+
+func TestExpectedSARSAUpdateFormula(t *testing.T) {
+	cfg := Config{States: 2, Actions: 2, Alpha: 0.5, Gamma: 0.9,
+		Epsilon: 0.2, Algorithm: ExpectedSARSA}
+	tb := NewTable(cfg, dist.NewRNG(1))
+	tb.SetQ(1, 0, 2)
+	tb.SetQ(1, 1, 4)
+	tb.SetQ(0, 0, 1)
+	tb.Update(0, 0, 10, 1, 0)
+	// target = 0.8·max(2,4) + 0.2·mean(2,4) = 3.2 + 0.6 = 3.8.
+	want := 1 + 0.5*(10+0.9*3.8-1)
+	if got := tb.Q(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Q after update = %g, want %g", got, want)
+	}
+}
+
+func TestExpectedSARSAConvergesOnToyMDP(t *testing.T) {
+	cfg := Config{States: 1, Actions: 2, Alpha: 0.2, Gamma: 0.5, Epsilon: 0.2,
+		Algorithm: ExpectedSARSA}
+	tb := NewTable(cfg, dist.NewRNG(7))
+	for i := 0; i < 2000; i++ {
+		a := tb.Choose(0)
+		r := 0.0
+		if a == 1 {
+			r = 1
+		}
+		tb.Update(0, a, r, 0, tb.Choose(0))
+	}
+	if a, _ := tb.Best(0); a != 1 {
+		t.Errorf("learned action %d, want 1", a)
+	}
+}
+
+func TestExpectedSARSAString(t *testing.T) {
+	if ExpectedSARSA.String() != "expected-sarsa" {
+		t.Error("String wrong")
+	}
+}

@@ -1,0 +1,93 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 1234.5678)
+	out := tb.Render()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha",
+		"1.500", "1235", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line at least as wide as the header line.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+}
+
+func TestAddRowTypes(t *testing.T) {
+	tb := Table{Header: []string{"a", "b", "c"}}
+	tb.AddRow("s", 42, 0.25)
+	if tb.Rows[0][0] != "s" || tb.Rows[0][1] != "42" || tb.Rows[0][2] != "0.250" {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.500",
+		12.34:   "12.3",
+		4567.8:  "4568",
+		-0.25:   "-0.250",
+		-1234.5: "-1234", // %.0f rounds half to even
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("title", []string{"aa", "b"}, []float64{10, 5}, 20)
+	if !strings.Contains(out, "== title ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The larger value gets the longer bar.
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Errorf("bars not proportional:\n%s", out)
+	}
+	// Zero maxWidth defaults sanely; all-zero values draw no bars.
+	out = Bars("", []string{"x"}, []float64{0}, 0)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero value drew a bar")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline ends = %c %c", runes[0], runes[3])
+	}
+	// Constant series renders the lowest glyph everywhere.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat sparkline contains %c", r)
+		}
+	}
+}

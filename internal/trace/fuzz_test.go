@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"artmem/internal/workloads"
+)
+
+// FuzzReader verifies the trace decoder never panics or loops on
+// arbitrary byte streams — it must either replay cleanly or surface a
+// format error.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace and a few corruptions of it.
+	var buf bytes.Buffer
+	accs := []workloads.Access{{Addr: 0}, {Addr: 4096, Write: true}, {Addr: 64}}
+	if _, err := Record(&buf, genWorkload("seed", 1<<20, accs)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	if len(valid) > 8 {
+		f.Add(valid[:len(valid)-3]) // truncated body
+		f.Add(valid[:10])           // truncated header
+	}
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt)
+	f.Add([]byte("ATRC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at the header; fine
+		}
+		// Replay must terminate (bounded by input length: each record
+		// consumes at least one byte).
+		total := int64(0)
+		for {
+			b, ok := r.Next()
+			if !ok {
+				break
+			}
+			total += int64(len(b))
+			if total > int64(len(data))+1 {
+				t.Fatalf("decoded %d records from %d bytes", total, len(data))
+			}
+		}
+	})
+}

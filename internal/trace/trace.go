@@ -1,0 +1,259 @@
+// Package trace records workload access traces to a compact binary
+// format and replays them as workloads. Trace files make experiments
+// portable and exactly repeatable — the same role the paper's recorded
+// application runs play: capture once, replay under every policy.
+//
+// Format (little-endian):
+//
+//	header:  magic "ATRC" | version u32 | footprint i64 | count i64 |
+//	         name length u16 | name bytes
+//	records: delta-encoded accesses. Each record starts with
+//	         varint(v): when v&1 == 0, v = zigzag(addrDelta)<<2 | w<<1
+//	         (the common case); when v&1 == 1, v = w<<1 | 1 and the
+//	         absolute address follows as its own varint (the escape for
+//	         deltas too large to zigzag into 62 bits).
+//
+// Delta+varint encoding keeps sequential traces near one to two bytes
+// per access.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"artmem/internal/workloads"
+)
+
+const (
+	magic   = "ATRC"
+	version = 1
+)
+
+// ErrBadFormat reports a malformed trace stream.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Writer streams accesses into a trace file.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	count    int64
+	// countPatcher rewrites the record count on Close when the
+	// underlying writer supports seeking; otherwise the declared count
+	// must be supplied up front via NewWriterCount.
+	buf [binary.MaxVarintLen64 + 1]byte
+}
+
+// WriteHeader emits the trace header. count may be 0 when unknown; the
+// reader then reads to EOF.
+func WriteHeader(w io.Writer, name string, footprint, count int64) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8+2)
+	binary.LittleEndian.PutUint32(hdr[0:], version)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(footprint))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(count))
+	binary.LittleEndian.PutUint16(hdr[20:], uint16(len(name)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, name)
+	return err
+}
+
+// NewWriter starts a trace on w with the given workload name and
+// footprint. Call Append for each access, then Flush.
+func NewWriter(w io.Writer, name string, footprint int64) (*Writer, error) {
+	if err := WriteHeader(w, name, footprint, 0); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}, nil
+}
+
+// Append records one access.
+func (t *Writer) Append(addr uint64, write bool) error {
+	delta := int64(addr) - int64(t.prevAddr)
+	t.prevAddr = addr
+	zig := uint64((delta << 1) ^ (delta >> 63))
+	t.count++
+	if zig < 1<<62 {
+		// Common case: delta record.
+		n := binary.PutUvarint(t.buf[:], zig<<2|boolBit(write)<<1)
+		_, err := t.w.Write(t.buf[:n])
+		return err
+	}
+	// Escape: the absolute address follows.
+	n := binary.PutUvarint(t.buf[:], boolBit(write)<<1|1)
+	if _, err := t.w.Write(t.buf[:n]); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(t.buf[:], addr)
+	_, err := t.w.Write(t.buf[:n])
+	return err
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Count returns the number of accesses appended so far.
+func (t *Writer) Count() int64 { return t.count }
+
+// Flush drains buffered records to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Record captures an entire workload into w and returns the number of
+// accesses written. The workload is closed afterwards.
+func Record(w io.Writer, src workloads.Workload) (int64, error) {
+	defer src.Close()
+	tw, err := NewWriter(w, src.Name(), src.FootprintBytes())
+	if err != nil {
+		return 0, err
+	}
+	for {
+		batch, ok := src.Next()
+		if !ok {
+			break
+		}
+		for _, a := range batch {
+			if err := tw.Append(a.Addr, a.Write); err != nil {
+				return tw.Count(), err
+			}
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// Header describes a trace stream.
+type Header struct {
+	Name      string
+	Footprint int64
+	// Count is the declared record count; 0 means unknown (read to EOF).
+	Count int64
+}
+
+// ReadHeader parses a trace header.
+func ReadHeader(r io.Reader) (Header, error) {
+	var h Header
+	buf := make([]byte, 4+4+8+8+2)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(buf[:4]) != magic {
+		return h, fmt.Errorf("%w: magic %q", ErrBadFormat, buf[:4])
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != version {
+		return h, fmt.Errorf("%w: version %d", ErrBadFormat, v)
+	}
+	h.Footprint = int64(binary.LittleEndian.Uint64(buf[8:]))
+	h.Count = int64(binary.LittleEndian.Uint64(buf[16:]))
+	nameLen := int(binary.LittleEndian.Uint16(buf[24:]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return h, fmt.Errorf("%w: name: %v", ErrBadFormat, err)
+	}
+	h.Name = string(name)
+	if h.Footprint <= 0 {
+		return h, fmt.Errorf("%w: footprint %d", ErrBadFormat, h.Footprint)
+	}
+	return h, nil
+}
+
+// Reader replays a trace as a Workload.
+type Reader struct {
+	h        Header
+	r        *bufio.Reader
+	prevAddr uint64
+	read     int64
+	buf      []workloads.Access
+	done     bool
+	err      error
+}
+
+// NewReader opens a trace stream for replay.
+func NewReader(r io.Reader) (*Reader, error) {
+	h, err := ReadHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{
+		h:   h,
+		r:   bufio.NewReaderSize(r, 1<<16),
+		buf: make([]workloads.Access, 0, workloads.BatchSize),
+	}, nil
+}
+
+var _ workloads.Workload = (*Reader)(nil)
+
+// Name implements workloads.Workload.
+func (t *Reader) Name() string { return t.h.Name }
+
+// FootprintBytes implements workloads.Workload.
+func (t *Reader) FootprintBytes() int64 { return t.h.Footprint }
+
+// Header returns the parsed trace header.
+func (t *Reader) Header() Header { return t.h }
+
+// Err returns the first decode error encountered, if any. A truncated
+// or corrupt stream ends the workload and is reported here.
+func (t *Reader) Err() error { return t.err }
+
+// Next implements workloads.Workload.
+func (t *Reader) Next() ([]workloads.Access, bool) {
+	if t.done {
+		return nil, false
+	}
+	t.buf = t.buf[:0]
+	for len(t.buf) < cap(t.buf) {
+		if t.h.Count > 0 && t.read >= t.h.Count {
+			t.done = true
+			break
+		}
+		u, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			t.done = true
+			if err != io.EOF {
+				t.err = fmt.Errorf("%w: record %d: %v", ErrBadFormat, t.read, err)
+			} else if t.h.Count > 0 && t.read < t.h.Count {
+				t.err = fmt.Errorf("%w: truncated at record %d of %d",
+					ErrBadFormat, t.read, t.h.Count)
+			}
+			break
+		}
+		var addr uint64
+		write := u>>1&1 == 1
+		if u&1 == 1 {
+			// Escape record: absolute address follows.
+			abs, err := binary.ReadUvarint(t.r)
+			if err != nil {
+				t.done = true
+				t.err = fmt.Errorf("%w: record %d: escape: %v", ErrBadFormat, t.read, err)
+				break
+			}
+			addr = abs
+		} else {
+			z := u >> 2
+			delta := int64(z>>1) ^ -int64(z&1)
+			addr = uint64(int64(t.prevAddr) + delta)
+		}
+		t.prevAddr = addr
+		t.buf = append(t.buf, workloads.Access{Addr: addr, Write: write})
+		t.read++
+	}
+	if len(t.buf) == 0 {
+		return nil, false
+	}
+	return t.buf, true
+}
+
+// Close implements workloads.Workload.
+func (t *Reader) Close() { t.done = true }
+
+// newBufio is a small indirection for tests that hand-build writers.
+func newBufio(w io.Writer) *bufio.Writer { return bufio.NewWriter(w) }

@@ -1,0 +1,262 @@
+package workloads
+
+import (
+	"testing"
+)
+
+// drainStats consumes a workload and returns basic trace statistics.
+type traceStats struct {
+	total   int64
+	writes  int64
+	maxAddr uint64
+}
+
+func drainStats(t *testing.T, w Workload) traceStats {
+	t.Helper()
+	defer w.Close()
+	var st traceStats
+	foot := uint64(w.FootprintBytes())
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			if a.Addr >= foot {
+				t.Fatalf("%s: address %#x outside footprint %#x", w.Name(), a.Addr, foot)
+			}
+			if a.Addr > st.maxAddr {
+				st.maxAddr = a.Addr
+			}
+			if a.Write {
+				st.writes++
+			}
+			st.total++
+		}
+	}
+	return st
+}
+
+func TestAllAppsProduceBoundedTraces(t *testing.T) {
+	p := QuickProfile()
+	for _, spec := range Apps {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			w := spec.New(p)
+			if w.Name() != spec.Name {
+				t.Errorf("name = %q, want %q", w.Name(), spec.Name)
+			}
+			if w.FootprintBytes() <= 0 {
+				t.Fatalf("footprint = %d", w.FootprintBytes())
+			}
+			st := drainStats(t, w)
+			if st.total == 0 {
+				t.Fatal("empty trace")
+			}
+			// The budget bounds the application phase; the init sweep
+			// adds one access per 4KB of footprint on top.
+			sweep := w.FootprintBytes()/4096 + 1
+			if st.total > p.AppAccesses+sweep {
+				t.Errorf("trace length %d exceeds budget %d + sweep %d",
+					st.total, p.AppAccesses, sweep)
+			}
+			// Every application at least touches a large share of its
+			// address space eventually (footprint is honest).
+			if st.maxAddr < uint64(w.FootprintBytes())/4 {
+				t.Errorf("max address %#x touches < 1/4 of footprint %#x",
+					st.maxAddr, w.FootprintBytes())
+			}
+		})
+	}
+}
+
+func TestYCSBHasWritesAndReads(t *testing.T) {
+	w := NewYCSB(QuickProfile())
+	st := drainStats(t, w)
+	if st.writes == 0 || st.writes == st.total {
+		t.Errorf("YCSB writes = %d of %d; expected a mix", st.writes, st.total)
+	}
+}
+
+func TestLiblinearPhaseShift(t *testing.T) {
+	p := QuickProfile()
+	w := NewLiblinear(p)
+	defer w.Close()
+	// Collect per-16KB-chunk access counts for the uniform phase and the
+	// skewed phase separately.
+	loadEnd := p.AppAccesses * 15 / 100
+	uniformEnd := loadEnd + p.AppAccesses*35/100
+	const chunk = 16 * 1024
+	uniformCounts := map[uint64]int{}
+	skewCounts := map[uint64]int{}
+	i := int64(0)
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			switch {
+			case i < loadEnd:
+			case i < uniformEnd:
+				uniformCounts[a.Addr/chunk]++
+			default:
+				skewCounts[a.Addr/chunk]++
+			}
+			i++
+		}
+	}
+	maxShare := func(m map[uint64]int) float64 {
+		total, max := 0, 0
+		for _, c := range m {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(max) / float64(total)
+	}
+	if u, s := maxShare(uniformCounts), maxShare(skewCounts); s < u*2 {
+		t.Errorf("late phase not skewed: uniform max-share %g, skew max-share %g", u, s)
+	}
+}
+
+func TestXSBenchHasHotGridRegion(t *testing.T) {
+	p := QuickProfile()
+	w := NewXSBench(p)
+	defer w.Close()
+	gridBytes := uint64(w.FootprintBytes() * 15 / 100)
+	inGrid, total := 0, 0
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			if a.Addr < gridBytes {
+				inGrid++
+			}
+			total++
+		}
+	}
+	// The grid is 15% of the space; binary-search probes concentrate far
+	// more than 15% of the accesses there.
+	if f := float64(inGrid) / float64(total); f < 0.3 {
+		t.Errorf("grid share = %g, want well above its 0.15 size share", f)
+	}
+}
+
+func TestDLRMDenseRegionIsHot(t *testing.T) {
+	p := QuickProfile()
+	w := NewDLRM(p)
+	defer w.Close()
+	foot := w.FootprintBytes()
+	denseBytes := uint64(foot * 3 / 100)
+	inDense, total := 0, 0
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			if a.Addr < denseBytes {
+				inDense++
+			}
+			total++
+		}
+	}
+	if f := float64(inDense) / float64(total); f < 0.1 {
+		t.Errorf("dense-region share = %g, want ≫ its 0.03 size share", f)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"YCSB", "CC", "S1", "S4", "SSSP+XSBench"} {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if spec.Name != name {
+			t.Errorf("ByName(%q) → %q", name, spec.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestMixedSpecBudgetsAndRegions(t *testing.T) {
+	p := QuickProfile()
+	spec, err := ByName("SSSP+XSBench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spec.New(p)
+	sweep := w.FootprintBytes()/4096 + 2
+	st := drainStats(t, w)
+	if st.total == 0 || st.total > p.AppAccesses+sweep {
+		t.Errorf("mixed trace length %d outside (0, %d]", st.total, p.AppAccesses+sweep)
+	}
+}
+
+func TestGraphWorkloadsDeterministic(t *testing.T) {
+	p := QuickProfile()
+	run := func() (int64, uint64) {
+		w := NewCC(p)
+		defer w.Close()
+		var n int64
+		var sum uint64
+		for {
+			b, ok := w.Next()
+			if !ok {
+				break
+			}
+			for _, a := range b {
+				sum += a.Addr
+				n++
+			}
+		}
+		return n, sum
+	}
+	n1, s1 := run()
+	n2, s2 := run()
+	if n1 != n2 || s1 != s2 {
+		t.Errorf("CC traces differ across runs: %d/%d vs %d/%d", n1, s1, n2, s2)
+	}
+}
+
+func TestBtreeWorkloadRootIsHottest(t *testing.T) {
+	p := QuickProfile()
+	w := NewBtree(p)
+	defer w.Close()
+	counts := map[uint64]int{} // per 64KB chunk
+	total := 0
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			counts[a.Addr/(64*1024)]++
+			total++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if len(counts) < 2 {
+		t.Skip("tree too small at this scale to span chunks")
+	}
+	mean := total / len(counts)
+	if max < mean*3 {
+		t.Errorf("hottest chunk %d not ≫ mean %d; index levels should be top-heavy",
+			max, mean)
+	}
+}

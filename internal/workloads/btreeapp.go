@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"sync"
+
+	"artmem/internal/btreeidx"
+	"artmem/internal/dist"
+)
+
+// The Btree workload (Table 3: "In-Memory Index Lookup", 24GB): populate
+// a B-tree, then perform random lookups of existing keys — the
+// mitosis-project BTree benchmark the paper uses ("We populated the
+// Btree with 300 million key-value pairs and performed 8 billion random
+// lookup operations").
+
+const (
+	paperBtreeGB   = 24.0
+	paperBtreeKeys = 300_000_000
+)
+
+type btreeCacheEntry struct {
+	tree *btreeidx.Tree
+	keys []uint64
+}
+
+var (
+	btreeCacheMu sync.Mutex
+	btreeCache   = map[[2]uint64]*btreeCacheEntry{}
+)
+
+// builtTree returns a populated tree with numKeys random keys and node
+// virtual size nodeBytes, memoized across runs (lookups never mutate it).
+func builtTree(numKeys int, nodeBytes uint64, seed uint64) *btreeCacheEntry {
+	key := [2]uint64{uint64(numKeys)<<16 | nodeBytes, seed}
+	btreeCacheMu.Lock()
+	defer btreeCacheMu.Unlock()
+	if e, ok := btreeCache[key]; ok {
+		return e
+	}
+	tr := btreeidx.New(btreeidx.Config{Base: 0, Order: 64, NodeBytes: nodeBytes})
+	rng := dist.NewRNG(seed)
+	keys := make([]uint64, 0, numKeys)
+	for len(keys) < numKeys {
+		k := rng.Uint64()
+		if tr.Insert(k, nil) {
+			keys = append(keys, k)
+		}
+	}
+	e := &btreeCacheEntry{tree: tr, keys: keys}
+	btreeCache[key] = e
+	return e
+}
+
+// NewBtree builds the index-lookup workload at the profile's scale.
+func NewBtree(p Profile) Workload {
+	numKeys := p.ScaleCount(paperBtreeKeys)
+	if numKeys < 1024 {
+		numKeys = 1024
+	}
+	target := p.Bytes(paperBtreeGB)
+	// Order-64 nodes average ~2/3 full: estimate the node count to pick
+	// a virtual node size that reaches the target footprint.
+	estNodes := int64(float64(numKeys)/42*1.06) + 2
+	nodeBytes := uint64(target / estNodes)
+	if nodeBytes < 64 {
+		nodeBytes = 64
+	}
+	nodeBytes &^= 63 // cacheline-align
+	e := builtTree(numKeys, nodeBytes, p.Seed^0xb7ee)
+	run := func(emit func(addr uint64, write bool)) {
+		rng := dist.NewRNG(p.Seed ^ 0x100c)
+		for {
+			// Random lookups of existing keys, forever; the Limit
+			// wrapper ends the trace at the access budget.
+			k := e.keys[rng.Intn(len(e.keys))]
+			if !e.tree.Lookup(k, emit) {
+				panic("workloads: btree lost a key")
+			}
+		}
+	}
+	return Limit(WithInitSweep(NewTrace("Btree", e.tree.Footprint(), run), 0), p.AppAccesses)
+}

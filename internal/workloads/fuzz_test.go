@@ -1,0 +1,29 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePattern verifies the pattern-file parser never panics on
+// arbitrary input and that accepted patterns are always valid.
+func FuzzParsePattern(f *testing.F) {
+	f.Add(goodPattern)
+	f.Add("footprint 1M\nphase p accesses=10\nregion size=1K weight=1\n")
+	f.Add("name x\n# only a comment\n")
+	f.Add("region size=1K weight=1")
+	f.Add("phase\nfootprint G\n")
+	f.Add(strings.Repeat("phase p accesses=1\n", 50))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePattern(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Anything the parser accepts must satisfy Validate (the parser
+		// promises to return only valid patterns).
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted invalid pattern: %v\ninput:\n%s", verr, src)
+		}
+	})
+}

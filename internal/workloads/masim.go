@@ -1,0 +1,244 @@
+package workloads
+
+import (
+	"fmt"
+
+	"artmem/internal/dist"
+)
+
+// This file implements the MASIM-style synthetic pattern engine. MASIM
+// ("memory access simulator") is the trace generator the paper uses for
+// its motivation study: the user describes phases of weighted region
+// accesses in a configuration, and the tool produces a dense access
+// stream. The paper's four constructed patterns S1–S4 (Figure 1) are
+// provided as ready-made constructors.
+
+// Region is a weighted address range within a pattern phase. Accesses
+// assigned to the region are uniform within it.
+type Region struct {
+	// Start and Size delimit the region in bytes.
+	Start int64
+	Size  int64
+	// Weight is the region's share of the phase's accesses, relative to
+	// the other regions' weights.
+	Weight float64
+}
+
+// Phase is one stage of a pattern: a fixed number of accesses drawn from
+// a weighted set of regions.
+type Phase struct {
+	Name string
+	// Accesses is the number of accesses in this phase.
+	Accesses int64
+	// WriteFrac is the fraction of accesses that are writes.
+	WriteFrac float64
+	// Regions are the weighted target regions. Weights need not sum to 1.
+	Regions []Region
+}
+
+// Pattern is a multi-phase synthetic access pattern.
+type Pattern struct {
+	Name      string
+	Footprint int64
+	Phases    []Phase
+}
+
+// Validate reports whether the pattern is well-formed: at least one
+// phase, positive-size regions inside the footprint, positive weights.
+func (p *Pattern) Validate() error {
+	if p.Footprint <= 0 {
+		return fmt.Errorf("masim: pattern %q: non-positive footprint", p.Name)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("masim: pattern %q: no phases", p.Name)
+	}
+	for _, ph := range p.Phases {
+		if ph.Accesses <= 0 {
+			return fmt.Errorf("masim: pattern %q phase %q: non-positive accesses", p.Name, ph.Name)
+		}
+		if len(ph.Regions) == 0 {
+			return fmt.Errorf("masim: pattern %q phase %q: no regions", p.Name, ph.Name)
+		}
+		total := 0.0
+		for _, r := range ph.Regions {
+			if r.Size <= 0 || r.Start < 0 || r.Start+r.Size > p.Footprint {
+				return fmt.Errorf("masim: pattern %q phase %q: region [%d,+%d) outside footprint %d",
+					p.Name, ph.Name, r.Start, r.Size, p.Footprint)
+			}
+			if r.Weight < 0 {
+				return fmt.Errorf("masim: pattern %q phase %q: negative weight", p.Name, ph.Name)
+			}
+			total += r.Weight
+		}
+		if total <= 0 {
+			return fmt.Errorf("masim: pattern %q phase %q: zero total weight", p.Name, ph.Name)
+		}
+	}
+	return nil
+}
+
+// TotalAccesses returns the trace length of the pattern.
+func (p *Pattern) TotalAccesses() int64 {
+	var n int64
+	for _, ph := range p.Phases {
+		n += ph.Accesses
+	}
+	return n
+}
+
+// NewWorkload compiles the pattern into a Workload. It panics on an
+// invalid pattern (patterns are constructed in code).
+func (p *Pattern) NewWorkload(seed uint64) Workload {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := dist.NewRNG(seed)
+	phase := 0
+	left := p.Phases[0].Accesses
+	cum := cumWeights(p.Phases[0].Regions)
+	gen := func() (Access, bool) {
+		for left == 0 {
+			phase++
+			if phase >= len(p.Phases) {
+				return Access{}, false
+			}
+			left = p.Phases[phase].Accesses
+			cum = cumWeights(p.Phases[phase].Regions)
+		}
+		left--
+		ph := &p.Phases[phase]
+		r := &ph.Regions[pickRegion(rng, cum)]
+		addr := uint64(r.Start) + rng.Uint64n(uint64(r.Size))
+		return Access{Addr: addr, Write: rng.Float64() < ph.WriteFrac}, true
+	}
+	return NewGenerator(p.Name, p.Footprint, gen)
+}
+
+func cumWeights(regions []Region) []float64 {
+	cum := make([]float64, len(regions))
+	total := 0.0
+	for i, r := range regions {
+		total += r.Weight
+		cum[i] = total
+	}
+	// Normalize to [0,1] for direct comparison with Float64 draws.
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+func pickRegion(rng *dist.RNG, cum []float64) int {
+	u := rng.Float64()
+	// Linear scan: pattern phases have a handful of regions.
+	for i, c := range cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// ---- the paper's synthetic patterns S1–S4 (Figure 1) ---------------------
+
+// The patterns are expressed against the paper's 32GB footprint and
+// scaled by the profile. Region placements follow Figure 1's geometry.
+
+const paperPatternGB = 32.0
+
+// PatternS1 is the paper's high-locality pattern: over 90% of accesses
+// fall in two 500MB hot regions; the rest is uniform background.
+func PatternS1(p Profile) *Pattern {
+	foot := p.Bytes(paperPatternGB)
+	hot := p.Bytes(500.0 / 1024)
+	return &Pattern{
+		Name:      "S1",
+		Footprint: foot,
+		Phases: []Phase{{
+			Name:      "steady",
+			Accesses:  p.PatternAccesses,
+			WriteFrac: 0.2,
+			Regions: []Region{
+				{Start: foot / 8, Size: hot, Weight: 0.46},
+				{Start: foot * 5 / 8, Size: hot, Weight: 0.46},
+				{Start: 0, Size: foot, Weight: 0.08},
+			},
+		}},
+	}
+}
+
+// PatternS2 models a region that is intensely accessed during one period
+// and never again: a 10GB hot region shifts each quarter of the run.
+// Two consecutive epochs' regions together exceed a 16GB fast tier, so
+// systems that cannot shed *stale* heat (accumulated access frequency)
+// cannot make room for the current working set — the failure mode the
+// paper observes for MEMTIS and Nimble on this pattern (§3.1).
+func PatternS2(p Profile) *Pattern {
+	foot := p.Bytes(paperPatternGB)
+	hot := p.Bytes(10)
+	const phases = 4
+	pat := &Pattern{Name: "S2", Footprint: foot}
+	for i := 0; i < phases; i++ {
+		start := p.Bytes(7 * float64(i))
+		if start+hot > foot {
+			start = foot - hot
+		}
+		pat.Phases = append(pat.Phases, Phase{
+			Name:      fmt.Sprintf("epoch-%d", i),
+			Accesses:  p.PatternAccesses / phases,
+			WriteFrac: 0.2,
+			Regions: []Region{
+				{Start: start, Size: hot, Weight: 0.9},
+				{Start: 0, Size: foot, Weight: 0.1},
+			},
+		})
+	}
+	return pat
+}
+
+// PatternS3 has a single 12GB hot region: improvement depends on how
+// quickly a system identifies and migrates the (large) hot set.
+func PatternS3(p Profile) *Pattern {
+	foot := p.Bytes(paperPatternGB)
+	hot := p.Bytes(12)
+	return &Pattern{
+		Name:      "S3",
+		Footprint: foot,
+		Phases: []Phase{{
+			Name:      "steady",
+			Accesses:  p.PatternAccesses,
+			WriteFrac: 0.2,
+			Regions: []Region{
+				{Start: foot / 4, Size: hot, Weight: 0.92},
+				{Start: 0, Size: foot, Weight: 0.08},
+			},
+		}},
+	}
+}
+
+// PatternS4 has a 20GB hot region at half the per-byte heat of S3's —
+// the hot set exceeds a 16GB DRAM tier, so systems must avoid thrashing.
+func PatternS4(p Profile) *Pattern {
+	foot := p.Bytes(paperPatternGB)
+	hot := p.Bytes(20)
+	// Per-byte heat half of S3: weight scales with size/2 relative to S3
+	// (0.92 × (20/12) / 2 ≈ 0.77).
+	return &Pattern{
+		Name:      "S4",
+		Footprint: foot,
+		Phases: []Phase{{
+			Name:      "steady",
+			Accesses:  p.PatternAccesses,
+			WriteFrac: 0.2,
+			Regions: []Region{
+				{Start: foot / 8, Size: hot, Weight: 0.77},
+				{Start: 0, Size: foot, Weight: 0.23},
+			},
+		}},
+	}
+}
+
+// Patterns returns S1–S4 in order.
+func Patterns(p Profile) []*Pattern {
+	return []*Pattern{PatternS1(p), PatternS2(p), PatternS3(p), PatternS4(p)}
+}

@@ -1,0 +1,294 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func quickProf() Profile { return QuickProfile() }
+
+func TestPatternValidate(t *testing.T) {
+	good := &Pattern{
+		Name:      "ok",
+		Footprint: 1000,
+		Phases: []Phase{{
+			Name: "p", Accesses: 10,
+			Regions: []Region{{Start: 0, Size: 1000, Weight: 1}},
+		}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid pattern rejected: %v", err)
+	}
+	bads := []*Pattern{
+		{Name: "nofoot", Footprint: 0, Phases: good.Phases},
+		{Name: "nophases", Footprint: 10},
+		{Name: "noacc", Footprint: 10, Phases: []Phase{{Regions: good.Phases[0].Regions}}},
+		{Name: "noregions", Footprint: 10, Phases: []Phase{{Accesses: 1}}},
+		{Name: "oob", Footprint: 10, Phases: []Phase{{Accesses: 1,
+			Regions: []Region{{Start: 5, Size: 10, Weight: 1}}}}},
+		{Name: "negweight", Footprint: 100, Phases: []Phase{{Accesses: 1,
+			Regions: []Region{{Start: 0, Size: 10, Weight: -1}}}}},
+		{Name: "zeroweight", Footprint: 100, Phases: []Phase{{Accesses: 1,
+			Regions: []Region{{Start: 0, Size: 10, Weight: 0}}}}},
+	}
+	for _, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("pattern %q accepted, want error", b.Name)
+		}
+	}
+}
+
+func TestPatternHotRegionShare(t *testing.T) {
+	foot := int64(1 << 20)
+	pat := &Pattern{
+		Name:      "hot",
+		Footprint: foot,
+		Phases: []Phase{{
+			Name: "p", Accesses: 50000, WriteFrac: 0.5,
+			Regions: []Region{
+				{Start: 0, Size: foot / 16, Weight: 0.9},
+				{Start: 0, Size: foot, Weight: 0.1},
+			},
+		}},
+	}
+	w := pat.NewWorkload(1)
+	defer w.Close()
+	inHot, writes, total := 0, 0, 0
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			if a.Addr >= uint64(foot) {
+				t.Fatalf("address %d outside footprint", a.Addr)
+			}
+			if a.Addr < uint64(foot/16) {
+				inHot++
+			}
+			if a.Write {
+				writes++
+			}
+			total++
+		}
+	}
+	if total != 50000 {
+		t.Fatalf("total = %d", total)
+	}
+	// Hot region share: 0.9 + 0.1/16 ≈ 0.906.
+	if f := float64(inHot) / float64(total); f < 0.85 || f > 0.95 {
+		t.Errorf("hot share = %g, want ≈ 0.906", f)
+	}
+	if f := float64(writes) / float64(total); f < 0.45 || f > 0.55 {
+		t.Errorf("write fraction = %g, want ≈ 0.5", f)
+	}
+}
+
+func TestPatternPhaseTransitions(t *testing.T) {
+	foot := int64(1 << 16)
+	pat := &Pattern{
+		Name:      "phased",
+		Footprint: foot,
+		Phases: []Phase{
+			{Name: "a", Accesses: 100,
+				Regions: []Region{{Start: 0, Size: 100, Weight: 1}}},
+			{Name: "b", Accesses: 100,
+				Regions: []Region{{Start: 1000, Size: 100, Weight: 1}}},
+		},
+	}
+	if pat.TotalAccesses() != 200 {
+		t.Errorf("TotalAccesses = %d", pat.TotalAccesses())
+	}
+	w := pat.NewWorkload(2)
+	defer w.Close()
+	var addrs []uint64
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			addrs = append(addrs, a.Addr)
+		}
+	}
+	if len(addrs) != 200 {
+		t.Fatalf("got %d accesses", len(addrs))
+	}
+	for i, a := range addrs[:100] {
+		if a >= 100 {
+			t.Fatalf("access %d (addr %d) outside phase-a region", i, a)
+		}
+	}
+	for i, a := range addrs[100:] {
+		if a < 1000 || a >= 1100 {
+			t.Fatalf("access %d (addr %d) outside phase-b region", i+100, a)
+		}
+	}
+}
+
+func TestPatternS1Shape(t *testing.T) {
+	p := quickProf()
+	pat := PatternS1(p)
+	if err := pat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := pat.NewWorkload(1)
+	defer w.Close()
+	foot := pat.Footprint
+	hotSize := p.Bytes(500.0 / 1024)
+	h1lo, h1hi := uint64(foot/8), uint64(foot/8+hotSize)
+	h2lo, h2hi := uint64(foot*5/8), uint64(foot*5/8+hotSize)
+	inHot, total := 0, 0
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			if (a.Addr >= h1lo && a.Addr < h1hi) || (a.Addr >= h2lo && a.Addr < h2hi) {
+				inHot++
+			}
+			total++
+		}
+	}
+	if f := float64(inHot) / float64(total); f < 0.88 {
+		t.Errorf("S1 hot-region share = %g, want > 0.9 per the paper", f)
+	}
+}
+
+func TestPatternS2HotRegionMoves(t *testing.T) {
+	p := quickProf()
+	pat := PatternS2(p)
+	w := pat.NewWorkload(1)
+	defer w.Close()
+	quarter := pat.TotalAccesses() / 4
+	var firstQuarter, lastQuarter []uint64
+	i := int64(0)
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			if i < quarter {
+				firstQuarter = append(firstQuarter, a.Addr)
+			} else if i >= 3*quarter {
+				lastQuarter = append(lastQuarter, a.Addr)
+			}
+			i++
+		}
+	}
+	mean := func(xs []uint64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += float64(x)
+		}
+		return s / float64(len(xs))
+	}
+	// The hot region shifts from the start toward the end of the space.
+	if mean(lastQuarter) < mean(firstQuarter)*1.5 {
+		t.Errorf("S2 hot region did not move: first mean %g, last mean %g",
+			mean(firstQuarter), mean(lastQuarter))
+	}
+}
+
+func TestPatternsAllValidAndScaled(t *testing.T) {
+	for _, prof := range []Profile{QuickProfile(), DefaultProfile()} {
+		for _, pat := range Patterns(prof) {
+			if err := pat.Validate(); err != nil {
+				t.Errorf("div %d: %v", prof.Div, err)
+			}
+			if pat.Footprint != prof.Bytes(32) {
+				t.Errorf("%s footprint = %d, want %d", pat.Name, pat.Footprint,
+					prof.Bytes(32))
+			}
+		}
+	}
+}
+
+func TestProfileScaling(t *testing.T) {
+	p := DefaultProfile()
+	if got := p.Bytes(64); got != 1<<30 {
+		t.Errorf("Bytes(64GB)/64 = %d, want 1GB", got)
+	}
+	if got := p.PageSize(); got != 32*1024 {
+		t.Errorf("PageSize = %d, want 32KB", got)
+	}
+	if got := p.ScaleCount(6400); got != 100 {
+		t.Errorf("ScaleCount = %d", got)
+	}
+	// Floors.
+	tiny := Profile{Div: 1 << 30}
+	if tiny.Bytes(0.001) != 4096 {
+		t.Errorf("Bytes floor = %d", tiny.Bytes(0.001))
+	}
+	if tiny.PageSize() != 4096 {
+		t.Errorf("PageSize floor = %d", tiny.PageSize())
+	}
+	if tiny.ScaleCount(5) != 1 {
+		t.Errorf("ScaleCount floor = %d", tiny.ScaleCount(5))
+	}
+	// 4KB alignment.
+	odd := Profile{Div: 3}
+	if b := odd.Bytes(0.01); b%4096 != 0 {
+		t.Errorf("Bytes not 4KB-aligned: %d", b)
+	}
+}
+
+func TestPatternS3SingleWideHotRegion(t *testing.T) {
+	p := quickProf()
+	pat := PatternS3(p)
+	w := pat.NewWorkload(1)
+	defer w.Close()
+	lo := uint64(pat.Footprint / 4)
+	hi := lo + uint64(p.Bytes(12))
+	inHot, total := 0, 0
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			if a.Addr >= lo && a.Addr < hi {
+				inHot++
+			}
+			total++
+		}
+	}
+	// 0.92 weight + the background share that falls inside the region.
+	if f := float64(inHot) / float64(total); f < 0.9 {
+		t.Errorf("S3 hot share = %g, want ≥ 0.9", f)
+	}
+}
+
+func TestPatternS4HalfTheHeatOfS3(t *testing.T) {
+	p := quickProf()
+	heat := func(pat *Pattern, start, size int64) float64 {
+		w := pat.NewWorkload(1)
+		defer w.Close()
+		lo, hi := uint64(start), uint64(start+size)
+		in, total := 0, 0
+		for {
+			b, ok := w.Next()
+			if !ok {
+				break
+			}
+			for _, a := range b {
+				if a.Addr >= lo && a.Addr < hi {
+					in++
+				}
+				total++
+			}
+		}
+		// Per-byte heat: share of accesses divided by region size.
+		return float64(in) / float64(total) / float64(size)
+	}
+	s3 := PatternS3(p)
+	s4 := PatternS4(p)
+	h3 := heat(s3, s3.Footprint/4, p.Bytes(12))
+	h4 := heat(s4, s4.Footprint/8, p.Bytes(20))
+	// The paper: S4's region has "half the heat" of S3's per byte.
+	ratio := h4 / h3
+	if ratio < 0.4 || ratio > 0.65 {
+		t.Errorf("S4/S3 per-byte heat ratio = %g, want ≈ 0.5", ratio)
+	}
+}

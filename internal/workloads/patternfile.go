@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a MASIM-style pattern configuration format, so
+// custom access patterns can be described in text files rather than
+// code — mirroring how the paper's motivation study drives MASIM
+// ("a simulator for dense memory access that allows users to specify
+// data access patterns through configuration files", §3).
+//
+// Format (line-oriented; '#' starts a comment):
+//
+//	name     <pattern name>
+//	footprint <size>                      # e.g. 32G, 512M, 4096
+//	phase    <name> accesses=<n> [write=<frac>]
+//	region   start=<size> size=<size> weight=<float>
+//	...
+//
+// Each `region` line attaches to the most recent `phase`. Sizes accept
+// K/M/G suffixes (binary units).
+
+// ParsePattern reads a pattern description from r.
+func ParsePattern(r io.Reader) (*Pattern, error) {
+	p := &Pattern{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("pattern line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "name":
+			if len(fields) != 2 {
+				return nil, errf("name wants one argument")
+			}
+			p.Name = fields[1]
+		case "footprint":
+			if len(fields) != 2 {
+				return nil, errf("footprint wants one argument")
+			}
+			v, err := parseSize(fields[1])
+			if err != nil {
+				return nil, errf("footprint: %v", err)
+			}
+			p.Footprint = v
+		case "phase":
+			if len(fields) < 2 {
+				return nil, errf("phase wants a name")
+			}
+			ph := Phase{Name: fields[1]}
+			for _, kv := range fields[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, errf("phase: bad option %q", kv)
+				}
+				switch k {
+				case "accesses":
+					n, err := parseSize(v)
+					if err != nil {
+						return nil, errf("phase accesses: %v", err)
+					}
+					ph.Accesses = n
+				case "write":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil || f < 0 || f > 1 {
+						return nil, errf("phase write fraction %q", v)
+					}
+					ph.WriteFrac = f
+				default:
+					return nil, errf("phase: unknown option %q", k)
+				}
+			}
+			p.Phases = append(p.Phases, ph)
+		case "region":
+			if len(p.Phases) == 0 {
+				return nil, errf("region before any phase")
+			}
+			reg := Region{}
+			seen := map[string]bool{}
+			for _, kv := range fields[1:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, errf("region: bad option %q", kv)
+				}
+				seen[k] = true
+				switch k {
+				case "start":
+					n, err := parseSize(v)
+					if err != nil {
+						return nil, errf("region start: %v", err)
+					}
+					reg.Start = n
+				case "size":
+					n, err := parseSize(v)
+					if err != nil {
+						return nil, errf("region size: %v", err)
+					}
+					reg.Size = n
+				case "weight":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return nil, errf("region weight %q", v)
+					}
+					reg.Weight = f
+				default:
+					return nil, errf("region: unknown option %q", k)
+				}
+			}
+			if !seen["size"] || !seen["weight"] {
+				return nil, errf("region needs size= and weight=")
+			}
+			ph := &p.Phases[len(p.Phases)-1]
+			ph.Regions = append(ph.Regions, reg)
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.Name == "" {
+		p.Name = "pattern"
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseSize parses an integer with an optional binary K/M/G suffix.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

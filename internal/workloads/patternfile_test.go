@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const goodPattern = `
+# Two-phase pattern: hot region moves.
+name moving-hot
+footprint 64M
+
+phase early accesses=1000 write=0.25
+region start=0   size=8M  weight=0.9
+region start=0   size=64M weight=0.1
+
+phase late accesses=2000
+region start=32M size=8M  weight=1.0
+`
+
+func TestParsePattern(t *testing.T) {
+	p, err := ParsePattern(strings.NewReader(goodPattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "moving-hot" || p.Footprint != 64<<20 {
+		t.Errorf("header = %q/%d", p.Name, p.Footprint)
+	}
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %d", len(p.Phases))
+	}
+	early := p.Phases[0]
+	if early.Name != "early" || early.Accesses != 1000 || early.WriteFrac != 0.25 {
+		t.Errorf("early = %+v", early)
+	}
+	if len(early.Regions) != 2 || early.Regions[0].Size != 8<<20 ||
+		early.Regions[0].Weight != 0.9 {
+		t.Errorf("early regions = %+v", early.Regions)
+	}
+	late := p.Phases[1]
+	if late.Accesses != 2000 || late.WriteFrac != 0 ||
+		late.Regions[0].Start != 32<<20 {
+		t.Errorf("late = %+v", late)
+	}
+	if p.TotalAccesses() != 3000 {
+		t.Errorf("TotalAccesses = %d", p.TotalAccesses())
+	}
+	// The parsed pattern actually runs.
+	w := p.NewWorkload(1)
+	defer w.Close()
+	if got := Drain(w); got != 3000 {
+		t.Errorf("drained %d accesses", got)
+	}
+}
+
+func TestParsePatternSizeSuffixes(t *testing.T) {
+	for in, want := range map[string]int64{
+		"123": 123, "4K": 4 << 10, "2k": 2 << 10, "7M": 7 << 20,
+		"3m": 3 << 20, "1G": 1 << 30, "2g": 2 << 30,
+	} {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	if _, err := parseSize("12X"); err == nil {
+		t.Error("bad suffix accepted")
+	}
+	if _, err := parseSize("G"); err == nil {
+		t.Error("bare suffix accepted")
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "bogus 1 2 3",
+		"region first":      "footprint 1M\nregion size=1K weight=1",
+		"bad phase option":  "footprint 1M\nphase p accesses=10 color=red\nregion size=1K weight=1",
+		"bad write":         "footprint 1M\nphase p accesses=10 write=2\nregion size=1K weight=1",
+		"missing weight":    "footprint 1M\nphase p accesses=10\nregion size=1K",
+		"region oob":        "footprint 1M\nphase p accesses=10\nregion start=1M size=1K weight=1",
+		"no phases":         "footprint 1M",
+		"zero accesses":     "footprint 1M\nphase p\nregion size=1K weight=1",
+		"bad kv":            "footprint 1M\nphase p accesses=10\nregion size weight=1",
+		"name arity":        "name a b",
+	}
+	for label, src := range cases {
+		if _, err := ParsePattern(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted:\n%s", label, src)
+		}
+	}
+}
+
+func TestParsePatternDefaultsName(t *testing.T) {
+	p, err := ParsePattern(strings.NewReader(
+		"footprint 1M\nphase p accesses=5\nregion size=1K weight=1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "pattern" {
+		t.Errorf("default name = %q", p.Name)
+	}
+}
+
+// ExampleParsePattern shows the MASIM-style pattern file format.
+func ExampleParsePattern() {
+	src := `
+name demo
+footprint 16M
+phase warm accesses=100 write=0.5
+region start=0  size=4M  weight=0.8
+region start=0  size=16M weight=0.2
+`
+	p, err := ParsePattern(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d phases, %d accesses over %dMB\n",
+		p.Name, len(p.Phases), p.TotalAccesses(), p.Footprint>>20)
+	// Output:
+	// demo: 1 phases, 100 accesses over 16MB
+}

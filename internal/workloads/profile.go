@@ -1,0 +1,66 @@
+package workloads
+
+// Profile scales the paper's experiments down to laptop size. The paper
+// runs tens-of-GB footprints on real hardware for minutes; the simulator
+// divides every footprint by Div and shrinks the migration page size by
+// the same factor, so page counts — and therefore the behaviour of
+// page-granularity policies — match the paper's setup (see DESIGN.md §4).
+type Profile struct {
+	// Div divides the paper's footprints (and the 2MB page size).
+	Div int64
+	// PatternAccesses is the trace length for the synthetic patterns.
+	PatternAccesses int64
+	// AppAccesses caps each application workload's trace.
+	AppAccesses int64
+	// Seed is the base RNG seed for workload construction.
+	Seed uint64
+}
+
+// DefaultProfile is the standard experiment scale: 1/64 of the paper.
+func DefaultProfile() Profile {
+	return Profile{
+		Div:             64,
+		PatternAccesses: 16_000_000,
+		AppAccesses:     8_000_000,
+		Seed:            1,
+	}
+}
+
+// QuickProfile is a miniature scale for unit tests and smoke runs.
+func QuickProfile() Profile {
+	return Profile{
+		Div:             512,
+		PatternAccesses: 800_000,
+		AppAccesses:     400_000,
+		Seed:            1,
+	}
+}
+
+// Bytes converts a size in paper-GB to scaled bytes, rounded up to 4KB.
+func (p Profile) Bytes(paperGB float64) int64 {
+	b := int64(paperGB * (1 << 30) / float64(p.Div))
+	if b < 4096 {
+		b = 4096
+	}
+	return (b + 4095) &^ 4095
+}
+
+// PageSize returns the scaled migration page size: the paper's 2MB huge
+// page divided by Div, floored at 4KB.
+func (p Profile) PageSize() int64 {
+	ps := (2 << 20) / p.Div
+	if ps < 4096 {
+		ps = 4096
+	}
+	return ps
+}
+
+// ScaleCount scales an item count (keys, vertices) by the footprint
+// divisor, with a floor of 1.
+func (p Profile) ScaleCount(paperCount int64) int {
+	c := paperCount / p.Div
+	if c < 1 {
+		c = 1
+	}
+	return int(c)
+}

@@ -1,0 +1,99 @@
+package workloads
+
+import "fmt"
+
+// Spec describes one constructible workload.
+type Spec struct {
+	// Name is the workload's registry key (matches Table 3).
+	Name string
+	// PaperGB is the paper's reported memory footprint in GB.
+	PaperGB float64
+	// New constructs a fresh single-use workload at the given scale.
+	New func(p Profile) Workload
+}
+
+// Apps lists the paper's eight applications (Table 3) in its order.
+var Apps = []Spec{
+	{Name: "YCSB", PaperGB: paperYCSBGB, New: NewYCSB},
+	{Name: "CC", PaperGB: paperCCGB, New: NewCC},
+	{Name: "SSSP", PaperGB: paperSSSPGB, New: NewSSSP},
+	{Name: "PR", PaperGB: paperPRGB, New: NewPR},
+	{Name: "XSBench", PaperGB: paperXSBenchGB, New: NewXSBench},
+	{Name: "DLRM", PaperGB: paperDLRMGB, New: NewDLRM},
+	{Name: "Btree", PaperGB: paperBtreeGB, New: NewBtree},
+	{Name: "Liblinear", PaperGB: paperLiblinearGB, New: NewLiblinear},
+}
+
+// SyntheticSpecs lists the four MASIM patterns S1–S4 as Specs.
+func SyntheticSpecs() []Spec {
+	mk := func(name string, f func(Profile) *Pattern) Spec {
+		return Spec{
+			Name:    name,
+			PaperGB: paperPatternGB,
+			New: func(p Profile) Workload {
+				// Real programs initialize their memory before the access
+				// phase; see WithInitSweep.
+				return WithInitSweep(f(p).NewWorkload(p.Seed^uint64(name[1])), 0)
+			},
+		}
+	}
+	return []Spec{
+		mk("S1", PatternS1),
+		mk("S2", PatternS2),
+		mk("S3", PatternS3),
+		mk("S4", PatternS4),
+	}
+}
+
+// ByName finds a workload spec among the applications, the synthetic
+// patterns, and the mixed combinations.
+func ByName(name string) (Spec, error) {
+	for _, s := range Apps {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range SyntheticSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range MixedSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// MixedSpecs lists the concurrent combinations of §6.3.10 (three
+// workloads from different application domains, run together).
+func MixedSpecs() []Spec {
+	pair := func(name string, a, b func(Profile) Workload) Spec {
+		return Spec{
+			Name: name,
+			New: func(p Profile) Workload {
+				// Split the budget so the mix's length matches a single
+				// workload's.
+				half := p
+				half.AppAccesses = p.AppAccesses / 2
+				return Mixed(name, a(half), b(half))
+			},
+		}
+	}
+	triple := Spec{
+		Name: "SSSP+XSBench+DLRM",
+		New: func(p Profile) Workload {
+			third := p
+			third.AppAccesses = p.AppAccesses / 3
+			return Mixed("SSSP+XSBench+DLRM",
+				NewSSSP(third), NewXSBench(third), NewDLRM(third))
+		},
+	}
+	return []Spec{
+		pair("SSSP+XSBench", NewSSSP, NewXSBench),
+		pair("SSSP+DLRM", NewSSSP, NewDLRM),
+		pair("XSBench+DLRM", NewXSBench, NewDLRM),
+		triple,
+	}
+}

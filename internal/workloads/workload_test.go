@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestNewGeneratorBatches(t *testing.T) {
+	n := 0
+	w := NewGenerator("g", 100, func() (Access, bool) {
+		if n >= 100 {
+			return Access{}, false
+		}
+		a := Access{Addr: uint64(n)}
+		n++
+		return a, true
+	})
+	defer w.Close()
+	if w.Name() != "g" || w.FootprintBytes() != 100 {
+		t.Errorf("metadata wrong: %s/%d", w.Name(), w.FootprintBytes())
+	}
+	total := int64(0)
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for i, a := range b {
+			if a.Addr != uint64(total)+uint64(i) {
+				t.Fatalf("access %d addr %d", total+int64(i), a.Addr)
+			}
+		}
+		total += int64(len(b))
+	}
+	if total != 100 {
+		t.Errorf("drained %d accesses, want 100", total)
+	}
+	// Exhausted workloads stay exhausted.
+	if _, ok := w.Next(); ok {
+		t.Error("Next returned ok after exhaustion")
+	}
+}
+
+func TestNewTraceProducesAll(t *testing.T) {
+	const n = 3*BatchSize + 17
+	w := NewTrace("t", 1<<20, func(emit func(uint64, bool)) {
+		for i := 0; i < n; i++ {
+			emit(uint64(i), i%2 == 0)
+		}
+	})
+	defer w.Close()
+	var total int64
+	var last Access
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		total += int64(len(b))
+		last = b[len(b)-1]
+	}
+	if total != n {
+		t.Errorf("drained %d, want %d", total, n)
+	}
+	if last.Addr != n-1 {
+		t.Errorf("last addr %d, want %d", last.Addr, n-1)
+	}
+}
+
+func TestNewTraceEarlyCloseUnblocksProducer(t *testing.T) {
+	done := make(chan struct{})
+	w := NewTrace("t", 1<<20, func(emit func(uint64, bool)) {
+		defer close(done)
+		for i := uint64(0); ; i++ { // infinite producer
+			emit(i, false)
+		}
+	})
+	if _, ok := w.Next(); !ok {
+		t.Fatal("no first batch")
+	}
+	w.Close()
+	select {
+	case <-done:
+	default:
+		t.Error("producer goroutine still running after Close")
+	}
+	// Close is idempotent.
+	w.Close()
+}
+
+func TestNewTraceCloseBeforeNext(t *testing.T) {
+	w := NewTrace("t", 1, func(emit func(uint64, bool)) {
+		for i := uint64(0); i < 1_000_000; i++ {
+			emit(i, false)
+		}
+	})
+	w.Close() // must not deadlock or leak
+}
+
+func TestLimit(t *testing.T) {
+	mk := func() Workload {
+		n := 0
+		return NewGenerator("g", 1, func() (Access, bool) {
+			n++
+			return Access{Addr: uint64(n)}, true // infinite
+		})
+	}
+	w := Limit(mk(), 100)
+	defer w.Close()
+	if got := Drain(w); got != 100 {
+		t.Errorf("limited drain = %d, want 100", got)
+	}
+	// Limit spanning multiple batches.
+	w2 := Limit(mk(), BatchSize+5)
+	defer w2.Close()
+	if got := Drain(w2); got != BatchSize+5 {
+		t.Errorf("limited drain = %d, want %d", got, BatchSize+5)
+	}
+	// Non-positive limit: unlimited (same workload back).
+	inner := mk()
+	if Limit(inner, 0) != inner {
+		t.Error("Limit(0) wrapped the workload")
+	}
+	inner.Close()
+}
+
+func TestMixedInterleavesAndOffsets(t *testing.T) {
+	mk := func(name string, count int, foot int64) Workload {
+		n := 0
+		return NewGenerator(name, foot, func() (Access, bool) {
+			if n >= count {
+				return Access{}, false
+			}
+			n++
+			return Access{Addr: 0}, true
+		})
+	}
+	a := mk("a", BatchSize*2, 1000)
+	b := mk("b", BatchSize, 2000)
+	m := Mixed("a+b", a, b)
+	defer m.Close()
+	if m.FootprintBytes() != 3000 {
+		t.Errorf("mixed footprint = %d, want 3000", m.FootprintBytes())
+	}
+	// Drain, tracking which child each batch came from via its address
+	// offset (child a at 0, child b at 1000).
+	var fromA, fromB int64
+	order := []int{}
+	for {
+		batch, ok := m.Next()
+		if !ok {
+			break
+		}
+		if batch[0].Addr == 0 {
+			fromA += int64(len(batch))
+			order = append(order, 0)
+		} else if batch[0].Addr == 1000 {
+			fromB += int64(len(batch))
+			order = append(order, 1)
+		} else {
+			t.Fatalf("unexpected offset %d", batch[0].Addr)
+		}
+	}
+	if fromA != BatchSize*2 || fromB != BatchSize {
+		t.Errorf("drained %d/%d, want %d/%d", fromA, fromB, BatchSize*2, BatchSize)
+	}
+	// Batches must alternate while both children are live.
+	if len(order) < 3 || order[0] == order[1] {
+		t.Errorf("no interleaving: %v", order)
+	}
+}
+
+func TestMixedFinishesWhenAllChildrenDo(t *testing.T) {
+	empty := NewGenerator("e", 1, func() (Access, bool) { return Access{}, false })
+	m := Mixed("solo", empty)
+	defer m.Close()
+	if got := Drain(m); got != 0 {
+		t.Errorf("empty mix drained %d", got)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	n := 0
+	w := NewGenerator("g", 1, func() (Access, bool) {
+		if n >= 37 {
+			return Access{}, false
+		}
+		n++
+		return Access{}, true
+	})
+	defer w.Close()
+	if got := Drain(w); got != 37 {
+		t.Errorf("Drain = %d", got)
+	}
+}

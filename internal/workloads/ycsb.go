@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"artmem/internal/dist"
+	"artmem/internal/kvstore"
+)
+
+// YCSB drives the kvstore substrate with the Yahoo! Cloud Serving
+// Benchmark core workloads, reproducing the paper's in-memory-database
+// evaluation (§6.2): "We ran YCSB workloads A, B, C, D, and F in
+// Memcached, executing them sequentially in the order of A B C F D."
+//
+// Request popularity uses YCSB's scrambled-Zipfian distribution
+// (theta = 0.99) for A/B/C/F and the latest-distribution for D (reads
+// concentrate on recently inserted records).
+
+const paperYCSBGB = 32.0
+
+// ycsbOp describes one workload letter's operation mix.
+type ycsbOp struct {
+	name       string
+	readFrac   float64 // plain reads
+	updateFrac float64 // overwrites of existing keys
+	rmwFrac    float64 // read-modify-write (workload F)
+	insertFrac float64 // new keys (workload D)
+	latest     bool    // use the latest distribution instead of zipfian
+}
+
+// The YCSB core mixes, in the paper's execution order.
+var ycsbMixes = []ycsbOp{
+	{name: "A", readFrac: 0.5, updateFrac: 0.5},
+	{name: "B", readFrac: 0.95, updateFrac: 0.05},
+	{name: "C", readFrac: 1.0},
+	{name: "F", readFrac: 0.5, rmwFrac: 0.5},
+	{name: "D", readFrac: 0.95, insertFrac: 0.05, latest: true},
+}
+
+// NewYCSB builds the YCSB workload at the profile's scale.
+func NewYCSB(p Profile) Workload {
+	foot := p.Bytes(paperYCSBGB)
+	// One item ≈ 1KB value + a 64B index bucket.
+	numItems := int(foot / (1024 + 64))
+	cfg := kvstore.Config{
+		Base:        0,
+		NumBuckets:  numItems,
+		BucketBytes: 64,
+		ValueBytes:  1024,
+	}
+	store := kvstore.New(cfg)
+	opsPerPhase := p.AppAccesses / 10 / int64(len(ycsbMixes)) // ~10 touches per op
+	if opsPerPhase < 1 {
+		opsPerPhase = 1
+	}
+	run := func(emit func(addr uint64, write bool)) {
+		rng := dist.NewRNG(p.Seed ^ 0x79635362) // "ycsb"
+		// Load phase: populate every record sequentially.
+		for k := 0; k < numItems; k++ {
+			store.Put(uint64(k), emit)
+		}
+		nextKey := uint64(numItems)
+		zip := dist.NewScrambledZipf(rng.Split(), uint64(numItems), 0.99)
+		latest := dist.NewZipf(rng.Split(), uint64(numItems), 0.99)
+		for _, mix := range ycsbMixes {
+			for op := int64(0); op < opsPerPhase; op++ {
+				var key uint64
+				if mix.latest {
+					// Latest distribution: offsets back from the newest key.
+					off := latest.Next()
+					key = nextKey - 1 - off%nextKey
+				} else {
+					key = zip.Next()
+				}
+				u := rng.Float64()
+				switch {
+				case u < mix.readFrac:
+					store.Get(key, emit)
+				case u < mix.readFrac+mix.updateFrac:
+					store.Put(key, emit)
+				case u < mix.readFrac+mix.updateFrac+mix.rmwFrac:
+					store.ReadModifyWrite(key, emit)
+				default:
+					store.Put(nextKey, emit)
+					nextKey++
+				}
+			}
+		}
+	}
+	// Inserts in workload D grow the footprint slightly past the load
+	// size; reserve 6% headroom (5% inserts of one phase).
+	headroom := cfg.FootprintFor(numItems + int(opsPerPhase/10) + 1)
+	return Limit(NewTrace("YCSB", headroom, run), p.AppAccesses)
+}
