@@ -1,0 +1,21 @@
+# Tier-1 verify (fast, what CI gates on): build + test.
+# `make check` is the full gate: vet + build + test + race detector.
+
+.PHONY: all build test check race vet
+
+all: build
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race -short ./...
+
+check:
+	sh scripts/check.sh

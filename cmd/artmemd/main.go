@@ -13,14 +13,22 @@
 //
 // The workload replays in a loop until interrupted, so the agent keeps
 // learning and the endpoints always show live state.
+//
+// The daemon is built to survive: SIGINT and SIGTERM drain the HTTP
+// server with a timeout before stopping the system, worker goroutines
+// recover from panics, and (with -checkpoint) the agent's Q-tables are
+// checkpointed periodically and at shutdown so a restart resumes
+// learning instead of starting cold.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"artmem/internal/core"
@@ -30,11 +38,14 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "XSBench", "workload to drive the system with")
-		ratio  = flag.String("ratio", "1:4", "DRAM:PM ratio")
-		div    = flag.Int64("div", 256, "footprint divisor")
-		acc    = flag.Int64("accesses", 3_000_000, "accesses per workload replay")
-		listen = flag.String("listen", "127.0.0.1:7600", "HTTP listen address")
+		name      = flag.String("workload", "XSBench", "workload to drive the system with")
+		ratio     = flag.String("ratio", "1:4", "DRAM:PM ratio")
+		div       = flag.Int64("div", 256, "footprint divisor")
+		acc       = flag.Int64("accesses", 3_000_000, "accesses per workload replay")
+		listen    = flag.String("listen", "127.0.0.1:7600", "HTTP listen address")
+		ckptPath  = flag.String("checkpoint", "", "Q-table snapshot path: restored at startup if present, saved periodically and at shutdown")
+		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "interval between Q-table checkpoints")
+		drain     = flag.Duration("shutdown-timeout", 5*time.Second, "HTTP drain timeout on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -59,51 +70,126 @@ func main() {
 		SamplingInterval:  time.Millisecond,
 		MigrationInterval: 10 * time.Millisecond,
 	})
+	if *ckptPath != "" {
+		switch err := sys.RestoreQTablesFile(*ckptPath); {
+		case err == nil:
+			fmt.Printf("artmemd: resumed Q-tables from %s\n", *ckptPath)
+		case os.IsNotExist(err):
+			fmt.Printf("artmemd: no checkpoint at %s, starting cold\n", *ckptPath)
+		default:
+			// A corrupt checkpoint must not kill the daemon: the restore
+			// leaves the live tables untouched, so learning starts fresh.
+			fmt.Fprintf(os.Stderr, "artmemd: ignoring unreadable checkpoint: %v\n", err)
+		}
+	}
 	sys.Start()
 	defer sys.Stop()
 
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
 	srv := &http.Server{Addr: *listen, Handler: sys.ControlHandler()}
-	go func() {
+	go protect("http", func() {
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 			fatal(err)
 		}
-	}()
+	})
+
+	// Periodic Q-table checkpointing: a daemon restart resumes learning
+	// from the last snapshot instead of re-exploring from scratch.
+	ckptDone := make(chan struct{})
+	if *ckptPath != "" && *ckptEvery > 0 {
+		go protect("checkpoint", func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ckptDone:
+					return
+				case <-tick.C:
+					if err := sys.SaveQTablesFile(*ckptPath); err != nil {
+						fmt.Fprintf(os.Stderr, "artmemd: checkpoint failed: %v\n", err)
+					}
+				}
+			}
+		})
+	}
+
 	fmt.Printf("artmemd: serving interaction channels on http://%s\n", *listen)
-	fmt.Printf("artmemd: replaying %s (%d MB) at %s in a loop; ctrl-c to stop\n",
+	fmt.Printf("artmemd: replaying %s (%d MB) at %s in a loop; SIGINT/SIGTERM to stop\n",
 		*name, foot>>20, *ratio)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
 	replays := 0
 loop:
 	for {
-		w := spec.New(prof)
-		for {
-			b, ok := w.Next()
-			if !ok {
-				break
-			}
-			for _, a := range b {
-				sys.Access(a.Addr, a.Write)
-			}
-			select {
-			case <-stop:
-				w.Close()
-				break loop
-			default:
-			}
+		if !replay(sys, spec, prof, stop) {
+			break loop
 		}
-		w.Close()
 		replays++
 		c := sys.Counters()
-		fmt.Printf("replay %d done: DRAM ratio %.3f, %d migrations, %d RL decisions\n",
-			replays, c.DRAMRatio(), c.Migrations, sys.Policy().Decisions())
+		h := sys.Health()
+		fmt.Printf("replay %d done: DRAM ratio %.3f, %d migrations, %d RL decisions, degraded=%v\n",
+			replays, c.DRAMRatio(), c.Migrations, sys.Policy().Decisions(), h.Degraded)
 	}
-	srv.Close()
+
+	// Graceful shutdown: drain in-flight HTTP requests with a deadline,
+	// then stop the background threads and take a final checkpoint.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "artmemd: http drain: %v\n", err)
+	}
+	close(ckptDone)
+	sys.Stop()
+	if *ckptPath != "" {
+		if err := sys.SaveQTablesFile(*ckptPath); err != nil {
+			fmt.Fprintf(os.Stderr, "artmemd: final checkpoint failed: %v\n", err)
+		} else {
+			fmt.Printf("artmemd: checkpointed Q-tables to %s\n", *ckptPath)
+		}
+	}
 	fmt.Println("artmemd: stopped")
+}
+
+// replay runs one pass of the workload, returning false when a stop
+// signal arrived. A panic inside the workload or the access path is
+// recovered so one bad replay cannot take the daemon down.
+func replay(sys *core.System, spec workloads.Spec, prof workloads.Profile, stop <-chan os.Signal) (again bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "artmemd: replay panicked (recovered): %v\n", r)
+			again = true
+		}
+	}()
+	w := spec.New(prof)
+	defer w.Close()
+	for {
+		b, ok := w.Next()
+		if !ok {
+			return true
+		}
+		for _, a := range b {
+			sys.Access(a.Addr, a.Write)
+		}
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "artmemd:", err)
 	os.Exit(1)
+}
+
+// protect runs f, recovering and reporting a panic instead of crashing.
+func protect(name string, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "artmemd: %s goroutine panicked (recovered): %v\n", name, r)
+		}
+	}()
+	f()
 }

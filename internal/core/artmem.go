@@ -29,6 +29,7 @@
 package core
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"artmem/internal/dist"
@@ -103,6 +104,22 @@ type Config struct {
 	// memory-latency signal (§6.3.4).
 	LatencyReward bool
 
+	// MigrationRetries caps per-page retries when MovePage fails
+	// transiently (memsim.ErrMigrationBusy). 0 uses the default (3);
+	// negative disables retries (fail fast, skip the page).
+	MigrationRetries int
+	// MigrationBackoffNs is the background CPU cost charged for the
+	// first retry of a busy page; each further retry doubles it, capped
+	// at 8x. 0 uses the default (2000ns).
+	MigrationBackoffNs float64
+	// DegradeAfter is the number of consecutive empty sampling windows
+	// after which the agent falls back to the heuristic
+	// capacity-threshold policy (graceful degradation: a dry signal must
+	// not leave migration steered by a stale Q-state). RL re-engages on
+	// the first window with samples. 0 uses the default (8); negative
+	// disables degradation.
+	DegradeAfter int
+
 	// Debug, when non-nil, receives a per-tick trace line (printf-style).
 	Debug func(format string, args ...any)
 }
@@ -148,6 +165,15 @@ func (c *Config) defaults() {
 		// scaled to the simulator's floor of 2 this is {−2, −1, 0, +1, +2}.
 		c.ThresholdDeltas = []int{-2, -1, 0, 1, 2}
 	}
+	if c.MigrationRetries == 0 {
+		c.MigrationRetries = 3
+	}
+	if c.MigrationBackoffNs == 0 {
+		c.MigrationBackoffNs = 2000
+	}
+	if c.DegradeAfter == 0 {
+		c.DegradeAfter = 8
+	}
 }
 
 // ArtMem is the policy. It implements the same Policy contract as the
@@ -172,6 +198,13 @@ type ArtMem struct {
 	latEMA    float64
 	scanQuota int
 
+	// Degraded-mode state machine: consecutive empty sampling windows
+	// trip the fallback to the heuristic policy; the first window with
+	// samples re-engages RL.
+	noSampleStreak int
+	degraded       bool
+	faults         FaultStats
+
 	// Stats surfaced for experiments. decisions is read from other
 	// goroutines through the online runtime's control channels.
 	decisions     atomic.Uint64
@@ -180,6 +213,26 @@ type ArtMem struct {
 	lastWinSlow   uint64
 	lastMigrated  int
 	coolingResets uint64
+}
+
+// FaultStats counts the agent's resilience activity: how migration
+// failures were absorbed and how much time was spent in degraded mode.
+type FaultStats struct {
+	// Retries is the number of MovePage retries after transient failures.
+	Retries uint64
+	// SkippedPages is the number of migration candidates abandoned after
+	// retries were exhausted (skip-and-continue).
+	SkippedPages uint64
+	// Rollbacks is the number of demotions undone because the promotion
+	// they made room for failed permanently (Nomad-style copy-then-commit).
+	Rollbacks uint64
+	// TierFullStops counts migration periods cut short because the slow
+	// tier had no capacity left to demote into.
+	TierFullStops uint64
+	// DegradedTicks is the number of decision periods spent in the
+	// heuristic fallback; DegradedEntries counts transitions into it.
+	DegradedTicks   uint64
+	DegradedEntries uint64
 }
 
 // New returns an ArtMem policy with the given configuration.
@@ -227,6 +280,11 @@ func (a *ArtMem) Attach(m *memsim.Machine) {
 		SampleCostNs: 20,
 		Charge:       m.ChargeBackground,
 	})
+	if fi, ok := m.FaultInjector().(pebs.Injector); ok {
+		// A chaos injector installed on the machine also perturbs the
+		// sampling path when it implements the pebs hooks.
+		a.sampler.SetInjector(fi)
+	}
 	m.SetSampler(a.sampler)
 	a.hist = ema.New(m.NumPages(), a.cfg.CoolingSamples)
 	a.scanQuota = m.NumPages()/4 + 1
@@ -301,6 +359,16 @@ func (a *ArtMem) SamplingOverheadNs() float64 {
 	}
 	return float64(a.sampler.Total()) * 20
 }
+
+// Degraded reports whether the agent is currently in the heuristic
+// fallback mode (sampling signal dry for DegradeAfter periods).
+func (a *ArtMem) Degraded() bool { return a.degraded }
+
+// FaultStats returns a snapshot of the agent's resilience counters.
+func (a *ArtMem) FaultStats() FaultStats { return a.faults }
+
+// Sampler returns the agent's PEBS sampler (for stats endpoints).
+func (a *ArtMem) Sampler() *pebs.Sampler { return a.sampler }
 
 // QTables returns the two live Q-tables (migration-number, threshold).
 // Used by the robustness study to transplant trained tables (§6.3.6).
@@ -410,6 +478,16 @@ func (a *ArtMem) PumpSamples() {
 	}
 }
 
+// heuristicTick runs the fallback policy: capacity-derived threshold and
+// a fixed mid-ladder migration number — the same strategy as the
+// DisableRL ablation, reused as the degraded mode.
+func (a *ArtMem) heuristicTick() {
+	a.threshold = a.capacityThreshold()
+	mid := len(a.cfg.MigrationPages) / 2
+	a.lastMigrated = a.migrate(a.cfg.MigrationPages[mid])
+	a.migrated = a.lastMigrated > 0
+}
+
 // Tick implements the policy contract: one iteration of Algorithm 1.
 func (a *ArtMem) Tick(now int64) {
 	a.decisions.Add(1)
@@ -418,22 +496,60 @@ func (a *ArtMem) Tick(now int64) {
 
 	if a.cfg.DisableRL {
 		// Heuristic ablation: capacity threshold, fixed migration number.
-		a.threshold = a.capacityThreshold()
-		mid := len(a.cfg.MigrationPages) / 2
-		a.lastMigrated = a.migrate(a.cfg.MigrationPages[mid])
-		a.migrated = a.lastMigrated > 0
+		a.heuristicTick()
 		return
 	}
 
 	// ⑤ Observe the new state; ⑥ compute the reward and update both
 	// Q-tables; then choose the next actions (ε-greedy) and ④ migrate.
 	cur := a.observeState()
-	r := a.reward(a.state, cur)
+
+	// Graceful degradation: one empty window is a legitimate RL state
+	// (the cache absorbed everything), but a long dry spell means the
+	// sampling substrate itself is unhealthy — the no-sample reward would
+	// keep scoring "best case" while slow-tier traffic goes unobserved.
+	// After DegradeAfter consecutive empty windows, fall back to the
+	// heuristic policy; re-engage RL on the first window with samples.
+	if cur == a.noSampleState() {
+		a.noSampleStreak++
+	} else {
+		a.noSampleStreak = 0
+	}
+	reengaged := false
+	if a.degraded {
+		if cur == a.noSampleState() {
+			a.faults.DegradedTicks++
+			a.heuristicTick()
+			return
+		}
+		a.degraded = false
+		reengaged = true
+	} else if a.cfg.DegradeAfter > 0 && a.noSampleStreak >= a.cfg.DegradeAfter {
+		a.degraded = true
+		a.faults.DegradedEntries++
+		a.faults.DegradedTicks++
+		if a.cfg.Debug != nil {
+			a.cfg.Debug("tick %d: entering degraded mode after %d empty windows",
+				a.decisions.Load(), a.noSampleStreak)
+		}
+		a.heuristicTick()
+		return
+	}
 
 	nextMig := a.qMig.Choose(cur)
 	nextThr := a.qThr.Choose(cur)
-	a.qMig.Update(a.state, a.actMig, r, cur, nextMig)
-	a.qThr.Update(a.state, a.actThr, r, cur, nextThr)
+	var r float64
+	if reengaged {
+		// No reward bridges the degraded gap: the recorded actions were
+		// not what steered those periods (the heuristic was). Restart the
+		// trajectory from the fresh observation.
+		a.state = cur
+		a.migrated = false
+	} else {
+		r = a.reward(a.state, cur)
+		a.qMig.Update(a.state, a.actMig, r, cur, nextMig)
+		a.qThr.Update(a.state, a.actThr, r, cur, nextThr)
+	}
 	a.rlNanos += 120 // two table updates + two selections (§6.4)
 	a.m.ChargeBackground(120)
 
@@ -490,9 +606,16 @@ func (a *ArtMem) migrate(want int) int {
 	}
 	promoted := 0
 	for _, p := range cands {
+		// Each candidate is one transaction: (optionally) demote a victim
+		// to make room, then promote. List updates commit only after the
+		// corresponding MovePage succeeds, and a demotion whose paired
+		// promotion fails permanently is rolled back (Nomad-style
+		// copy-then-commit), so list and tier state never diverge.
+		victim := memsim.NoPage
+		victimList := lru.None
 		if m.FreePages(memsim.Fast) == 0 {
 			// Demotion starts from the tail of the fast inactive list.
-			victim := a.lists.Tail(lru.FastInactive)
+			victim = a.lists.Tail(lru.FastInactive)
 			if victim == memsim.NoPage {
 				victim = a.lists.Tail(lru.FastActive)
 			}
@@ -505,23 +628,70 @@ func (a *ArtMem) migrate(want int) int {
 			// is exactly what the paper's page sorting corrects for (§4.3).
 			// Only an *actively hot* victim (still on the active list with
 			// a count above the incoming page's) blocks the swap.
-			if a.lists.ListOf(victim) == lru.FastActive &&
+			victimList = a.lists.ListOf(victim)
+			if victimList == lru.FastActive &&
 				a.hist.Count(victim) > a.hist.Count(p) {
 				break
 			}
-			if m.MovePage(victim, memsim.Slow) != nil {
-				break
+			switch err := a.moveWithRetry(victim, memsim.Slow); {
+			case err == nil:
+				a.insertAfterMigration(victim, memsim.Slow, victimList == lru.FastActive)
+			case errors.Is(err, memsim.ErrTierFull):
+				// The slow tier has no room: no demotion can succeed this
+				// period, so stop instead of hammering a full tier.
+				a.faults.TierFullStops++
+				return promoted
+			default:
+				// A transient failure outlived the retries: skip this
+				// candidate and continue (the victim stays resident).
+				a.faults.SkippedPages++
+				continue
 			}
-			a.insertAfterMigration(victim, memsim.Slow, a.lists.ListOf(victim) == lru.FastActive)
 		}
 		wasActive := a.lists.ListOf(p) == lru.SlowActive
-		if m.MovePage(p, memsim.Fast) != nil {
-			break
+		if err := a.moveWithRetry(p, memsim.Fast); err != nil {
+			a.faults.SkippedPages++
+			if victim != memsim.NoPage {
+				// Roll back the demotion performed solely to make room for
+				// this promotion: re-promote the victim and restore its
+				// list membership, so a failed transaction does not evict
+				// resident pages for nothing.
+				if a.moveWithRetry(victim, memsim.Fast) == nil {
+					a.lists.PushHead(victimList, victim)
+					a.faults.Rollbacks++
+				}
+			}
+			continue
 		}
 		a.insertAfterMigration(p, memsim.Fast, wasActive)
 		promoted++
 	}
 	return promoted
+}
+
+// moveWithRetry attempts MovePage(p, dst), retrying transient busy
+// failures (memsim.ErrMigrationBusy) with capped exponential backoff.
+// Each retry charges the backoff to background CPU time — the migration
+// thread waiting out a busy page. Non-transient errors (ErrTierFull,
+// ErrNotAllocated) return immediately; after the retry budget is
+// exhausted the last busy error is returned for the caller to skip on.
+func (a *ArtMem) moveWithRetry(p memsim.PageID, dst memsim.TierID) error {
+	backoff := a.cfg.MigrationBackoffNs
+	maxBackoff := backoff * 8
+	for attempt := 0; ; attempt++ {
+		err := a.m.MovePage(p, dst)
+		if err == nil || !errors.Is(err, memsim.ErrMigrationBusy) {
+			return err
+		}
+		if attempt >= a.cfg.MigrationRetries {
+			return err
+		}
+		a.faults.Retries++
+		a.m.ChargeBackground(backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
 }
 
 // insertAfterMigration places a migrated page on the destination tier's

@@ -53,7 +53,11 @@ func (s *System) ControlHandler() http.Handler {
 		s.mu.Lock()
 		c := s.m.Counters()
 		now := s.m.Now()
+		fs := s.pol.faults
+		degraded := s.pol.degraded
+		sampleDrops := s.pol.sampler.Dropped() + s.pol.sampler.InjectedDrops()
 		s.mu.Unlock()
+		h := s.Health()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
 			VirtualNs     int64   `json:"virtual_ns"`
@@ -65,16 +69,39 @@ func (s *System) ControlHandler() http.Handler {
 			Promotions    uint64  `json:"promotions"`
 			Demotions     uint64  `json:"demotions"`
 			MigratedBytes uint64  `json:"migrated_bytes"`
+			// Resilience: fault, retry, and degraded-mode accounting.
+			Degraded           bool   `json:"degraded"`
+			DegradedTicks      uint64 `json:"degraded_ticks"`
+			DegradedEntries    uint64 `json:"degraded_entries"`
+			MigrationFailures  uint64 `json:"migration_failures"`
+			MigrationRetries   uint64 `json:"migration_retries"`
+			MigrationSkips     uint64 `json:"migration_skips"`
+			MigrationRollbacks uint64 `json:"migration_rollbacks"`
+			TierFullStops      uint64 `json:"tier_full_stops"`
+			SampleDrops        uint64 `json:"sample_drops"`
+			WatchdogStalls     uint64 `json:"watchdog_stalls"`
+			Panics             uint64 `json:"panics"`
 		}{
-			VirtualNs:     now,
-			FastAccesses:  c.FastAccesses,
-			SlowAccesses:  c.SlowAccesses,
-			CacheHits:     c.CacheHits,
-			DRAMRatio:     c.DRAMRatio(),
-			Migrations:    c.Migrations,
-			Promotions:    c.Promotions,
-			Demotions:     c.Demotions,
-			MigratedBytes: c.MigratedBytes,
+			VirtualNs:          now,
+			FastAccesses:       c.FastAccesses,
+			SlowAccesses:       c.SlowAccesses,
+			CacheHits:          c.CacheHits,
+			DRAMRatio:          c.DRAMRatio(),
+			Migrations:         c.Migrations,
+			Promotions:         c.Promotions,
+			Demotions:          c.Demotions,
+			MigratedBytes:      c.MigratedBytes,
+			Degraded:           degraded,
+			DegradedTicks:      fs.DegradedTicks,
+			DegradedEntries:    fs.DegradedEntries,
+			MigrationFailures:  c.MigrationFailures,
+			MigrationRetries:   fs.Retries,
+			MigrationSkips:     fs.SkippedPages,
+			MigrationRollbacks: fs.Rollbacks,
+			TierFullStops:      fs.TierFullStops,
+			SampleDrops:        sampleDrops,
+			WatchdogStalls:     h.SamplingStalls + h.MigrationStalls,
+			Panics:             h.Panics,
 		})
 	})
 	return mux

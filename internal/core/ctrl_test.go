@@ -79,3 +79,57 @@ func TestControlHandlerUnknownPath(t *testing.T) {
 		t.Errorf("unknown path status = %d", resp.StatusCode)
 	}
 }
+
+func TestStatsReportsResilienceCounters(t *testing.T) {
+	cfg := testSystemConfig()
+	s := NewSystem(cfg)
+	for p := uint64(0); p < 32; p++ {
+		s.Access(p*64*1024, false)
+	}
+	s.mu.Lock()
+	s.pol.Tick(s.m.Now())
+	// Seed distinctive values so the JSON encoding is checked, not just
+	// the field names.
+	s.pol.faults = FaultStats{Retries: 3, SkippedPages: 2, Rollbacks: 1,
+		TierFullStops: 4, DegradedTicks: 5, DegradedEntries: 1}
+	s.pol.degraded = true
+	s.mu.Unlock()
+
+	srv := httptest.NewServer(s.ControlHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"migration_retries":   3,
+		"migration_skips":     2,
+		"migration_rollbacks": 1,
+		"tier_full_stops":     4,
+		"degraded_ticks":      5,
+		"degraded_entries":    1,
+	}
+	for key, v := range want {
+		f, ok := got[key].(float64)
+		if !ok {
+			t.Errorf("/stats missing %q (got %v)", key, got[key])
+			continue
+		}
+		if f != v {
+			t.Errorf("/stats %s = %g, want %g", key, f, v)
+		}
+	}
+	if deg, ok := got["degraded"].(bool); !ok || !deg {
+		t.Errorf("/stats degraded = %v, want true", got["degraded"])
+	}
+	for _, key := range []string{"migration_failures", "sample_drops", "watchdog_stalls", "panics"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("/stats missing %q", key)
+		}
+	}
+}

@@ -44,6 +44,11 @@ func (a *ArtMem) SaveQTables(w io.Writer) error {
 
 // RestoreQTables loads a snapshot written by SaveQTables into the
 // attached agent. Table dimensions must match the agent's configuration.
+// The restore is transactional: both tables are decoded and validated
+// into staging copies first, and the live tables are only overwritten
+// once the entire snapshot has parsed — a truncated or corrupted
+// snapshot returns a descriptive error and leaves the agent's learning
+// state untouched.
 func (a *ArtMem) RestoreQTables(r io.Reader) error {
 	if a.qMig == nil {
 		return fmt.Errorf("core: agent not attached; nowhere to restore")
@@ -55,20 +60,30 @@ func (a *ArtMem) RestoreQTables(r io.Reader) error {
 	if magic != snapshotMagic {
 		return fmt.Errorf("core: bad snapshot magic %#x", magic)
 	}
-	for _, tb := range []*rl.Table{a.qMig, a.qThr} {
+	live := []*rl.Table{a.qMig, a.qThr}
+	staged := make([]*rl.Table, len(live))
+	for i, tb := range live {
 		var n uint32
 		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-			return fmt.Errorf("core: snapshot length: %w", err)
+			return fmt.Errorf("core: snapshot table %d length: %w", i, err)
 		}
 		if n > 1<<20 {
-			return fmt.Errorf("core: implausible table size %d", n)
+			return fmt.Errorf("core: implausible table %d size %d", i, n)
 		}
 		data := make([]byte, n)
 		if _, err := io.ReadFull(r, data); err != nil {
-			return fmt.Errorf("core: snapshot body: %w", err)
+			return fmt.Errorf("core: snapshot table %d body: %w", i, err)
 		}
-		if err := tb.UnmarshalBinary(data); err != nil {
-			return err
+		tmp := tb.Clone()
+		if err := tmp.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("core: snapshot table %d: %w", i, err)
+		}
+		staged[i] = tmp
+	}
+	// Commit: every table parsed and matched dimensions.
+	for i, tb := range live {
+		if err := tb.CopyQFrom(staged[i]); err != nil {
+			return err // unreachable: staged tables share live dimensions
 		}
 	}
 	return nil

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"artmem/internal/faultinject"
+	"artmem/internal/lru"
+	"artmem/internal/memsim"
+)
+
+// scriptedInjector fails exactly the MovePage attempts whose 0-based
+// index appears in failAt, and (optionally) drops all samples while
+// dropSamples is set. It implements both memsim.FaultInjector and
+// pebs.Injector, like the real chaos injector.
+type scriptedInjector struct {
+	failAt      map[int]bool
+	failAll     bool
+	attempt     int
+	dropSamples atomic.Bool
+}
+
+func (s *scriptedInjector) FailMigration(now int64) bool {
+	fail := s.failAll || s.failAt[s.attempt]
+	s.attempt++
+	return fail
+}
+
+func (s *scriptedInjector) BandwidthFactor(now int64) float64 { return 1 }
+func (s *scriptedInjector) DropSample(now int64) bool         { return s.dropSamples.Load() }
+func (s *scriptedInjector) RingOverflow(now int64) bool       { return false }
+
+// checkListTierConsistency verifies every listed page is on a list of
+// the tier it actually resides in — the list/tier divergence the
+// transactional migration path must prevent.
+func checkListTierConsistency(t *testing.T, a *ArtMem, m *memsim.Machine) {
+	t.Helper()
+	for p := 0; p < m.NumPages(); p++ {
+		id := a.lists.ListOf(memsim.PageID(p))
+		if id == lru.None {
+			continue
+		}
+		if lru.TierOf(id) != m.TierOf(memsim.PageID(p)) {
+			t.Fatalf("page %d on list %v but resident in %v tier",
+				p, id, m.TierOf(memsim.PageID(p)))
+		}
+	}
+}
+
+func TestMigrateSkipsBusyCandidatesAndContinues(t *testing.T) {
+	a, m := buildHotColdMachine(t, Config{})
+	inj := &scriptedInjector{failAll: true}
+	m.SetFaultInjector(inj)
+
+	before := m.Counters()
+	n := a.migrate(8)
+	if n != 0 {
+		t.Fatalf("migrate under total outage promoted %d pages", n)
+	}
+	if m.Counters().Migrations != before.Migrations {
+		t.Errorf("pages migrated despite outage")
+	}
+	fs := a.FaultStats()
+	// Every candidate's demotion is retried (default 3 retries) and then
+	// skipped — skip-and-continue, not abort-the-period.
+	if fs.SkippedPages == 0 {
+		t.Error("no skipped pages recorded")
+	}
+	if fs.SkippedPages < 2 {
+		t.Errorf("skipped %d candidates; the loop should continue past the first failure", fs.SkippedPages)
+	}
+	if fs.Retries == 0 {
+		t.Error("no retries recorded")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Errorf("invariants after outage: %v", err)
+	}
+	checkListTierConsistency(t, a, m)
+
+	// When the outage lifts, the same migration succeeds.
+	inj.failAll = false
+	if n := a.migrate(8); n == 0 {
+		t.Error("migration did not recover after the outage lifted")
+	}
+	checkListTierConsistency(t, a, m)
+}
+
+func TestMigrateRetriesTransientFailure(t *testing.T) {
+	a, m := buildHotColdMachine(t, Config{})
+	// Fail only the very first attempt (the first demotion); the retry
+	// succeeds, so the full migration still completes.
+	inj := &scriptedInjector{failAt: map[int]bool{0: true}}
+	m.SetFaultInjector(inj)
+
+	if n := a.migrate(4); n != 4 {
+		t.Fatalf("migrate(4) promoted %d despite a retryable fault", n)
+	}
+	fs := a.FaultStats()
+	if fs.Retries != 1 {
+		t.Errorf("retries = %d, want 1", fs.Retries)
+	}
+	if fs.SkippedPages != 0 {
+		t.Errorf("skipped = %d, want 0", fs.SkippedPages)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	checkListTierConsistency(t, a, m)
+}
+
+func TestMigrateRollsBackDemotionWhenPromotionFails(t *testing.T) {
+	a, m := buildHotColdMachine(t, Config{})
+	// Attempt 0: the demotion, succeeds. Attempts 1-4: the promotion
+	// plus its three retries, all fail. Attempt 5: the rollback
+	// re-promotion of the victim, succeeds.
+	inj := &scriptedInjector{failAt: map[int]bool{1: true, 2: true, 3: true, 4: true}}
+	m.SetFaultInjector(inj)
+
+	fastUsedBefore := m.UsedPages(memsim.Fast)
+	n := a.migrate(1)
+	if n != 0 {
+		t.Fatalf("promoted %d, want 0 (promotion was scripted to fail)", n)
+	}
+	fs := a.FaultStats()
+	if fs.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d, want 1", fs.Rollbacks)
+	}
+	if fs.SkippedPages != 1 {
+		t.Errorf("skipped = %d, want 1", fs.SkippedPages)
+	}
+	// The rolled-back victim is resident in the fast tier again: the
+	// failed transaction did not leak fast-tier capacity.
+	if got := m.UsedPages(memsim.Fast); got != fastUsedBefore {
+		t.Errorf("fast tier used %d pages, want %d after rollback", got, fastUsedBefore)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	checkListTierConsistency(t, a, m)
+}
+
+func TestMigrateStopsDemotingWhenSlowTierFull(t *testing.T) {
+	// Both tiers full: demotion must fail with ErrTierFull, which ends
+	// the period (nothing can be freed) instead of skipping candidate by
+	// candidate.
+	cfg := memsim.DefaultConfig(64*64*1024, 16*64*1024, 64*1024)
+	cfg.CacheLines = 0
+	cfg.Slow.CapacityPages = 48
+	m := memsim.NewMachine(cfg)
+	a := New(Config{SamplePeriod: 1, Epsilon: 0.0001})
+	a.Attach(m)
+	ps := uint64(m.PageSize())
+	for p := uint64(0); p < 64; p++ {
+		m.Access(p*ps, false)
+	}
+	for round := 0; round < 20; round++ {
+		for p := uint64(16); p < 32; p++ {
+			m.Access(p*ps, false)
+		}
+	}
+	a.PumpSamples()
+
+	if n := a.migrate(8); n != 0 {
+		t.Fatalf("promoted %d with both tiers full", n)
+	}
+	fs := a.FaultStats()
+	if fs.TierFullStops != 1 {
+		t.Errorf("tier-full stops = %d, want 1", fs.TierFullStops)
+	}
+	if fs.SkippedPages != 0 {
+		t.Errorf("tier-full must stop the period, not skip (%d skips)", fs.SkippedPages)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// driveTicks performs a round of accesses and one decision tick.
+func driveTicks(a *ArtMem, m *memsim.Machine, ticks int) {
+	ps := uint64(m.PageSize())
+	for i := 0; i < ticks; i++ {
+		for p := uint64(0); p < 32; p++ {
+			m.Access(p*ps, false)
+		}
+		a.Tick(m.Now())
+	}
+}
+
+func TestDegradedModeFallsBackAndReengages(t *testing.T) {
+	inj := &scriptedInjector{}
+	inj.dropSamples.Store(true)
+	m := testMachine(16)
+	m.SetFaultInjector(inj) // before Attach, so the sampler is wired too
+	a := New(Config{SamplePeriod: 1})
+	a.Attach(m)
+
+	// Every window is empty while samples are dropped: after
+	// DegradeAfter (default 8) consecutive empty windows the agent must
+	// fall back to the heuristic.
+	driveTicks(a, m, 8)
+	if !a.Degraded() {
+		t.Fatalf("not degraded after 8 empty windows (streak %d)", a.noSampleStreak)
+	}
+	fs := a.FaultStats()
+	if fs.DegradedEntries != 1 {
+		t.Errorf("degraded entries = %d, want 1", fs.DegradedEntries)
+	}
+	// Degraded ticks still migrate via the heuristic: threshold pinned
+	// to the capacity-derived value.
+	driveTicks(a, m, 4)
+	if got := a.Threshold(); got != a.capacityThreshold() {
+		t.Errorf("degraded threshold = %d, want capacity-derived %d", got, a.capacityThreshold())
+	}
+	if a.FaultStats().DegradedTicks < 5 {
+		t.Errorf("degraded ticks = %d, want >= 5", a.FaultStats().DegradedTicks)
+	}
+
+	// Samples return: RL re-engages on the first non-empty window.
+	inj.dropSamples.Store(false)
+	updatesBefore := a.qMig.Updates()
+	driveTicks(a, m, 1)
+	if a.Degraded() {
+		t.Fatal("still degraded after samples returned")
+	}
+	if a.qMig.Updates() != updatesBefore {
+		t.Error("re-engagement tick performed a Q update across the degraded gap")
+	}
+	// The next tick resumes normal Q-learning.
+	driveTicks(a, m, 2)
+	if a.qMig.Updates() == updatesBefore {
+		t.Error("RL did not resume after re-engagement")
+	}
+}
+
+func TestDegradeAfterDisabled(t *testing.T) {
+	inj := &scriptedInjector{}
+	inj.dropSamples.Store(true)
+	m := testMachine(16)
+	m.SetFaultInjector(inj)
+	a := New(Config{SamplePeriod: 1, DegradeAfter: -1})
+	a.Attach(m)
+	driveTicks(a, m, 30)
+	if a.Degraded() {
+		t.Error("degradation tripped despite DegradeAfter < 0")
+	}
+}
+
+func TestSystemHealthAndWatchdogBeats(t *testing.T) {
+	s := NewSystem(testSystemConfig())
+	s.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := s.Health()
+		if h.SamplingBeats > 0 && h.MigrationBeats > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker heartbeats did not advance: %+v", h)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	if h := s.Health(); h.Panics != 0 {
+		t.Errorf("panics = %d in a healthy run", h.Panics)
+	}
+}
+
+func TestSystemRecoversFromPolicyPanics(t *testing.T) {
+	cfg := testSystemConfig()
+	// A Debug hook that panics models a crashing policy tick: the
+	// migration thread must recover and keep running.
+	cfg.Policy.Debug = func(format string, args ...any) { panic("injected tick panic") }
+	s := NewSystem(cfg)
+	s.Start()
+	// Feed accesses so ticks take the RL path (which calls Debug).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Health().Panics == 0 {
+		for p := uint64(0); p < 32; p++ {
+			s.Access(p*64*1024, false)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no panic was recovered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The system is still alive: sampling continues and Stop returns.
+	before := s.Health().SamplingBeats
+	deadline = time.Now().Add(5 * time.Second)
+	for s.Health().SamplingBeats == before {
+		if time.Now().After(deadline) {
+			t.Fatal("sampling thread died after the panic")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop deadlocked after recovered panics")
+	}
+}
+
+func TestSystemChaosNeverDeadlocks(t *testing.T) {
+	cfg := testSystemConfig()
+	cfg.WatchdogInterval = 10 * time.Millisecond
+	cfg.Faults = &faultinject.Config{
+		Seed:               11,
+		MigrationFailProb:  0.3,
+		MigrationBurstMean: 4,
+		SampleDropPeriodic: faultinject.Periodic{PeriodNs: 200_000, DurationNs: 100_000},
+	}
+	s := NewSystem(cfg)
+	if s.Injector() == nil {
+		t.Fatal("injector not installed from SystemConfig.Faults")
+	}
+	s.Start()
+	stop := time.After(150 * time.Millisecond)
+drive:
+	for {
+		select {
+		case <-stop:
+			break drive
+		default:
+			for p := uint64(0); p < 64; p++ {
+				s.Access(p*64*1024, p%5 == 0)
+			}
+		}
+	}
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop deadlocked under fault injection")
+	}
+	if err := s.Machine().CheckInvariants(); err != nil {
+		t.Errorf("invariants after chaos run: %v", err)
+	}
+	if h := s.Health(); h.Panics != 0 {
+		t.Errorf("unexpected panics: %d", h.Panics)
+	}
+}

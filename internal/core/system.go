@@ -2,8 +2,10 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"artmem/internal/faultinject"
 	"artmem/internal/memsim"
 )
 
@@ -18,18 +20,34 @@ import (
 // The paper's kernel prototype exposes the agent↔environment channel
 // through cgroup pseudo-files (memory.hit_ratio_show and friends); here
 // the channel is the ArtMem policy object itself, reachable via Policy.
+//
+// Resilience: both worker threads recover from panics (a crashing policy
+// tick must not take the daemon down), and a watchdog thread observes
+// per-worker heartbeats so a stalled loop is detected and surfaced
+// through Health rather than silently freezing the control loop.
 type System struct {
 	mu  sync.Mutex
 	m   *memsim.Machine
 	pol *ArtMem
 
+	injector *faultinject.Injector
+
 	samplingInterval  time.Duration
 	migrationInterval time.Duration
+	watchdogInterval  time.Duration
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 
 	started bool
+
+	// Liveness accounting, written by the worker threads and read by the
+	// watchdog and Health without taking mu.
+	sampleBeats   atomic.Uint64
+	migrateBeats  atomic.Uint64
+	sampleStalls  atomic.Uint64
+	migrateStalls atomic.Uint64
+	panics        atomic.Uint64
 }
 
 // SystemConfig parameterizes an online System.
@@ -45,6 +63,15 @@ type SystemConfig struct {
 	// 0 uses 20ms (scaled down from the paper's seconds-long interval so
 	// examples adapt within seconds).
 	MigrationInterval time.Duration
+	// WatchdogInterval is the real-time period of the liveness watchdog.
+	// A worker thread whose heartbeat does not advance across one
+	// interval is counted as stalled. 0 uses 1s; negative disables the
+	// watchdog.
+	WatchdogInterval time.Duration
+	// Faults, when non-nil, installs a fault injector on the machine's
+	// migration path and the agent's sampling path before the policy
+	// attaches — chaos testing for the online runtime.
+	Faults *faultinject.Config
 }
 
 // NewSystem builds an online system. Call Start to launch the
@@ -56,14 +83,24 @@ func NewSystem(cfg SystemConfig) *System {
 	if cfg.MigrationInterval == 0 {
 		cfg.MigrationInterval = 20 * time.Millisecond
 	}
+	if cfg.WatchdogInterval == 0 {
+		cfg.WatchdogInterval = time.Second
+	}
 	m := memsim.NewMachine(cfg.Machine)
+	var inj *faultinject.Injector
+	if cfg.Faults != nil {
+		inj = faultinject.New(*cfg.Faults)
+		m.SetFaultInjector(inj)
+	}
 	pol := New(cfg.Policy)
 	pol.Attach(m)
 	return &System{
 		m:                 m,
 		pol:               pol,
+		injector:          inj,
 		samplingInterval:  cfg.SamplingInterval,
 		migrationInterval: cfg.MigrationInterval,
+		watchdogInterval:  cfg.WatchdogInterval,
 		stop:              make(chan struct{}),
 	}
 }
@@ -75,8 +112,12 @@ func (s *System) Machine() *memsim.Machine { return s.m }
 // Policy returns the ArtMem agent (the paper's userspace-RL view).
 func (s *System) Policy() *ArtMem { return s.pol }
 
-// Start launches the sampling and migration threads. It is a no-op if
-// already started.
+// Injector returns the installed fault injector, or nil when the system
+// runs fault-free.
+func (s *System) Injector() *faultinject.Injector { return s.injector }
+
+// Start launches the sampling, migration, and watchdog threads. It is a
+// no-op if already started.
 func (s *System) Start() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -87,6 +128,10 @@ func (s *System) Start() {
 	s.wg.Add(2)
 	go s.samplingThread()
 	go s.migrationThread()
+	if s.watchdogInterval > 0 {
+		s.wg.Add(1)
+		go s.watchdogThread()
+	}
 }
 
 // Stop halts the background threads and waits for them. Idempotent.
@@ -134,6 +179,72 @@ func (s *System) Now() int64 {
 	return s.m.Now()
 }
 
+// Health is a snapshot of the runtime's liveness and resilience state.
+type Health struct {
+	// SamplingBeats and MigrationBeats count completed worker
+	// iterations; a live system's beats keep advancing.
+	SamplingBeats  uint64
+	MigrationBeats uint64
+	// SamplingStalls and MigrationStalls count watchdog intervals during
+	// which the corresponding thread made no progress.
+	SamplingStalls  uint64
+	MigrationStalls uint64
+	// Panics counts worker-thread panics that were recovered.
+	Panics uint64
+	// Degraded reports whether the agent is in the heuristic fallback.
+	Degraded bool
+}
+
+// Health returns the runtime's liveness snapshot. Safe to call
+// concurrently with a running System.
+func (s *System) Health() Health {
+	s.mu.Lock()
+	degraded := s.pol.degraded
+	s.mu.Unlock()
+	return Health{
+		SamplingBeats:   s.sampleBeats.Load(),
+		MigrationBeats:  s.migrateBeats.Load(),
+		SamplingStalls:  s.sampleStalls.Load(),
+		MigrationStalls: s.migrateStalls.Load(),
+		Panics:          s.panics.Load(),
+		Degraded:        degraded,
+	}
+}
+
+// SaveQTablesFile checkpoints the agent's Q-tables to path under the
+// system lock, safe to call while the system is running. The paper
+// primes its agent from previously saved tables (§6.2); the daemon uses
+// this for periodic checkpointing so a restart resumes learning.
+func (s *System) SaveQTablesFile(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pol.SaveQTablesFile(path)
+}
+
+// RestoreQTablesFile loads a Q-table checkpoint under the system lock.
+// On any error the live tables are left untouched.
+func (s *System) RestoreQTablesFile(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pol.RestoreQTablesFile(path)
+}
+
+// runProtected executes one worker iteration under the system lock,
+// recovering from panics (the lock is released by the deferred unlock
+// before the recover fires, so a panicking tick cannot poison the
+// mutex). The beat advances only on successful iterations.
+func (s *System) runProtected(beat *atomic.Uint64, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+	beat.Add(1)
+}
+
 // samplingThread mirrors ksampled: it periodically drains the PEBS
 // buffer into the histogram and the recency lists.
 func (s *System) samplingThread() {
@@ -145,9 +256,7 @@ func (s *System) samplingThread() {
 		case <-s.stop:
 			return
 		case <-tick.C:
-			s.mu.Lock()
-			s.pol.PumpSamples()
-			s.mu.Unlock()
+			s.runProtected(&s.sampleBeats, s.pol.PumpSamples)
 		}
 	}
 }
@@ -163,9 +272,35 @@ func (s *System) migrationThread() {
 		case <-s.stop:
 			return
 		case <-tick.C:
-			s.mu.Lock()
-			s.pol.Tick(s.m.Now())
-			s.mu.Unlock()
+			s.runProtected(&s.migrateBeats, func() { s.pol.Tick(s.m.Now()) })
+		}
+	}
+}
+
+// watchdogThread checks once per interval that both workers' heartbeats
+// advanced; a thread that made no progress across a full interval is
+// counted as stalled. Stall counts are monotonic — a recovered thread
+// stops accumulating them but past stalls remain visible in Health.
+func (s *System) watchdogThread() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.watchdogInterval)
+	defer tick.Stop()
+	var lastSample, lastMigrate uint64
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			if cur := s.sampleBeats.Load(); cur == lastSample {
+				s.sampleStalls.Add(1)
+			} else {
+				lastSample = cur
+			}
+			if cur := s.migrateBeats.Load(); cur == lastMigrate {
+				s.migrateStalls.Add(1)
+			} else {
+				lastMigrate = cur
+			}
 		}
 	}
 }

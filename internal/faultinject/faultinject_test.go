@@ -1,0 +1,212 @@
+package faultinject
+
+import "testing"
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	i := New(Config{})
+	for now := int64(0); now < 1_000_000; now += 997 {
+		if i.FailMigration(now) {
+			t.Fatalf("zero config failed a migration at %d", now)
+		}
+		if i.DropSample(now) {
+			t.Fatalf("zero config dropped a sample at %d", now)
+		}
+		if i.RingOverflow(now) {
+			t.Fatalf("zero config overflowed at %d", now)
+		}
+		if f := i.BandwidthFactor(now); f != 1 {
+			t.Fatalf("zero config bandwidth factor %g at %d", f, now)
+		}
+	}
+	if s := i.Stats(); s != (Stats{}) {
+		t.Errorf("zero config accumulated stats %+v", s)
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{StartNs: 100, EndNs: 200}
+	cases := []struct {
+		now  int64
+		want bool
+	}{{99, false}, {100, true}, {199, true}, {200, false}}
+	for _, c := range cases {
+		if got := w.Contains(c.now); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.now, got, c.want)
+		}
+	}
+}
+
+func TestPeriodicSchedule(t *testing.T) {
+	p := Periodic{PeriodNs: 1000, DurationNs: 100, OffsetNs: 50}
+	cases := []struct {
+		now  int64
+		want bool
+	}{
+		{49, false}, {50, true}, {149, true}, {150, false},
+		{1049, false}, {1050, true}, {1150, false},
+		{-950, true}, // phase wraps correctly before the offset
+	}
+	for _, c := range cases {
+		if got := p.Active(c.now); got != c.want {
+			t.Errorf("Active(%d) = %v, want %v", c.now, got, c.want)
+		}
+	}
+	if (Periodic{}).Active(0) {
+		t.Error("zero Periodic is active")
+	}
+}
+
+func TestMigrationFailProbability(t *testing.T) {
+	i := New(Config{Seed: 7, MigrationFailProb: 0.1})
+	const trials = 100_000
+	fails := 0
+	for k := 0; k < trials; k++ {
+		if i.FailMigration(int64(k)) {
+			fails++
+		}
+	}
+	frac := float64(fails) / trials
+	if frac < 0.08 || frac > 0.12 {
+		t.Errorf("failure fraction %g, want ~0.1", frac)
+	}
+	if got := i.Stats().MigrationFailures; got != uint64(fails) {
+		t.Errorf("stats count %d != observed %d", got, fails)
+	}
+}
+
+func TestMigrationBurstsClumpFailures(t *testing.T) {
+	// With a burst mean of 8, the same overall failure *initiations*
+	// produce runs of consecutive failures.
+	i := New(Config{Seed: 3, MigrationFailProb: 0.02, MigrationBurstMean: 8})
+	const trials = 200_000
+	fails, runs, inRun := 0, 0, false
+	maxRun, cur := 0, 0
+	for k := 0; k < trials; k++ {
+		if i.FailMigration(int64(k)) {
+			fails++
+			cur++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+			if cur > maxRun {
+				maxRun = cur
+			}
+		} else {
+			inRun = false
+			cur = 0
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no failure runs at all")
+	}
+	meanRun := float64(fails) / float64(runs)
+	if meanRun < 3 {
+		t.Errorf("mean run length %g, want clumped (>= 3) with burst mean 8", meanRun)
+	}
+	if maxRun < 4 {
+		t.Errorf("max run %d, want bursty behaviour", maxRun)
+	}
+}
+
+func TestMigrationOutageWindow(t *testing.T) {
+	i := New(Config{MigrationOutages: []Window{{StartNs: 1000, EndNs: 2000}}})
+	if i.FailMigration(999) {
+		t.Error("failed before the outage")
+	}
+	for now := int64(1000); now < 2000; now += 100 {
+		if !i.FailMigration(now) {
+			t.Errorf("survived inside the outage at %d", now)
+		}
+	}
+	if i.FailMigration(2000) {
+		t.Error("failed after the outage")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{
+		Seed:               42,
+		MigrationFailProb:  0.2,
+		MigrationBurstMean: 4,
+		SampleDropProb:     0.3,
+	}
+	a, b := New(cfg), New(cfg)
+	for k := 0; k < 50_000; k++ {
+		now := int64(k * 13)
+		if a.FailMigration(now) != b.FailMigration(now) {
+			t.Fatalf("migration decision diverged at call %d", k)
+		}
+		if a.DropSample(now) != b.DropSample(now) {
+			t.Fatalf("sample decision diverged at call %d", k)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestIndependentStreamsPerFaultClass(t *testing.T) {
+	// Interleaving sampling calls must not perturb migration decisions:
+	// each fault class draws from its own RNG stream.
+	cfg := Config{Seed: 9, MigrationFailProb: 0.15, SampleDropProb: 0.5}
+	pure := New(cfg)
+	mixed := New(cfg)
+	var pureSeq, mixedSeq []bool
+	for k := 0; k < 10_000; k++ {
+		now := int64(k)
+		pureSeq = append(pureSeq, pure.FailMigration(now))
+		mixed.DropSample(now) // extra interleaved consultation
+		mixedSeq = append(mixedSeq, mixed.FailMigration(now))
+	}
+	for k := range pureSeq {
+		if pureSeq[k] != mixedSeq[k] {
+			t.Fatalf("migration stream perturbed by sampling calls at %d", k)
+		}
+	}
+}
+
+func TestBandwidthDegradation(t *testing.T) {
+	i := New(Config{
+		BandwidthDegradeFactor:  3,
+		BandwidthDegradeWindows: []Window{{StartNs: 0, EndNs: 500}},
+	})
+	if f := i.BandwidthFactor(100); f != 3 {
+		t.Errorf("factor inside window = %g, want 3", f)
+	}
+	if f := i.BandwidthFactor(600); f != 1 {
+		t.Errorf("factor outside window = %g, want 1", f)
+	}
+	if got := i.Stats().DegradedMigrations; got != 1 {
+		t.Errorf("degraded migrations = %d, want 1", got)
+	}
+	// Factor <= 1 disables degradation entirely.
+	off := New(Config{BandwidthDegradeFactor: 0.5,
+		BandwidthDegradeWindows: []Window{{StartNs: 0, EndNs: 500}}})
+	if f := off.BandwidthFactor(100); f != 1 {
+		t.Errorf("sub-unity factor applied: %g", f)
+	}
+}
+
+func TestSampleDropAndOverflowWindows(t *testing.T) {
+	i := New(Config{
+		SampleDropPeriodic:  Periodic{PeriodNs: 100, DurationNs: 50},
+		RingOverflowWindows: []Window{{StartNs: 1000, EndNs: 1100}},
+	})
+	if !i.DropSample(25) {
+		t.Error("sample survived inside the periodic drop window")
+	}
+	if i.DropSample(75) {
+		t.Error("sample dropped outside the periodic window")
+	}
+	if !i.RingOverflow(1050) {
+		t.Error("no overflow inside the window")
+	}
+	if i.RingOverflow(1150) {
+		t.Error("overflow outside the window")
+	}
+	s := i.Stats()
+	if s.DroppedSamples != 1 || s.OverflowedSamples != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

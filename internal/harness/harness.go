@@ -11,6 +11,7 @@ package harness
 import (
 	"fmt"
 
+	"artmem/internal/faultinject"
 	"artmem/internal/memsim"
 	"artmem/internal/policies"
 	"artmem/internal/stats"
@@ -57,6 +58,16 @@ type Config struct {
 	FastHeadroom int
 	// CollectSeries enables migration/ratio time-series capture.
 	CollectSeries bool
+	// Faults, when non-nil, installs a deterministic fault injector on
+	// the machine before the policy attaches: chaos runs replay the same
+	// workload under injected migration failures, sampling outages, and
+	// bandwidth degradation (see internal/faultinject).
+	Faults *faultinject.Config
+	// CheckInvariants verifies the machine's page accounting after every
+	// policy tick and at the end of the run; the first violation is
+	// reported in Result.InvariantErr. O(pages) per tick — meant for
+	// tests and chaos runs, not benchmarking.
+	CheckInvariants bool
 }
 
 // Result is the outcome of one run.
@@ -87,6 +98,15 @@ type Result struct {
 	BackgroundNs float64
 	// Ticks is the number of policy periods that fired.
 	Ticks int
+	// MigrationFailures counts transiently failed MovePage attempts
+	// (non-zero only under fault injection).
+	MigrationFailures uint64
+	// FaultStats snapshots the injector's counters when Config.Faults
+	// was set; zero otherwise.
+	FaultStats faultinject.Stats
+	// InvariantErr is the first page-accounting violation detected when
+	// Config.CheckInvariants was set; nil when the invariants held.
+	InvariantErr error
 
 	// MigrationSeries (pages migrated per tick) and RatioSeries
 	// (windowed DRAM access ratio per tick), when collected.
@@ -142,6 +162,11 @@ func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
 		mcfg.CacheLines = 0
 	}
 	m := memsim.NewMachine(mcfg)
+	var inj *faultinject.Injector
+	if cfg.Faults != nil {
+		inj = faultinject.New(*cfg.Faults)
+		m.SetFaultInjector(inj)
+	}
 	pol.Attach(m)
 
 	interval := pol.Interval()
@@ -164,6 +189,9 @@ func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
 				pol.Tick(m.Now())
 				res.Ticks++
 				nextTick = m.Now() + interval
+				if cfg.CheckInvariants && res.InvariantErr == nil {
+					res.InvariantErr = m.CheckInvariants()
+				}
 				if cfg.CollectSeries {
 					c := m.Counters()
 					res.MigrationSeries.Append(m.Now(), float64(c.Migrations-prevMig))
@@ -189,6 +217,13 @@ func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
 	res.Demotions = c.Demotions
 	res.MigratedBytes = c.MigratedBytes
 	res.Faults = c.Faults
+	res.MigrationFailures = c.MigrationFailures
 	res.BackgroundNs = m.BackgroundNs()
+	if inj != nil {
+		res.FaultStats = inj.Stats()
+	}
+	if cfg.CheckInvariants && res.InvariantErr == nil {
+		res.InvariantErr = m.CheckInvariants()
+	}
 	return res
 }

@@ -20,6 +20,19 @@ type FaultHandler interface {
 	OnFault(page PageID, tier TierID, write bool, now int64)
 }
 
+// FaultInjector lets a chaos harness perturb the machine's migration
+// path. internal/faultinject implements it; the machine consults it (when
+// installed) on every MovePage attempt. Both hooks receive the virtual
+// clock so schedules are expressed in simulated time.
+type FaultInjector interface {
+	// FailMigration reports whether the current migration attempt should
+	// fail transiently with ErrMigrationBusy.
+	FailMigration(now int64) bool
+	// BandwidthFactor returns a multiplier (>= 1) applied to the
+	// migration transfer cost — bandwidth degradation under contention.
+	BandwidthFactor(now int64) float64
+}
+
 // Counters aggregates the machine's observable activity. Access counters
 // count cache-missing memory accesses (the events a real PMU would see).
 type Counters struct {
@@ -39,6 +52,9 @@ type Counters struct {
 	MigratedBytes uint64
 	// Faults counts NUMA-hint faults taken.
 	Faults uint64
+	// MigrationFailures counts MovePage attempts that failed transiently
+	// with ErrMigrationBusy (only injected faults produce these today).
+	MigrationFailures uint64
 	// Allocations counts first-touch page allocations, split by tier.
 	AllocFast uint64
 	AllocSlow uint64
@@ -82,9 +98,10 @@ type Machine struct {
 
 	cache cacheModel
 
-	sampler Sampler
-	faults  FaultHandler
-	onAlloc func(PageID, TierID)
+	sampler  Sampler
+	faults   FaultHandler
+	injector FaultInjector
+	onAlloc  func(PageID, TierID)
 
 	ctr Counters
 	// Background (non-application) virtual CPU time consumed by
@@ -177,6 +194,14 @@ func (m *Machine) SetSampler(s Sampler) { m.sampler = s }
 
 // SetFaultHandler installs the NUMA-hint-fault hook (nil to remove).
 func (m *Machine) SetFaultHandler(h FaultHandler) { m.faults = h }
+
+// SetFaultInjector installs a fault injector consulted on the migration
+// path (nil to remove). Install it before attaching a policy: policies
+// that sample (ArtMem) wire the injector into their sampler at Attach.
+func (m *Machine) SetFaultInjector(fi FaultInjector) { m.injector = fi }
+
+// FaultInjector returns the installed fault injector, or nil.
+func (m *Machine) FaultInjector() FaultInjector { return m.injector }
 
 // SetAllocHook installs a callback invoked on every first-touch page
 // allocation. Tiering policies use it to enroll new pages in their LRU
@@ -304,6 +329,12 @@ var ErrTierFull = errors.New("memsim: destination tier full")
 // ErrNotAllocated is returned by MovePage for pages never touched.
 var ErrNotAllocated = errors.New("memsim: page not allocated")
 
+// ErrMigrationBusy is returned by MovePage when an installed fault
+// injector fails the attempt transiently — the simulator's analogue of
+// migrate_pages returning -EAGAIN on a busy or pinned page. Callers
+// should retry or skip the page; the machine's state is unchanged.
+var ErrMigrationBusy = errors.New("memsim: page busy, migration failed transiently")
+
 // MovePage migrates page p to tier dst on the background migration
 // path: the configured interference fraction of the transfer time is
 // charged to the application, the rest overlaps with execution. Moving
@@ -331,10 +362,19 @@ func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
 	if m.used[dst] >= m.cap[dst] {
 		return ErrTierFull
 	}
+	cost := m.migCostNs[src][dst]
+	if m.injector != nil {
+		if m.injector.FailMigration(m.clock) {
+			m.ctr.MigrationFailures++
+			return ErrMigrationBusy
+		}
+		if f := m.injector.BandwidthFactor(m.clock); f > 1 {
+			cost *= f
+		}
+	}
 	m.used[src]--
 	m.used[dst]++
 	m.tier[p] = dst
-	cost := m.migCostNs[src][dst]
 	m.advance(cost * appFrac)
 	m.backgroundNs += cost * (1 - appFrac)
 	m.ctr.Migrations++
@@ -366,6 +406,44 @@ func (m *Machine) Accessed(p PageID) bool { return m.accessed[p] }
 
 // Dirty returns whether the page has been written since allocation.
 func (m *Machine) Dirty(p PageID) bool { return m.dirty[p] }
+
+// CheckInvariants verifies the machine's page accounting: per-tier used
+// counters match a full recount of the tier map over allocated pages
+// (each page is in exactly one tier by construction; the recount catches
+// counter drift), no tier exceeds its capacity, and the allocation
+// counters agree with the number of allocated pages. It is O(pages) and
+// intended for tests and chaos harnesses, not hot paths. It returns nil
+// when all invariants hold.
+func (m *Machine) CheckInvariants() error {
+	var used [NumTiers]int
+	allocated := 0
+	for p, ok := range m.allocated {
+		if !ok {
+			continue
+		}
+		allocated++
+		t := m.tier[p]
+		if t >= NumTiers {
+			return fmt.Errorf("memsim: page %d in invalid tier %d", p, t)
+		}
+		used[t]++
+	}
+	for t := 0; t < NumTiers; t++ {
+		if used[t] != m.used[t] {
+			return fmt.Errorf("memsim: %s tier counter %d != recounted %d",
+				TierID(t), m.used[t], used[t])
+		}
+		if m.used[t] > m.cap[t] {
+			return fmt.Errorf("memsim: %s tier over capacity (%d > %d pages)",
+				TierID(t), m.used[t], m.cap[t])
+		}
+	}
+	if total := m.ctr.AllocFast + m.ctr.AllocSlow; total != uint64(allocated) {
+		return fmt.Errorf("memsim: allocation counters %d != %d allocated pages",
+			total, allocated)
+	}
+	return nil
+}
 
 // PoisonPage arms page p so its next access raises a NUMA-hint fault.
 func (m *Machine) PoisonPage(p PageID) { m.poisoned[p] = true }

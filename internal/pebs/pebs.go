@@ -18,6 +18,20 @@ package pebs
 
 import "artmem/internal/memsim"
 
+// Injector lets a chaos harness perturb the sampling path.
+// internal/faultinject implements it; the sampler consults it (when
+// installed) on every event that the sampling period selects.
+type Injector interface {
+	// DropSample reports whether the record is lost entirely: neither the
+	// ring buffer nor the per-tier window counters see it. This models
+	// sampling going dry (PMU reprogramming, interrupt throttling).
+	DropSample(now int64) bool
+	// RingOverflow reports whether the ring buffer behaves as full: the
+	// record is dropped but the window counters still accumulate, exactly
+	// like a genuine buffer overflow.
+	RingOverflow(now int64) bool
+}
+
 // Sample is one recorded memory-access event.
 type Sample struct {
 	Page  memsim.PageID
@@ -60,8 +74,11 @@ type Sampler struct {
 	head    int // next slot to write
 	count   int // valid samples in the ring
 
-	dropped uint64
-	total   uint64 // samples recorded since construction
+	dropped       uint64
+	injectedDrops uint64
+	total         uint64 // samples recorded since construction
+
+	injector Injector
 
 	// Per-window sampled-event counters, reset by WindowCounts.
 	winFast uint64
@@ -93,6 +110,12 @@ func (s *Sampler) OnMiss(page memsim.PageID, tier memsim.TierID, write bool, now
 		return
 	}
 	s.counter = 0
+	if s.injector != nil && s.injector.DropSample(now) {
+		// The record is lost before anything observes it: the window
+		// counters stay flat, so the agent's signal genuinely goes dry.
+		s.injectedDrops++
+		return
+	}
 	if tier == memsim.Fast {
 		s.winFast++
 	} else {
@@ -102,7 +125,7 @@ func (s *Sampler) OnMiss(page memsim.PageID, tier memsim.TierID, write bool, now
 	if s.cfg.Charge != nil && s.cfg.SampleCostNs > 0 {
 		s.cfg.Charge(s.cfg.SampleCostNs)
 	}
-	if s.count == len(s.ring) {
+	if s.count == len(s.ring) || (s.injector != nil && s.injector.RingOverflow(now)) {
 		s.dropped++
 		return
 	}
@@ -132,8 +155,16 @@ func (s *Sampler) Drain(fn func(Sample)) int {
 func (s *Sampler) Pending() int { return s.count }
 
 // Dropped returns the cumulative number of samples lost to buffer
-// overflow.
+// overflow (genuine or injected).
 func (s *Sampler) Dropped() uint64 { return s.dropped }
+
+// InjectedDrops returns the number of samples lost entirely to an
+// installed fault injector (before even the window counters saw them).
+func (s *Sampler) InjectedDrops() uint64 { return s.injectedDrops }
+
+// SetInjector installs a fault injector on the sampling path (nil to
+// remove).
+func (s *Sampler) SetInjector(fi Injector) { s.injector = fi }
 
 // Total returns the cumulative number of samples recorded (including
 // dropped ones).

@@ -196,3 +196,70 @@ func BenchmarkOnMiss(b *testing.B) {
 		}
 	}
 }
+
+// windowInjector drops or overflows every sample inside [from, to).
+type windowInjector struct {
+	dropFrom, dropTo         int64
+	overflowFrom, overflowTo int64
+}
+
+func (w *windowInjector) DropSample(now int64) bool {
+	return now >= w.dropFrom && now < w.dropTo
+}
+
+func (w *windowInjector) RingOverflow(now int64) bool {
+	return now >= w.overflowFrom && now < w.overflowTo
+}
+
+func TestInjectedSampleDropGoesFullyDark(t *testing.T) {
+	s := New(Config{Period: 1, RingSize: 1024})
+	s.SetInjector(&windowInjector{dropFrom: 0, dropTo: 100})
+	for i := 0; i < 100; i++ {
+		s.OnMiss(memsim.PageID(i), memsim.Slow, false, int64(i))
+	}
+	// A dropped sample is lost before anything observes it: no ring
+	// record, no window counts, no total — the signal goes dry, which is
+	// what drives ArtMem into its no-sample state.
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d inside drop window, want 0", s.Pending())
+	}
+	fast, slow := s.PeekWindowCounts()
+	if fast != 0 || slow != 0 {
+		t.Errorf("window counts %d/%d inside drop window, want 0/0", fast, slow)
+	}
+	if s.Total() != 0 {
+		t.Errorf("Total = %d, want 0", s.Total())
+	}
+	if s.InjectedDrops() != 100 {
+		t.Errorf("InjectedDrops = %d, want 100", s.InjectedDrops())
+	}
+	// Outside the window, sampling resumes.
+	s.OnMiss(0, memsim.Fast, false, 200)
+	if s.Pending() != 1 || s.Total() != 1 {
+		t.Errorf("sampling did not resume after the window")
+	}
+}
+
+func TestInjectedRingOverflowKeepsWindowCounts(t *testing.T) {
+	s := New(Config{Period: 1, RingSize: 1024})
+	s.SetInjector(&windowInjector{overflowFrom: 0, overflowTo: 50, dropFrom: -1, dropTo: -1})
+	for i := 0; i < 50; i++ {
+		s.OnMiss(memsim.PageID(i), memsim.Fast, false, int64(i))
+	}
+	// Overflow loses the record but the PMU-side window counters
+	// survive, exactly like a genuine full buffer.
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d during overflow, want 0", s.Pending())
+	}
+	fast, _ := s.PeekWindowCounts()
+	if fast != 50 {
+		t.Errorf("window fast count = %d during overflow, want 50", fast)
+	}
+	if s.Dropped() != 50 {
+		t.Errorf("Dropped = %d, want 50", s.Dropped())
+	}
+	s.OnMiss(0, memsim.Fast, false, 100)
+	if s.Pending() != 1 {
+		t.Error("ring did not recover after the overflow window")
+	}
+}
