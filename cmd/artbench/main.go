@@ -10,18 +10,25 @@
 //	artbench -all                  # run everything (long)
 //	artbench -exp fig7 -div 128 -accesses 3000000 -v
 //
-// Output goes to stdout as aligned text tables.
+// Output goes to stdout as aligned text tables. Every run also records
+// its tables as JSON under -outdir (default bench_results/), in a file
+// named BENCH_<git-sha>.json, so results are diffable across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"artmem/internal/exp"
+	"artmem/internal/telemetry"
+	"artmem/internal/textplot"
 )
 
 func main() {
@@ -35,6 +42,7 @@ func main() {
 		accesses = flag.Int64("accesses", 0, "override the per-run access budget")
 		seed     = flag.Uint64("seed", 0, "override the base RNG seed")
 		par      = flag.Int("parallel", 1, "with -all: run this many experiments concurrently")
+		outdir   = flag.String("outdir", "bench_results", "directory for the JSON result file (empty disables)")
 	)
 	flag.Parse()
 
@@ -67,18 +75,28 @@ func main() {
 		}
 	}
 
-	render := func(e exp.Experiment) string {
+	render := func(e exp.Experiment) (string, expResult) {
 		start := time.Now()
 		var b strings.Builder
 		fmt.Fprintf(&b, "### %s — %s\n", e.ID, e.Title)
 		fmt.Fprintf(&b, "### paper: %s\n\n", e.Paper)
-		for _, tb := range e.Run(o) {
+		tables := e.Run(o)
+		for _, tb := range tables {
 			fmt.Fprintln(&b, tb.Render())
 		}
-		fmt.Fprintf(&b, "### %s done in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		return b.String()
+		elapsed := time.Since(start)
+		fmt.Fprintf(&b, "### %s done in %s\n\n", e.ID, elapsed.Round(time.Millisecond))
+		return b.String(), expResult{
+			ID: e.ID, Title: e.Title, Paper: e.Paper,
+			DurationMs: elapsed.Milliseconds(), Tables: tables,
+		}
 	}
-	run := func(e exp.Experiment) { fmt.Print(render(e)) }
+	var results []expResult
+	run := func(e exp.Experiment) {
+		out, res := render(e)
+		fmt.Print(out)
+		results = append(results, res)
+	}
 
 	switch {
 	case *all:
@@ -88,6 +106,7 @@ func main() {
 			// parallel, print in registry order.
 			exps := exp.All()
 			outs := make([]string, len(exps))
+			results = make([]expResult, len(exps))
 			sem := make(chan struct{}, *par)
 			var wg sync.WaitGroup
 			for i, e := range exps {
@@ -96,13 +115,14 @@ func main() {
 					defer wg.Done()
 					sem <- struct{}{}
 					defer func() { <-sem }()
-					outs[i] = render(e)
+					outs[i], results[i] = render(e)
 				}(i, e)
 			}
 			wg.Wait()
 			for _, out := range outs {
 				fmt.Print(out)
 			}
+			writeResults(*outdir, *quick, results)
 			return
 		}
 		for _, e := range exp.All() {
@@ -120,4 +140,67 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	writeResults(*outdir, *quick, results)
+}
+
+// expResult is one experiment's machine-readable record.
+type expResult struct {
+	ID         string           `json:"id"`
+	Title      string           `json:"title"`
+	Paper      string           `json:"paper"`
+	DurationMs int64            `json:"duration_ms"`
+	Tables     []textplot.Table `json:"tables"`
+}
+
+// benchFile is the BENCH_<sha>.json document: the build that produced
+// the numbers plus every experiment's tables verbatim.
+type benchFile struct {
+	Revision    string      `json:"revision"`
+	Dirty       bool        `json:"dirty,omitempty"`
+	GoVersion   string      `json:"go_version"`
+	Timestamp   string      `json:"timestamp"`
+	Quick       bool        `json:"quick,omitempty"`
+	Experiments []expResult `json:"experiments"`
+}
+
+// writeResults records the run under dir as BENCH_<git-sha>.json. A
+// rerun on the same commit overwrites — the file captures "the numbers
+// this tree produces", not a history (git holds the history).
+func writeResults(dir string, quick bool, results []expResult) {
+	if dir == "" || len(results) == 0 {
+		return
+	}
+	build := telemetry.ReadBuildInfo()
+	if build.Revision == "dev" {
+		// `go run` skips VCS stamping; ask git directly so the file is
+		// still named after the commit when run from a checkout.
+		if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+			if sha := strings.TrimSpace(string(out)); sha != "" {
+				build.Revision = sha
+			}
+		}
+	}
+	doc := benchFile{
+		Revision:    build.Revision,
+		Dirty:       build.Dirty,
+		GoVersion:   build.GoVersion,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Quick:       quick,
+		Experiments: results,
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "artbench: cannot create %s: %v\n", dir, err)
+		return
+	}
+	path := filepath.Join(dir, "BENCH_"+build.Revision+".json")
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artbench: encoding results: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "artbench: writing %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("### results written to %s\n", path)
 }

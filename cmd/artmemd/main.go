@@ -7,6 +7,13 @@
 //	curl localhost:7600/memory.threshold_show
 //	curl localhost:7600/stats
 //
+// plus the telemetry surface:
+//
+//	curl localhost:7600/metrics            # Prometheus text format
+//	curl localhost:7600/metrics.json       # JSON snapshot
+//	curl localhost:7600/trace?n=100        # decision trace, JSONL
+//	go tool pprof localhost:7600/debug/pprof/profile
+//
 // Usage:
 //
 //	artmemd -workload XSBench -ratio 1:4 -listen :7600
@@ -26,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +41,7 @@ import (
 
 	"artmem/internal/core"
 	"artmem/internal/memsim"
+	"artmem/internal/telemetry"
 	"artmem/internal/workloads"
 )
 
@@ -46,8 +55,15 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "Q-table snapshot path: restored at startup if present, saved periodically and at shutdown")
 		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "interval between Q-table checkpoints")
 		drain     = flag.Duration("shutdown-timeout", 5*time.Second, "HTTP drain timeout on SIGINT/SIGTERM")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	build := telemetry.ReadBuildInfo()
+	if *version {
+		fmt.Println("artmemd", build)
+		return
+	}
 
 	spec, err := workloads.ByName(*name)
 	if err != nil {
@@ -70,6 +86,9 @@ func main() {
 		SamplingInterval:  time.Millisecond,
 		MigrationInterval: 10 * time.Millisecond,
 	})
+	// The Go runtime's own health (goroutines, heap, GC) rides along on
+	// the same /metrics page as the simulator's.
+	telemetry.RegisterRuntimeMetrics(sys.Telemetry().Registry)
 	if *ckptPath != "" {
 		switch err := sys.RestoreQTablesFile(*ckptPath); {
 		case err == nil:
@@ -88,7 +107,18 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
-	srv := &http.Server{Addr: *listen, Handler: sys.ControlHandler()}
+	// The control endpoints plus the standard pprof surface. The handlers
+	// are registered explicitly (rather than importing net/http/pprof for
+	// its DefaultServeMux side effect) so the daemon never serves
+	// profiling endpoints it did not ask for.
+	mux := http.NewServeMux()
+	mux.Handle("/", sys.ControlHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	go protect("http", func() {
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 			fatal(err)
@@ -115,7 +145,9 @@ func main() {
 		})
 	}
 
+	fmt.Printf("artmemd: build %s\n", build)
 	fmt.Printf("artmemd: serving interaction channels on http://%s\n", *listen)
+	fmt.Printf("artmemd: telemetry at /metrics, /metrics.json, /trace; profiling at /debug/pprof/\n")
 	fmt.Printf("artmemd: replaying %s (%d MB) at %s in a loop; SIGINT/SIGTERM to stop\n",
 		*name, foot>>20, *ratio)
 

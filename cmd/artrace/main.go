@@ -7,6 +7,7 @@
 //	artrace record -workload CC -o cc.trace
 //	artrace info cc.trace
 //	artrace replay -policy ArtMem -ratio 1:4 cc.trace
+//	artrace replay -decisions cc.trace        # print the RL decision timeline
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"artmem/internal/core"
 	"artmem/internal/harness"
 	"artmem/internal/policies"
+	"artmem/internal/telemetry"
 	"artmem/internal/trace"
 	"artmem/internal/workloads"
 )
@@ -42,7 +44,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   artrace record -workload <name> [-div N] [-accesses N] -o <file>
   artrace info <file>
-  artrace replay [-policy P] [-ratio F:S] [-pagesize N] <file>`)
+  artrace replay [-policy P] [-ratio F:S] [-pagesize N] [-decisions] <file>`)
 	os.Exit(2)
 }
 
@@ -120,6 +122,7 @@ func replay(args []string) {
 	policy := fs.String("policy", "ArtMem", "tiering policy")
 	ratio := fs.String("ratio", "1:1", "DRAM:PM ratio")
 	pageSize := fs.Int64("pagesize", 16<<10, "migration page size (bytes)")
+	decisions := fs.Bool("decisions", false, "print the RL decision timeline after the replay (ArtMem only)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -134,8 +137,16 @@ func replay(args []string) {
 		fatal(err)
 	}
 	var pol policies.Policy
+	var tel *telemetry.Set
 	if strings.EqualFold(*policy, "artmem") {
-		pol = core.New(core.Config{})
+		art := core.New(core.Config{})
+		if *decisions {
+			tel = telemetry.NewSet()
+			art.SetTelemetry(tel)
+		}
+		pol = art
+	} else if *decisions {
+		fatal(fmt.Errorf("-decisions needs the ArtMem policy, not %s", *policy))
 	} else {
 		fct, err := policies.ByName(*policy)
 		if err != nil {
@@ -157,4 +168,30 @@ func replay(args []string) {
 	fmt.Printf("%s under %s @ %s: exec %.1f ms, DRAM ratio %.3f, %d migrations\n",
 		res.Workload, res.Policy, res.Ratio,
 		float64(res.ExecNs)/1e6, res.DRAMRatio, res.Migrations)
+	if tel != nil {
+		printDecisions(tel)
+	}
+}
+
+// printDecisions renders the replay's decision trace as one line per
+// event — the timeline the paper's Figure 10/11-style analyses read off
+// (state, action, reward, threshold, migration outcome per period).
+func printDecisions(tel *telemetry.Set) {
+	events := tel.Trace.Events(0)
+	if total := tel.Trace.Total(); total > uint64(len(events)) {
+		fmt.Printf("decision trace: showing last %d of %d events (ring capacity)\n",
+			len(events), total)
+	}
+	fmt.Println("     seq   time_ms  kind       state  reward  quota  thr   promoted  win f/s")
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindDecision:
+			fmt.Printf("  %6d  %8.2f  %-9s  %5d  %6.2f  %5d  %3d   %8d  %d/%d\n",
+				e.Seq, float64(e.TimeNs)/1e6, e.Kind, e.State, e.Reward,
+				e.Quota, e.Threshold, e.Promoted, e.WinFast, e.WinSlow)
+		default:
+			fmt.Printf("  %6d  %8.2f  %-9s  %s\n",
+				e.Seq, float64(e.TimeNs)/1e6, e.Kind, e.Detail)
+		}
+	}
 }

@@ -30,7 +30,7 @@ package core
 
 import (
 	"errors"
-	"sync/atomic"
+	"fmt"
 
 	"artmem/internal/dist"
 	"artmem/internal/ema"
@@ -38,6 +38,7 @@ import (
 	"artmem/internal/memsim"
 	"artmem/internal/pebs"
 	"artmem/internal/rl"
+	"artmem/internal/telemetry"
 )
 
 // Config parameterizes ArtMem. The zero value is completed to the
@@ -203,16 +204,36 @@ type ArtMem struct {
 	// samples re-engages RL.
 	noSampleStreak int
 	degraded       bool
-	faults         FaultStats
 
-	// Stats surfaced for experiments. decisions is read from other
-	// goroutines through the online runtime's control channels.
-	decisions     atomic.Uint64
-	rlNanos       float64
-	lastWinFast   uint64
-	lastWinSlow   uint64
-	lastMigrated  int
-	coolingResets uint64
+	// Telemetry. The registry counters below replace the ad-hoc stat
+	// fields this struct used to carry: they are atomic (safe to read
+	// from the online runtime's control endpoints without the system
+	// lock), they appear on /metrics for free, and FaultStats() snapshots
+	// them for the existing experiment surface. tel is created lazily at
+	// Attach when SetTelemetry was not called, so standalone harness runs
+	// get a decision trace too.
+	tel *telemetry.Set
+
+	ctDecisions     *telemetry.Counter // RL periods elapsed
+	ctRetries       *telemetry.Counter // MovePage retries after busy
+	ctSkips         *telemetry.Counter // candidates abandoned
+	ctRollbacks     *telemetry.Counter // demotions undone
+	ctTierFullStops *telemetry.Counter // periods cut short, slow tier full
+	ctDegradedTicks *telemetry.Counter // periods in heuristic fallback
+	ctDegradedIn    *telemetry.Counter // transitions into fallback
+	ctCoolings      *telemetry.Counter // EMA cooling threshold resets
+
+	// Remaining per-period scratch surfaced for experiments and the
+	// decision trace.
+	rlNanos      float64
+	lastWinFast  uint64
+	lastWinSlow  uint64
+	lastMigrated int
+	// Per-period migration outcome, reset by migrate: candidates
+	// attempted, permanently failed (skipped), and rolled back.
+	lastAttempted int
+	lastFailed    int
+	lastRolled    int
 }
 
 // FaultStats counts the agent's resilience activity: how migration
@@ -267,8 +288,48 @@ func (a *ArtMem) numStates() int { return a.cfg.K + 2 }
 // noSampleState is the dedicated state for empty sampling windows.
 func (a *ArtMem) noSampleState() int { return a.cfg.K + 1 }
 
+// SetTelemetry wires the agent to a telemetry set: its resilience and
+// decision counters are registered on set.Registry at Attach, and every
+// RL period appends one structured event to set.Trace. Must be called
+// before Attach; when it is not, Attach creates a private set so the
+// counters and trace always exist.
+func (a *ArtMem) SetTelemetry(set *telemetry.Set) { a.tel = set }
+
+// Telemetry returns the agent's telemetry set (nil before Attach when
+// SetTelemetry was never called).
+func (a *ArtMem) Telemetry() *telemetry.Set { return a.tel }
+
+// registerMetrics creates the agent's registry-backed counters. Guarded
+// so a re-Attach (same agent, fresh machine) does not double-register.
+func (a *ArtMem) registerMetrics() {
+	if a.tel == nil {
+		a.tel = telemetry.NewSet()
+	}
+	if a.ctDecisions != nil {
+		return
+	}
+	reg := a.tel.Registry
+	a.ctDecisions = reg.Counter("artmem_decisions_total",
+		"RL decision periods elapsed (one Tick of Algorithm 1 each).")
+	a.ctRetries = reg.Counter("artmem_migration_retries_total",
+		"MovePage retries after transient busy failures.")
+	a.ctSkips = reg.Counter("artmem_migration_skips_total",
+		"Migration candidates abandoned after retries were exhausted.")
+	a.ctRollbacks = reg.Counter("artmem_migration_rollbacks_total",
+		"Demotions undone because the paired promotion failed permanently.")
+	a.ctTierFullStops = reg.Counter("artmem_tier_full_stops_total",
+		"Migration periods cut short because the slow tier was full.")
+	a.ctDegradedTicks = reg.Counter("artmem_degraded_ticks_total",
+		"Decision periods spent in the heuristic fallback.")
+	a.ctDegradedIn = reg.Counter("artmem_degraded_entries_total",
+		"Transitions into the heuristic fallback mode.")
+	a.ctCoolings = reg.Counter("artmem_cooling_resets_total",
+		"EMA cooling events (each resets the hotness threshold).")
+}
+
 // Attach implements the policy contract.
 func (a *ArtMem) Attach(m *memsim.Machine) {
+	a.registerMetrics()
 	a.m = m
 	a.lists = lru.New(m.NumPages())
 	m.SetAllocHook(func(p memsim.PageID, t memsim.TierID) {
@@ -343,8 +404,9 @@ func (a *ArtMem) capacityThreshold() uint32 {
 func (a *ArtMem) Threshold() uint32 { return a.threshold }
 
 // Decisions returns the number of RL periods elapsed. Safe to call
-// concurrently with a running System.
-func (a *ArtMem) Decisions() uint64 { return a.decisions.Load() }
+// concurrently with a running System (the count is a registry-backed
+// atomic counter).
+func (a *ArtMem) Decisions() uint64 { return a.ctDecisions.Value() }
 
 // RLOverheadNs returns the cumulative virtual CPU time attributed to
 // Q-table computation (§6.4 reports at most 0.07% of a CPU).
@@ -365,7 +427,19 @@ func (a *ArtMem) SamplingOverheadNs() float64 {
 func (a *ArtMem) Degraded() bool { return a.degraded }
 
 // FaultStats returns a snapshot of the agent's resilience counters.
-func (a *ArtMem) FaultStats() FaultStats { return a.faults }
+// The counters live on the telemetry registry; this accessor keeps the
+// experiment-facing surface. Safe to call concurrently with a running
+// System.
+func (a *ArtMem) FaultStats() FaultStats {
+	return FaultStats{
+		Retries:         a.ctRetries.Value(),
+		SkippedPages:    a.ctSkips.Value(),
+		Rollbacks:       a.ctRollbacks.Value(),
+		TierFullStops:   a.ctTierFullStops.Value(),
+		DegradedTicks:   a.ctDegradedTicks.Value(),
+		DegradedEntries: a.ctDegradedIn.Value(),
+	}
+}
 
 // Sampler returns the agent's PEBS sampler (for stats endpoints).
 func (a *ArtMem) Sampler() *pebs.Sampler { return a.sampler }
@@ -474,35 +548,68 @@ func (a *ArtMem) PumpSamples() {
 	if cooled {
 		// Reset the threshold after each cooling (§4.3).
 		a.threshold = a.capacityThreshold()
-		a.coolingResets++
+		a.ctCoolings.Inc()
+		a.tel.Trace.Append(telemetry.Event{
+			TimeNs:    a.m.Now(),
+			Kind:      telemetry.KindCooling,
+			Threshold: a.threshold,
+			Degraded:  a.degraded,
+			Detail:    "EMA cooled, threshold reset",
+		})
 	}
 }
 
 // heuristicTick runs the fallback policy: capacity-derived threshold and
 // a fixed mid-ladder migration number — the same strategy as the
-// DisableRL ablation, reused as the degraded mode.
-func (a *ArtMem) heuristicTick() {
+// DisableRL ablation, reused as the degraded mode. state is the
+// observed state for the decision-trace record (the heuristic itself
+// ignores it).
+func (a *ArtMem) heuristicTick(state int) {
 	a.threshold = a.capacityThreshold()
 	mid := len(a.cfg.MigrationPages) / 2
-	a.lastMigrated = a.migrate(a.cfg.MigrationPages[mid])
+	quota := a.cfg.MigrationPages[mid]
+	a.lastMigrated = a.migrate(quota)
 	a.migrated = a.lastMigrated > 0
+	a.traceDecision(state, 0, quota, 0)
+}
+
+// traceDecision appends the period's structured event to the decision
+// trace — the record the paper's §6 measurements (quota, Q evolution,
+// hit ratio) are reconstructed from.
+func (a *ArtMem) traceDecision(state int, reward float64, quota, thrDelta int) {
+	a.tel.Trace.Append(telemetry.Event{
+		TimeNs:         a.m.Now(),
+		Kind:           telemetry.KindDecision,
+		State:          state,
+		Reward:         reward,
+		Quota:          quota,
+		ThresholdDelta: thrDelta,
+		Threshold:      a.threshold,
+		Attempted:      a.lastAttempted,
+		Promoted:       a.lastMigrated,
+		Failed:         a.lastFailed,
+		RolledBack:     a.lastRolled,
+		WinFast:        a.lastWinFast,
+		WinSlow:        a.lastWinSlow,
+		Degraded:       a.degraded,
+	})
 }
 
 // Tick implements the policy contract: one iteration of Algorithm 1.
 func (a *ArtMem) Tick(now int64) {
-	a.decisions.Add(1)
+	a.ctDecisions.Inc()
 	// ① Drain sampling data and maintain the distribution and lists.
 	a.PumpSamples()
 
+	// ⑤ Observe the new state (also consumed by the heuristic paths for
+	// the decision trace; it has no RNG and no behavioural effect there).
+	cur := a.observeState()
+
 	if a.cfg.DisableRL {
 		// Heuristic ablation: capacity threshold, fixed migration number.
-		a.heuristicTick()
+		a.heuristicTick(cur)
 		return
 	}
-
-	// ⑤ Observe the new state; ⑥ compute the reward and update both
-	// Q-tables; then choose the next actions (ε-greedy) and ④ migrate.
-	cur := a.observeState()
 
 	// Graceful degradation: one empty window is a legitimate RL state
 	// (the cache absorbed everything), but a long dry spell means the
@@ -518,21 +625,29 @@ func (a *ArtMem) Tick(now int64) {
 	reengaged := false
 	if a.degraded {
 		if cur == a.noSampleState() {
-			a.faults.DegradedTicks++
-			a.heuristicTick()
+			a.ctDegradedTicks.Inc()
+			a.heuristicTick(cur)
 			return
 		}
 		a.degraded = false
 		reengaged = true
+		a.tel.Trace.Append(telemetry.Event{
+			TimeNs: a.m.Now(), Kind: telemetry.KindReengaged, State: cur,
+			Detail: "sampling signal returned, RL re-engaged",
+		})
 	} else if a.cfg.DegradeAfter > 0 && a.noSampleStreak >= a.cfg.DegradeAfter {
 		a.degraded = true
-		a.faults.DegradedEntries++
-		a.faults.DegradedTicks++
+		a.ctDegradedIn.Inc()
+		a.ctDegradedTicks.Inc()
+		a.tel.Trace.Append(telemetry.Event{
+			TimeNs: a.m.Now(), Kind: telemetry.KindDegraded, State: cur, Degraded: true,
+			Detail: fmt.Sprintf("%d consecutive empty sampling windows", a.noSampleStreak),
+		})
 		if a.cfg.Debug != nil {
 			a.cfg.Debug("tick %d: entering degraded mode after %d empty windows",
-				a.decisions.Load(), a.noSampleStreak)
+				a.Decisions(), a.noSampleStreak)
 		}
-		a.heuristicTick()
+		a.heuristicTick(cur)
 		return
 	}
 
@@ -569,10 +684,11 @@ func (a *ArtMem) Tick(now int64) {
 	// Apply the migration action.
 	a.lastMigrated = a.migrate(a.cfg.MigrationPages[nextMig])
 	a.migrated = a.lastMigrated > 0
+	a.traceDecision(cur, r, a.cfg.MigrationPages[nextMig], delta)
 
 	if a.cfg.Debug != nil {
 		a.cfg.Debug("tick %d: state=%d r=%.2f thr=%d act=(mig %d pages, thr %+d) promoted=%d win=%d/%d slowActive=%d",
-			a.decisions.Load(), cur, r, a.threshold, a.cfg.MigrationPages[nextMig],
+			a.Decisions(), cur, r, a.threshold, a.cfg.MigrationPages[nextMig],
 			delta, a.lastMigrated, a.lastWinFast, a.lastWinSlow,
 			a.lists.Len(lru.SlowActive))
 	}
@@ -586,6 +702,7 @@ func (a *ArtMem) Tick(now int64) {
 // list, demoting from the fast inactive tail first when space is needed
 // (§4.4's migration thread). It returns the number of pages promoted.
 func (a *ArtMem) migrate(want int) int {
+	a.lastAttempted, a.lastFailed, a.lastRolled = 0, 0, 0
 	if want == 0 {
 		return 0
 	}
@@ -604,6 +721,7 @@ func (a *ArtMem) migrate(want int) int {
 			cands = append(cands, p)
 		}
 	}
+	a.lastAttempted = len(cands)
 	promoted := 0
 	for _, p := range cands {
 		// Each candidate is one transaction: (optionally) demote a victim
@@ -639,18 +757,25 @@ func (a *ArtMem) migrate(want int) int {
 			case errors.Is(err, memsim.ErrTierFull):
 				// The slow tier has no room: no demotion can succeed this
 				// period, so stop instead of hammering a full tier.
-				a.faults.TierFullStops++
+				a.ctTierFullStops.Inc()
+				a.tel.Trace.Append(telemetry.Event{
+					TimeNs: m.Now(), Kind: telemetry.KindFault,
+					Promoted: promoted, Degraded: a.degraded,
+					Detail: "slow tier full, migration period stopped",
+				})
 				return promoted
 			default:
 				// A transient failure outlived the retries: skip this
 				// candidate and continue (the victim stays resident).
-				a.faults.SkippedPages++
+				a.ctSkips.Inc()
+				a.lastFailed++
 				continue
 			}
 		}
 		wasActive := a.lists.ListOf(p) == lru.SlowActive
 		if err := a.moveWithRetry(p, memsim.Fast); err != nil {
-			a.faults.SkippedPages++
+			a.ctSkips.Inc()
+			a.lastFailed++
 			if victim != memsim.NoPage {
 				// Roll back the demotion performed solely to make room for
 				// this promotion: re-promote the victim and restore its
@@ -658,7 +783,8 @@ func (a *ArtMem) migrate(want int) int {
 				// resident pages for nothing.
 				if a.moveWithRetry(victim, memsim.Fast) == nil {
 					a.lists.PushHead(victimList, victim)
-					a.faults.Rollbacks++
+					a.ctRollbacks.Inc()
+					a.lastRolled++
 				}
 			}
 			continue
@@ -686,7 +812,7 @@ func (a *ArtMem) moveWithRetry(p memsim.PageID, dst memsim.TierID) error {
 		if attempt >= a.cfg.MigrationRetries {
 			return err
 		}
-		a.faults.Retries++
+		a.ctRetries.Inc()
 		a.m.ChargeBackground(backoff)
 		if backoff < maxBackoff {
 			backoff *= 2

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // This file exposes the paper's §5 "interaction channels for environment
@@ -23,6 +24,8 @@ import (
 //	GET /memory.action_show      the agent's last migration action
 //	GET /memory.threshold_show   the current hotness threshold
 //	GET /stats                   machine counters as JSON
+//	GET /metrics                 the full registry in Prometheus text format
+//	GET /trace                   the decision trace as JSONL (?n= caps events)
 func (s *System) ControlHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /memory.hit_ratio_show", func(w http.ResponseWriter, r *http.Request) {
@@ -37,8 +40,8 @@ func (s *System) ControlHandler() http.Handler {
 		s.mu.Lock()
 		pages := s.pol.cfg.MigrationPages[s.pol.actMig]
 		migrated := s.pol.lastMigrated
-		decisions := s.pol.decisions.Load()
 		s.mu.Unlock()
+		decisions := s.pol.Decisions()
 		fmt.Fprintf(w, "migration_pages %d\nlast_migrated %d\ndecisions %d\n",
 			pages, migrated, decisions)
 	})
@@ -53,10 +56,10 @@ func (s *System) ControlHandler() http.Handler {
 		s.mu.Lock()
 		c := s.m.Counters()
 		now := s.m.Now()
-		fs := s.pol.faults
 		degraded := s.pol.degraded
 		sampleDrops := s.pol.sampler.Dropped() + s.pol.sampler.InjectedDrops()
 		s.mu.Unlock()
+		fs := s.pol.FaultStats()
 		h := s.Health()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
@@ -103,6 +106,29 @@ func (s *System) ControlHandler() http.Handler {
 			WatchdogStalls:     h.SamplingStalls + h.MigrationStalls,
 			Panics:             h.Panics,
 		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// The registry's pull closures lock s.mu themselves; this handler
+		// must not hold it (see internal/core/telemetry.go).
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.tel.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.tel.Registry.Snapshot())
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 0 // everything retained
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.tel.Trace.WriteJSONL(w, n)
 	})
 	return mux
 }

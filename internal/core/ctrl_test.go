@@ -90,8 +90,12 @@ func TestStatsReportsResilienceCounters(t *testing.T) {
 	s.pol.Tick(s.m.Now())
 	// Seed distinctive values so the JSON encoding is checked, not just
 	// the field names.
-	s.pol.faults = FaultStats{Retries: 3, SkippedPages: 2, Rollbacks: 1,
-		TierFullStops: 4, DegradedTicks: 5, DegradedEntries: 1}
+	s.pol.ctRetries.Add(3)
+	s.pol.ctSkips.Add(2)
+	s.pol.ctRollbacks.Add(1)
+	s.pol.ctTierFullStops.Add(4)
+	s.pol.ctDegradedTicks.Add(5)
+	s.pol.ctDegradedIn.Add(1)
 	s.pol.degraded = true
 	s.mu.Unlock()
 

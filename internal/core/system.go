@@ -2,11 +2,11 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"artmem/internal/faultinject"
 	"artmem/internal/memsim"
+	"artmem/internal/telemetry"
 )
 
 // System is the online ArtMem runtime: it wraps a machine and runs the
@@ -41,13 +41,19 @@ type System struct {
 
 	started bool
 
+	// Telemetry: the registry + decision trace shared with the policy
+	// and served over /metrics and /trace.
+	tel *telemetry.Set
+
 	// Liveness accounting, written by the worker threads and read by the
-	// watchdog and Health without taking mu.
-	sampleBeats   atomic.Uint64
-	migrateBeats  atomic.Uint64
-	sampleStalls  atomic.Uint64
-	migrateStalls atomic.Uint64
-	panics        atomic.Uint64
+	// watchdog and Health without taking mu. The counters live on the
+	// telemetry registry (atomic underneath), so they show up on
+	// /metrics without separate plumbing.
+	sampleBeats   *telemetry.Counter
+	migrateBeats  *telemetry.Counter
+	sampleStalls  *telemetry.Counter
+	migrateStalls *telemetry.Counter
+	panics        *telemetry.Counter
 }
 
 // SystemConfig parameterizes an online System.
@@ -72,6 +78,13 @@ type SystemConfig struct {
 	// migration path and the agent's sampling path before the policy
 	// attaches — chaos testing for the online runtime.
 	Faults *faultinject.Config
+	// Telemetry, when non-nil, is the registry + decision trace the
+	// system instruments itself onto; nil creates a fresh set. Two
+	// Systems must not share one set (metric names would collide).
+	Telemetry *telemetry.Set
+	// TraceCapacity bounds the decision-trace ring when Telemetry is
+	// nil. 0 uses telemetry.DefaultTraceCap.
+	TraceCapacity int
 }
 
 // NewSystem builds an online system. Call Start to launch the
@@ -92,9 +105,17 @@ func NewSystem(cfg SystemConfig) *System {
 		inj = faultinject.New(*cfg.Faults)
 		m.SetFaultInjector(inj)
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = &telemetry.Set{
+			Registry: telemetry.NewRegistry(),
+			Trace:    telemetry.NewTrace(cfg.TraceCapacity),
+		}
+	}
 	pol := New(cfg.Policy)
+	pol.SetTelemetry(tel)
 	pol.Attach(m)
-	return &System{
+	s := &System{
 		m:                 m,
 		pol:               pol,
 		injector:          inj,
@@ -102,8 +123,26 @@ func NewSystem(cfg SystemConfig) *System {
 		migrationInterval: cfg.MigrationInterval,
 		watchdogInterval:  cfg.WatchdogInterval,
 		stop:              make(chan struct{}),
+		tel:               tel,
 	}
+	reg := tel.Registry
+	s.sampleBeats = reg.Counter("artmem_sampling_beats_total",
+		"Completed sampling-thread iterations (ksampled heartbeats).")
+	s.migrateBeats = reg.Counter("artmem_migration_beats_total",
+		"Completed migration-thread iterations (kmigrated heartbeats).")
+	s.sampleStalls = reg.Counter("artmem_sampling_stalls_total",
+		"Watchdog intervals in which the sampling thread made no progress.")
+	s.migrateStalls = reg.Counter("artmem_migration_stalls_total",
+		"Watchdog intervals in which the migration thread made no progress.")
+	s.panics = reg.Counter("artmem_worker_panics_total",
+		"Recovered panics in the worker threads.")
+	s.registerMetrics()
+	return s
 }
+
+// Telemetry returns the system's registry + decision trace, the set
+// served by the control endpoints.
+func (s *System) Telemetry() *telemetry.Set { return s.tel }
 
 // Machine returns the underlying machine. Callers must not use it
 // concurrently with a started System except through System methods.
@@ -202,11 +241,11 @@ func (s *System) Health() Health {
 	degraded := s.pol.degraded
 	s.mu.Unlock()
 	return Health{
-		SamplingBeats:   s.sampleBeats.Load(),
-		MigrationBeats:  s.migrateBeats.Load(),
-		SamplingStalls:  s.sampleStalls.Load(),
-		MigrationStalls: s.migrateStalls.Load(),
-		Panics:          s.panics.Load(),
+		SamplingBeats:   s.sampleBeats.Value(),
+		MigrationBeats:  s.migrateBeats.Value(),
+		SamplingStalls:  s.sampleStalls.Value(),
+		MigrationStalls: s.migrateStalls.Value(),
+		Panics:          s.panics.Value(),
 		Degraded:        degraded,
 	}
 }
@@ -233,16 +272,16 @@ func (s *System) RestoreQTablesFile(path string) error {
 // recovering from panics (the lock is released by the deferred unlock
 // before the recover fires, so a panicking tick cannot poison the
 // mutex). The beat advances only on successful iterations.
-func (s *System) runProtected(beat *atomic.Uint64, f func()) {
+func (s *System) runProtected(beat *telemetry.Counter, f func()) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.panics.Add(1)
+			s.panics.Inc()
 		}
 	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	f()
-	beat.Add(1)
+	beat.Inc()
 }
 
 // samplingThread mirrors ksampled: it periodically drains the PEBS
@@ -256,7 +295,7 @@ func (s *System) samplingThread() {
 		case <-s.stop:
 			return
 		case <-tick.C:
-			s.runProtected(&s.sampleBeats, s.pol.PumpSamples)
+			s.runProtected(s.sampleBeats, s.pol.PumpSamples)
 		}
 	}
 }
@@ -272,35 +311,49 @@ func (s *System) migrationThread() {
 		case <-s.stop:
 			return
 		case <-tick.C:
-			s.runProtected(&s.migrateBeats, func() { s.pol.Tick(s.m.Now()) })
+			s.runProtected(s.migrateBeats, func() { s.pol.Tick(s.m.Now()) })
 		}
 	}
 }
 
+// watchdogState is the watchdog's memory between checks: the heartbeat
+// values seen at the previous interval. Extracted (together with
+// watchdogCheck) so Health transitions are unit-testable without real
+// timers.
+type watchdogState struct {
+	lastSample, lastMigrate uint64
+}
+
+// watchdogCheck performs one watchdog interval's work: any worker whose
+// heartbeat did not advance since the previous check is counted as
+// stalled. Stall counts are monotonic — a recovered thread stops
+// accumulating them but past stalls remain visible in Health.
+func (s *System) watchdogCheck(w *watchdogState) {
+	if cur := s.sampleBeats.Value(); cur == w.lastSample {
+		s.sampleStalls.Inc()
+	} else {
+		w.lastSample = cur
+	}
+	if cur := s.migrateBeats.Value(); cur == w.lastMigrate {
+		s.migrateStalls.Inc()
+	} else {
+		w.lastMigrate = cur
+	}
+}
+
 // watchdogThread checks once per interval that both workers' heartbeats
-// advanced; a thread that made no progress across a full interval is
-// counted as stalled. Stall counts are monotonic — a recovered thread
-// stops accumulating them but past stalls remain visible in Health.
+// advanced.
 func (s *System) watchdogThread() {
 	defer s.wg.Done()
 	tick := time.NewTicker(s.watchdogInterval)
 	defer tick.Stop()
-	var lastSample, lastMigrate uint64
+	var w watchdogState
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-tick.C:
-			if cur := s.sampleBeats.Load(); cur == lastSample {
-				s.sampleStalls.Add(1)
-			} else {
-				lastSample = cur
-			}
-			if cur := s.migrateBeats.Load(); cur == lastMigrate {
-				s.migrateStalls.Add(1)
-			} else {
-				lastMigrate = cur
-			}
+			s.watchdogCheck(&w)
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"artmem/internal/lru"
+	"artmem/internal/memsim"
+	"artmem/internal/rl"
+	"artmem/internal/telemetry"
+)
+
+// This file registers the System's pull-based metrics: gauges and
+// counters whose values live inside the machine, the sampler, the LRU
+// lists, and the Q-tables — all state guarded by the system lock. Each
+// registered closure takes s.mu itself, so a /metrics scrape reads a
+// consistent snapshot without the caller holding the lock.
+//
+// Locking rule: scrape handlers (ControlHandler, artmemd) must never
+// call WritePrometheus or Snapshot while holding s.mu — the pull
+// closures would deadlock re-acquiring it.
+
+// lockedGauge registers a pull gauge whose read runs under s.mu.
+func (s *System) lockedGauge(name, help string, read func() float64, labels ...telemetry.Label) {
+	s.tel.Registry.GaugeFunc(name, help, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return read()
+	}, labels...)
+}
+
+// lockedCounter registers a pull counter whose read runs under s.mu.
+func (s *System) lockedCounter(name, help string, read func() uint64, labels ...telemetry.Label) {
+	s.tel.Registry.CounterFunc(name, help, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(read())
+	}, labels...)
+}
+
+// registerMetrics instruments every layer of the stack onto the
+// registry. Called once from NewSystem, after the policy attached.
+func (s *System) registerMetrics() {
+	m, pol := s.m, s.pol
+
+	// --- memsim: tier occupancy, machine counters, virtual clock ---
+	tierLabel := [2]telemetry.Label{telemetry.L("tier", "fast"), telemetry.L("tier", "slow")}
+	for _, t := range []memsim.TierID{memsim.Fast, memsim.Slow} {
+		t := t
+		s.lockedGauge("artmem_tier_pages",
+			"Pages currently resident per tier.",
+			func() float64 { return float64(m.UsedPages(t)) }, tierLabel[t])
+		s.lockedGauge("artmem_tier_capacity_pages",
+			"Tier capacity in pages.",
+			func() float64 { return float64(m.CapacityPages(t)) }, tierLabel[t])
+	}
+	s.lockedCounter("artmem_accesses_total",
+		"Cache-missing accesses served per tier.",
+		func() uint64 { return m.Counters().FastAccesses }, tierLabel[memsim.Fast])
+	s.lockedCounter("artmem_accesses_total", "",
+		func() uint64 { return m.Counters().SlowAccesses }, tierLabel[memsim.Slow])
+	s.lockedCounter("artmem_cache_hits_total",
+		"Accesses absorbed by the CPU cache model.",
+		func() uint64 { return m.Counters().CacheHits })
+	s.lockedCounter("artmem_migrations_total",
+		"Pages moved between tiers.",
+		func() uint64 { return m.Counters().Migrations })
+	s.lockedCounter("artmem_promotions_total",
+		"Slow-to-fast page moves.",
+		func() uint64 { return m.Counters().Promotions })
+	s.lockedCounter("artmem_demotions_total",
+		"Fast-to-slow page moves.",
+		func() uint64 { return m.Counters().Demotions })
+	s.lockedCounter("artmem_migrated_bytes_total",
+		"Total bytes moved between tiers.",
+		func() uint64 { return m.Counters().MigratedBytes })
+	s.lockedCounter("artmem_migration_failures_total",
+		"MovePage attempts that failed transiently (ErrMigrationBusy).",
+		func() uint64 { return m.Counters().MigrationFailures })
+	s.lockedCounter("artmem_numa_faults_total",
+		"NUMA-hint faults taken.",
+		func() uint64 { return m.Counters().Faults })
+	s.lockedGauge("artmem_virtual_clock_ns",
+		"The machine's virtual clock.",
+		func() float64 { return float64(m.Now()) })
+	s.lockedGauge("artmem_background_cpu_ns",
+		"Virtual CPU time consumed by background work (sampling, RL, migration).",
+		func() float64 { return m.BackgroundNs() })
+	s.tel.Registry.HistogramFunc("artmem_access_latency_ns",
+		"Distribution of per-access service latency (virtual ns).",
+		func() telemetry.HistogramData {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return m.AccessLatencyData()
+		})
+
+	// --- pebs: sampling substrate ---
+	s.lockedCounter("artmem_pebs_samples_total",
+		"Samples taken by the PEBS model (including ones later dropped).",
+		func() uint64 { return pol.sampler.Stats().Taken })
+	s.lockedCounter("artmem_pebs_samples_dropped_total",
+		"Samples lost to ring-buffer overflow.",
+		func() uint64 { return pol.sampler.Stats().Dropped })
+	s.lockedCounter("artmem_pebs_samples_injected_drops_total",
+		"Samples lost entirely to an installed fault injector.",
+		func() uint64 { return pol.sampler.Stats().InjectedDrops })
+	s.lockedGauge("artmem_pebs_pending_samples",
+		"Undrained samples in the ring buffer.",
+		func() float64 { return float64(pol.sampler.Stats().Pending) })
+	s.lockedGauge("artmem_pebs_sampling_period",
+		"Current sampling period (one sample per N cache-missing accesses).",
+		func() float64 { return float64(pol.sampler.Stats().Period) })
+
+	// --- lru: page-sorting list sizes ---
+	for _, e := range []struct {
+		id   lru.ListID
+		name string
+	}{
+		{lru.FastActive, "fast_active"},
+		{lru.FastInactive, "fast_inactive"},
+		{lru.SlowActive, "slow_active"},
+		{lru.SlowInactive, "slow_inactive"},
+	} {
+		e := e
+		s.lockedGauge("artmem_lru_pages",
+			"Pages on each recency list.",
+			func() float64 { return float64(pol.lists.Len(e.id)) },
+			telemetry.L("list", e.name))
+	}
+
+	// --- rl: the agent's learning activity ---
+	// The table pointers are stable after Attach (NewSystem registers
+	// afterwards), so the closures capture them directly.
+	for _, e := range []struct {
+		name  string
+		table *rl.Table
+	}{
+		{"migration", pol.qMig},
+		{"threshold", pol.qThr},
+	} {
+		e := e
+		s.lockedCounter("artmem_rl_updates_total",
+			"Temporal-difference updates applied per Q-table.",
+			func() uint64 { return e.table.Updates() }, telemetry.L("table", e.name))
+		s.lockedCounter("artmem_rl_explorations_total",
+			"ε-greedy selections that took the exploration branch, per Q-table.",
+			func() uint64 { return e.table.Explorations() }, telemetry.L("table", e.name))
+	}
+	s.lockedGauge("artmem_rl_epsilon",
+		"The agent's exploration probability.",
+		func() float64 { return pol.qMig.Config().Epsilon })
+	s.lockedGauge("artmem_threshold",
+		"Current hotness threshold (per-page access count).",
+		func() float64 { return float64(pol.threshold) })
+	s.lockedGauge("artmem_state",
+		"The agent's last observed RL state (fast-ratio level, K+1 = no samples).",
+		func() float64 { return float64(pol.state) })
+	s.lockedGauge("artmem_degraded",
+		"1 while the agent runs the heuristic fallback, else 0.",
+		func() float64 {
+			if pol.degraded {
+				return 1
+			}
+			return 0
+		})
+
+	// --- faultinject: delivered chaos, by class ---
+	if inj := s.injector; inj != nil {
+		s.lockedCounter("artmem_injected_faults_total",
+			"Faults delivered by the injector, by class.",
+			func() uint64 { return inj.Stats().MigrationFailures },
+			telemetry.L("class", "migration_failure"))
+		s.lockedCounter("artmem_injected_faults_total", "",
+			func() uint64 { return inj.Stats().DroppedSamples },
+			telemetry.L("class", "sample_drop"))
+		s.lockedCounter("artmem_injected_faults_total", "",
+			func() uint64 { return inj.Stats().OverflowedSamples },
+			telemetry.L("class", "ring_overflow"))
+		s.lockedCounter("artmem_injected_faults_total", "",
+			func() uint64 { return inj.Stats().DegradedMigrations },
+			telemetry.L("class", "bandwidth_degraded"))
+	}
+}

@@ -3,6 +3,8 @@ package memsim
 import (
 	"errors"
 	"fmt"
+
+	"artmem/internal/telemetry"
 )
 
 // Sampler receives a callback for every cache-missing memory access. The
@@ -110,7 +112,27 @@ type Machine struct {
 	backgroundNs float64
 	// fractional ns accumulator so sub-ns costs are not lost.
 	clockFrac float64
+
+	// Access-latency accounting. Every access is served at one of five
+	// constant model costs (cache hit, fast/slow × read/write), so the
+	// latency distribution is fully described by five plain counters —
+	// the same cost as the existing counter increments, which is what
+	// keeps default telemetry off the hot path (see DESIGN.md §6). The
+	// optional push histogram observes every access individually
+	// (atomic ops per access) for callers that want one.
+	latCounts  [numLatClasses]uint64
+	accessHist *telemetry.Histogram
 }
+
+// Latency classes indexing latCounts.
+const (
+	latCacheHit = iota
+	latFastRead
+	latFastWrite
+	latSlowRead
+	latSlowWrite
+	numLatClasses
+)
 
 // NewMachine builds a Machine from cfg. It panics on an invalid
 // configuration (configs are built by the harness; an invalid one is a
@@ -192,6 +214,56 @@ func (m *Machine) Counters() Counters { return m.ctr }
 // SetSampler installs the hardware-sampling hook (nil to remove).
 func (m *Machine) SetSampler(s Sampler) { m.sampler = s }
 
+// SetAccessHistogram installs a push histogram observed on every access
+// with the access's model latency (nil to remove). This is the
+// expensive instrumentation mode — a few atomic operations per access;
+// the default telemetry wiring uses AccessLatencyData instead, which
+// costs nothing on the access path. The overhead benchmark in
+// telemetry_bench_test.go compares the two.
+func (m *Machine) SetAccessHistogram(h *telemetry.Histogram) { m.accessHist = h }
+
+// AccessLatencyData returns the access-latency distribution as
+// histogram buckets. Every access is served at one of five constant
+// model costs (cache hit, fast/slow × read/write), so the exact
+// distribution is reconstructed from per-class counters with zero
+// hot-path overhead. Not safe to call concurrently with Access; the
+// online runtime reads it under its lock.
+func (m *Machine) AccessLatencyData() telemetry.HistogramData {
+	type bin struct {
+		cost float64
+		n    uint64
+	}
+	bins := []bin{
+		{m.cfg.CacheHitNs, m.latCounts[latCacheHit]},
+		{m.readCostNs[Fast], m.latCounts[latFastRead]},
+		{m.writeCostNs[Fast], m.latCounts[latFastWrite]},
+		{m.readCostNs[Slow], m.latCounts[latSlowRead]},
+		{m.writeCostNs[Slow], m.latCounts[latSlowWrite]},
+	}
+	// Sort by cost and merge classes that share one (e.g. symmetric
+	// read/write bandwidth), keeping bucket bounds strictly increasing.
+	for i := 1; i < len(bins); i++ {
+		for j := i; j > 0 && bins[j].cost < bins[j-1].cost; j-- {
+			bins[j], bins[j-1] = bins[j-1], bins[j]
+		}
+	}
+	d := telemetry.HistogramData{}
+	var acc uint64
+	for _, b := range bins {
+		acc += b.n
+		d.Sum += b.cost * float64(b.n)
+		if n := len(d.Bounds); n > 0 && d.Bounds[n-1] == b.cost {
+			d.Counts[n-1] = acc
+			continue
+		}
+		d.Bounds = append(d.Bounds, b.cost)
+		d.Counts = append(d.Counts, acc)
+	}
+	// Trailing +Inf bucket: nothing lands above the largest model cost.
+	d.Counts = append(d.Counts, acc)
+	return d
+}
+
 // SetFaultHandler installs the NUMA-hint-fault hook (nil to remove).
 func (m *Machine) SetFaultHandler(h FaultHandler) { m.faults = h }
 
@@ -261,15 +333,23 @@ func (m *Machine) Access(addr uint64, write bool) {
 	}
 	if m.cache.lookup(addr >> 6) {
 		m.ctr.CacheHits++
+		m.latCounts[latCacheHit]++
 		m.advance(m.cfg.CacheHitNs)
+		m.accessHist.Observe(m.cfg.CacheHitNs)
 		return
 	}
 	t := m.tier[p]
+	var cost float64
+	cls := latFastRead + 2*int(t)
 	if write {
-		m.advance(m.writeCostNs[t])
+		cost = m.writeCostNs[t]
+		cls++
 	} else {
-		m.advance(m.readCostNs[t])
+		cost = m.readCostNs[t]
 	}
+	m.latCounts[cls]++
+	m.advance(cost)
+	m.accessHist.Observe(cost)
 	if t == Fast {
 		m.ctr.FastAccesses++
 	} else {

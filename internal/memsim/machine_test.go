@@ -3,6 +3,8 @@ package memsim
 import (
 	"testing"
 	"testing/quick"
+
+	"artmem/internal/telemetry"
 )
 
 // testConfig returns a small machine: 64 pages of 64KiB, 16 fast pages,
@@ -409,6 +411,21 @@ func TestDeterminism(t *testing.T) {
 
 func BenchmarkAccessHotPath(b *testing.B) {
 	m := NewMachine(DefaultConfig(1<<30, 1<<29, 128<<10))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Access(uint64(i*4099)&(1<<30-1), false)
+	}
+}
+
+// BenchmarkAccessHotPathPushHistogram measures the opt-in push
+// histogram on the access path, against BenchmarkAccessHotPath as the
+// default (pull-instrumented) baseline. The default latency-class
+// counting is plain integer increments and is always on; the atomic
+// histogram is what SetAccessHistogram adds.
+func BenchmarkAccessHotPathPushHistogram(b *testing.B) {
+	m := NewMachine(DefaultConfig(1<<30, 1<<29, 128<<10))
+	reg := telemetry.NewRegistry()
+	m.SetAccessHistogram(reg.Histogram("bench_access_latency_ns", "", telemetry.DefBuckets))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.Access(uint64(i*4099)&(1<<30-1), false)

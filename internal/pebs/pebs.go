@@ -170,6 +170,35 @@ func (s *Sampler) SetInjector(fi Injector) { s.injector = fi }
 // dropped ones).
 func (s *Sampler) Total() uint64 { return s.total }
 
+// Stats is a snapshot of the sampler's accounting, the unit the
+// telemetry layer scrapes.
+type Stats struct {
+	// Taken counts samples the period selected and the injector let
+	// through (including ones later lost to ring overflow).
+	Taken uint64
+	// Dropped counts samples lost to ring-buffer overflow.
+	Dropped uint64
+	// InjectedDrops counts samples lost entirely to a fault injector.
+	InjectedDrops uint64
+	// Pending is the current undrained ring occupancy.
+	Pending int
+	// Period is the current sampling period.
+	Period uint64
+}
+
+// Stats returns a snapshot of the sampler's counters. Like the rest of
+// the Sampler it is not safe for concurrent use; the online runtime
+// calls it under its lock.
+func (s *Sampler) Stats() Stats {
+	return Stats{
+		Taken:         s.total,
+		Dropped:       s.dropped,
+		InjectedDrops: s.injectedDrops,
+		Pending:       s.count,
+		Period:        s.cfg.Period,
+	}
+}
+
 // Period returns the current sampling period.
 func (s *Sampler) Period() uint64 { return s.cfg.Period }
 

@@ -82,10 +82,11 @@ func DefaultConfig(states, actions int) Config {
 // Table is one Q-table with its learning configuration. It is not safe
 // for concurrent use.
 type Table struct {
-	cfg     Config
-	q       []float64 // row-major [state][action]
-	rng     *dist.RNG
-	updates uint64
+	cfg      Config
+	q        []float64 // row-major [state][action]
+	rng      *dist.RNG
+	updates  uint64
+	explores uint64
 }
 
 // NewTable returns a zero-initialized Q-table. It panics on non-positive
@@ -119,6 +120,12 @@ func (t *Table) Config() Config { return t.cfg }
 
 // Updates returns the number of TD updates applied.
 func (t *Table) Updates() uint64 { return t.updates }
+
+// Explorations returns the number of Choose calls that took the
+// ε-branch (a uniformly random action instead of the greedy one). The
+// telemetry layer exposes it so exploration behaviour is observable
+// alongside the Q-update counts.
+func (t *Table) Explorations() uint64 { return t.explores }
 
 // Q returns the action value for (state, action).
 func (t *Table) Q(state, action int) float64 {
@@ -168,6 +175,7 @@ func (t *Table) MaxQ(state int) float64 {
 // random action (exploration), otherwise the greedy action.
 func (t *Table) Choose(state int) int {
 	if t.cfg.Epsilon > 0 && t.rng.Float64() < t.cfg.Epsilon {
+		t.explores++
 		return t.rng.Intn(t.cfg.Actions)
 	}
 	a, _ := t.Best(state)

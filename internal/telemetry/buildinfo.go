@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the daemon logs it at
+// startup, artmemd -version prints it, and artbench stamps benchmark
+// result files with the revision so runs are comparable across commits.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the short VCS revision, or "dev" when the binary was
+	// built without VCS stamping (go test, vendored builds).
+	Revision string
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool
+	// Time is the commit timestamp (RFC 3339), empty when unknown.
+	Time string
+}
+
+// ReadBuildInfo extracts the binary's build identity from the embedded
+// module info. It never fails: missing fields keep their fallbacks.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version(), Revision: "dev"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if len(s.Value) > 12 {
+				bi.Revision = s.Value[:12]
+			} else if s.Value != "" {
+				bi.Revision = s.Value
+			}
+		case "vcs.modified":
+			bi.Dirty = s.Value == "true"
+		case "vcs.time":
+			bi.Time = s.Value
+		}
+	}
+	return bi
+}
+
+// String renders "revision[-dirty] (goversion)".
+func (b BuildInfo) String() string {
+	s := b.Revision
+	if b.Dirty {
+		s += "-dirty"
+	}
+	return s + " (" + b.GoVersion + ")"
+}

@@ -1,0 +1,512 @@
+// Package telemetry is the observability subsystem for the ArtMem
+// stack: a lock-cheap metrics registry (counters, gauges, histograms
+// with atomic hot paths) with Prometheus text-format exposition and JSON
+// snapshots, plus a bounded decision-trace ring (trace.go) that records
+// one structured event per RL period.
+//
+// Design constraints, in order:
+//
+//  1. The access hot path must stay hot. Counter.Inc, Gauge.Set and
+//     Histogram.Observe are single atomic operations (Observe adds a
+//     short bounds scan); no locks, no allocation, no map lookups.
+//  2. Disabled telemetry must cost one predictable branch. Every metric
+//     method is nil-safe: a nil *Counter, *Gauge or *Histogram is a
+//     no-op, so instrumented code never guards call sites.
+//  3. Exposition is rare and may be slow. WritePrometheus and Snapshot
+//     take the registry mutex and may invoke pull-based metric
+//     functions, which are allowed to take their own locks — callers
+//     must therefore never hold those locks while scraping.
+//
+// The registry is deliberately not the Prometheus client library: the
+// simulator needs a dependency-free subset (this repo vendors nothing),
+// and the pull-function metrics let the online runtime expose
+// simulator-internal state that plain atomic metrics cannot represent
+// race-free.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant key/value pair attached to a metric series.
+// Labels distinguish series that share a metric name (e.g. the fast and
+// slow occupancy gauges both named artmem_tier_pages).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; a nil Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Counters are monotonic; negative deltas are a programming
+// error and are ignored rather than corrupting the series.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down, stored as a float64. The
+// zero value is ready to use; a nil Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add adds delta with a compare-and-swap loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations in cumulative buckets, Prometheus
+// style: bucket i counts observations ≤ Bounds[i], and an implicit
+// +Inf bucket counts everything (the overflow bucket). A nil Histogram
+// is a no-op.
+type Histogram struct {
+	bounds  []float64       // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// DefBuckets is a general-purpose latency ladder in nanoseconds,
+// spanning a cache hit (~1ns) to a badly degraded migration (~1ms).
+var DefBuckets = []float64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1_000, 2_000, 5_000, 10_000, 100_000, 1_000_000,
+}
+
+// NewHistogram returns a histogram over the given bucket upper bounds.
+// Bounds are sorted and deduplicated; nil bounds use DefBuckets. Useful
+// mostly for tests — production code obtains histograms from a Registry.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	uniq := b[:0]
+	for i, v := range b {
+		if i == 0 || v != b[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return &Histogram{
+		bounds: uniq,
+		counts: make([]atomic.Uint64, len(uniq)+1),
+	}
+}
+
+// Observe records one observation. Values above the last bound land in
+// the +Inf overflow bucket; values at or below the first bound land in
+// the first bucket (there is no underflow — Prometheus buckets are
+// cumulative upper bounds).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: the bucket ladders here are ~15 entries and hot-path
+	// observations cluster in the low buckets, so a scan beats binary
+	// search on branch predictability.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Buckets returns the bucket bounds and their cumulative counts; the
+// final entry of counts is the +Inf bucket (== Count()).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return bounds, cumulative
+}
+
+// HistogramData is a point-in-time histogram produced by a pull-based
+// histogram function: cumulative counts per upper bound plus an
+// implicit trailing +Inf bucket. Counts has len(Bounds)+1 entries; the
+// last is the total observation count.
+type HistogramData struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+}
+
+// metricKind is the Prometheus metric type of a series.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "gauge"
+}
+
+// series is one registered time series.
+type series struct {
+	name   string // bare metric name (no labels)
+	labels string // rendered {k="v",...} or ""
+	help   string
+	kind   metricKind
+
+	ctr  *Counter
+	gag  *Gauge
+	hist *Histogram
+	fn   func() float64       // pull-based value; used when ctr/gag/hist nil
+	hfn  func() HistogramData // pull-based histogram
+}
+
+func (s *series) value() float64 {
+	switch {
+	case s.ctr != nil:
+		return float64(s.ctr.Value())
+	case s.gag != nil:
+		return s.gag.Value()
+	case s.fn != nil:
+		return s.fn()
+	}
+	return 0
+}
+
+// Registry holds a set of metric series. Registration takes a mutex;
+// the returned metric objects are lock-free. A nil Registry ignores
+// registrations and returns nil (no-op) metrics, so a subsystem can be
+// instrumented unconditionally and wired to a registry only when one
+// exists.
+type Registry struct {
+	mu     sync.Mutex
+	series []*series
+	byKey  map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register adds a series, panicking on duplicate name+labels (metrics
+// are registered from code at attach time; a duplicate is a programming
+// error, not an input error).
+func (r *Registry) register(s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := s.name + s.labels
+	if _, dup := r.byKey[key]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %s", key))
+	}
+	r.byKey[key] = s
+	r.series = append(r.series, s)
+}
+
+// Counter registers and returns a counter series. On a nil Registry it
+// returns nil (a valid no-op Counter).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: kindCounter, ctr: c})
+	return c
+}
+
+// Gauge registers and returns a gauge series. Nil-Registry-safe.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: kindGauge, gag: g})
+	return g
+}
+
+// Histogram registers and returns a histogram series with the given
+// bucket bounds (nil uses DefBuckets). Nil-Registry-safe.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := NewHistogram(bounds)
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// HistogramFunc registers a pull-based histogram: fn is called at
+// exposition time and returns the full bucket state. This is how the
+// online runtime exposes an access-latency histogram with zero hot-path
+// cost — the simulator counts accesses per (constant) latency class and
+// fn folds those counts into buckets under the runtime lock.
+// Nil-Registry-safe.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramData, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: kindHistogram, hfn: fn})
+}
+
+// GaugeFunc registers a pull-based gauge: fn is called at exposition
+// time. fn may take locks of its own; callers of WritePrometheus and
+// Snapshot must not hold those locks. Nil-Registry-safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: kindGauge, fn: fn})
+}
+
+// CounterFunc registers a pull-based counter (a monotonic value owned
+// by someone else, e.g. a simulator counter read under the runtime
+// lock). Nil-Registry-safe.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: kindCounter, fn: fn})
+}
+
+// snapshotSeries returns a stable copy of the series slice.
+func (r *Registry) snapshotSeries() []*series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*series(nil), r.series...)
+}
+
+// formatValue renders a sample value in Prometheus text format.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus writes every series in Prometheus text exposition
+// format (version 0.0.4). Series registered under the same bare name
+// are grouped under one HELP/TYPE header. Safe for concurrent use with
+// metric updates; pull functions run on the caller's goroutine.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	written := make(map[string]bool)
+	all := r.snapshotSeries()
+	for _, s := range all {
+		if !written[s.name] {
+			written[s.name] = true
+			if s.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind); err != nil {
+				return err
+			}
+			// Keep same-name series adjacent to their header: emit every
+			// series sharing this bare name now (Prometheus requires the
+			// group to be contiguous).
+			for _, t := range all {
+				if t.name != s.name {
+					continue
+				}
+				if err := writeSeries(w, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// histogramData materializes the bucket state of a histogram series,
+// whether backed by a live Histogram or a pull function.
+func (s *series) histogramData() HistogramData {
+	if s.hfn != nil {
+		return s.hfn()
+	}
+	bounds, cum := s.hist.Buckets()
+	return HistogramData{Bounds: bounds, Counts: cum, Sum: s.hist.Sum()}
+}
+
+func writeSeries(w io.Writer, s *series) error {
+	if s.kind == kindHistogram {
+		d := s.histogramData()
+		inner := strings.TrimSuffix(strings.TrimPrefix(s.labels, "{"), "}")
+		for i, b := range d.Bounds {
+			lbl := fmt.Sprintf("le=%q", formatValue(b))
+			if inner != "" {
+				lbl = inner + "," + lbl
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", s.name, lbl, d.Counts[i]); err != nil {
+				return err
+			}
+		}
+		lbl := `le="+Inf"`
+		if inner != "" {
+			lbl = inner + "," + lbl
+		}
+		total := d.Counts[len(d.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", s.name, lbl, total); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, s.labels, formatValue(d.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, s.labels, total)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, formatValue(s.value()))
+	return err
+}
+
+// HistogramSnapshot is the JSON form of a histogram series.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"` // upper bound → cumulative count
+}
+
+// Snapshot returns every series as name+labels → value. Counters and
+// gauges map to float64, histograms to HistogramSnapshot. The result
+// marshals cleanly to JSON.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]any)
+	for _, s := range r.snapshotSeries() {
+		key := s.name + s.labels
+		if s.kind == kindHistogram {
+			d := s.histogramData()
+			hs := HistogramSnapshot{
+				Count:   d.Counts[len(d.Counts)-1],
+				Sum:     d.Sum,
+				Buckets: make(map[string]uint64, len(d.Bounds)+1),
+			}
+			for i, b := range d.Bounds {
+				hs.Buckets[formatValue(b)] = d.Counts[i]
+			}
+			hs.Buckets["+Inf"] = d.Counts[len(d.Counts)-1]
+			out[key] = hs
+			continue
+		}
+		out[key] = s.value()
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntimeMetrics registers pull-based gauges for the Go
+// runtime: goroutine count, heap usage, GC activity, and the scheduler
+// pause total. The daemon wires these into its /metrics endpoint so a
+// scrape sees process health next to simulator state. Reads go through
+// runtime/metrics, which is designed for cheap concurrent sampling.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	sample := func(name string) func() float64 {
+		s := []metrics.Sample{{Name: name}}
+		return func() float64 {
+			metrics.Read(s)
+			switch s[0].Value.Kind() {
+			case metrics.KindUint64:
+				return float64(s[0].Value.Uint64())
+			case metrics.KindFloat64:
+				return s[0].Value.Float64()
+			}
+			return 0
+		}
+	}
+	r.GaugeFunc("go_heap_objects_bytes", "Bytes of allocated heap objects.",
+		sample("/memory/classes/heap/objects:bytes"))
+	r.GaugeFunc("go_heap_goal_bytes", "Heap size target of the next GC cycle.",
+		sample("/gc/heap/goal:bytes"))
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		sample("/gc/cycles/total:gc-cycles"))
+	r.CounterFunc("go_cpu_gc_seconds_total", "Estimated CPU time spent in GC.",
+		sample("/cpu/classes/gc/total:cpu-seconds"))
+}
