@@ -1,7 +1,9 @@
 # Tier-1 verify (fast, what CI gates on): build + test.
 # `make check` is the full gate: vet + build + test + race detector.
 
-.PHONY: all build test check race vet
+SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo dev)
+
+.PHONY: all build test check race vet bench-baseline benchdiff
 
 all: build
 
@@ -19,3 +21,19 @@ race:
 
 check:
 	sh scripts/check.sh
+
+# Regression watch: the simulation is deterministic, so the quick bench
+# suite produces byte-stable tables and any drift is a real behaviour
+# change. `bench-baseline` blesses the current tree's numbers;
+# `benchdiff` reruns the suite and fails on >10% movement (or a vanished
+# benchmark) against the committed baseline. Run bench-baseline and
+# commit the result whenever a change intentionally moves the numbers.
+bench-baseline:
+	go run ./cmd/artbench -all -quick -parallel 4 -outdir bench_results
+	cp bench_results/BENCH_$(SHA).json bench_results/BENCH_baseline.json
+	@echo "baseline blessed: bench_results/BENCH_baseline.json (from $(SHA))"
+
+benchdiff:
+	go run ./cmd/artbench -all -quick -parallel 4 -outdir bench_results
+	go run ./cmd/artdiff bench -threshold 0.10 \
+		bench_results/BENCH_baseline.json bench_results/BENCH_$(SHA).json

@@ -1,15 +1,27 @@
-// Command artdiff compares two benchmark-result directories (as written
-// by `go test -bench .` into bench_results/) and reports cells whose
+// Command artdiff compares benchmark results and reports cells whose
 // values moved by more than a threshold — the regression tracker for
-// the reproduction itself.
+// the reproduction itself. It has two modes:
 //
-// Usage:
+// Directory mode diffs two result directories of rendered text tables
+// (as written by `go test -bench .` into bench_results/):
 //
 //	go test -bench . -benchtime 1x            # baseline
 //	mv bench_results bench_results.old
 //	...change a model...
 //	go test -bench . -benchtime 1x            # new results
 //	artdiff -threshold 0.05 bench_results.old bench_results
+//
+// Bench mode diffs two BENCH_<revision>.json files written by artbench
+// and exits non-zero when a regression (an above-threshold change, or a
+// benchmark that disappeared) is found — the CI regression gate behind
+// `make benchdiff`:
+//
+//	artdiff bench -threshold 0.10 bench_results/BENCH_baseline.json \
+//	    bench_results/BENCH_$(git rev-parse --short=12 HEAD).json
+//
+// Benchmarks present only in the new file are reported but do not fail
+// the gate, so adding an experiment does not require regenerating the
+// baseline in the same change.
 package main
 
 import (
@@ -22,10 +34,15 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		benchMode(os.Args[2:])
+		return
+	}
 	threshold := flag.Float64("threshold", 0.05, "report cells changing by more than this fraction")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: artdiff [-threshold F] <old-dir> <new-dir>")
+		fmt.Fprintln(os.Stderr, "       artdiff bench [-threshold F] <old.json> <new.json>")
 		os.Exit(2)
 	}
 	oldDir, newDir := flag.Arg(0), flag.Arg(1)
@@ -66,6 +83,52 @@ func main() {
 	if totalDeltas == 0 {
 		fmt.Printf("no cells changed by more than %.0f%%\n", *threshold*100)
 	}
+}
+
+// benchMode implements `artdiff bench`: compare two BENCH JSON files
+// and exit 1 on regressions.
+func benchMode(args []string) {
+	fs := flag.NewFlagSet("artdiff bench", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.10, "fail on cells changing by more than this fraction")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: artdiff bench [-threshold F] <old.json> <new.json>")
+		os.Exit(2)
+	}
+	oldTables := parseBenchFile(fs.Arg(0))
+	newTables := parseBenchFile(fs.Arg(1))
+
+	deltas := benchdiff.Compare(oldTables, newTables, *threshold)
+	regs := benchdiff.Regressions(deltas)
+	if len(deltas) == 0 {
+		fmt.Printf("benchdiff: OK — no cells changed by more than %.0f%% (%d tables compared)\n",
+			*threshold*100, len(oldTables))
+		return
+	}
+	fmt.Print(benchdiff.Format(deltas))
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: OK — only additions, no regressions above %.0f%%\n", *threshold*100)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d regression(s) above %.0f%% (threshold) vs %s\n",
+		len(regs), *threshold*100, fs.Arg(0))
+	os.Exit(1)
+}
+
+func parseBenchFile(path string) []benchdiff.Table {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tables, err := benchdiff.ParseBenchJSON(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(tables) == 0 {
+		fatal(fmt.Errorf("%s: no result tables", path))
+	}
+	return tables
 }
 
 func parseFile(path string) ([]benchdiff.Table, bool) {

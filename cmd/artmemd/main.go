@@ -12,6 +12,8 @@
 //	curl localhost:7600/metrics            # Prometheus text format
 //	curl localhost:7600/metrics.json       # JSON snapshot
 //	curl localhost:7600/trace?n=100        # decision trace, JSONL
+//	curl localhost:7600/qtable             # RL explainability report, JSON
+//	curl localhost:7600/pagetrace?page=23  # page-lifecycle journal (needs -pagetrace)
 //	go tool pprof localhost:7600/debug/pprof/profile
 //
 // Usage:
@@ -55,6 +57,7 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "Q-table snapshot path: restored at startup if present, saved periodically and at shutdown")
 		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "interval between Q-table checkpoints")
 		drain     = flag.Duration("shutdown-timeout", 5*time.Second, "HTTP drain timeout on SIGINT/SIGTERM")
+		pagetrace = flag.Int("pagetrace", 0, "enable page-lifecycle tracing at 1-in-N page sampling (served at /pagetrace; 0 = off)")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -81,10 +84,11 @@ func main() {
 	mcfg := memsim.DefaultConfig(foot, foot*int64(fast)/int64(fast+slow), prof.PageSize())
 
 	sys := core.NewSystem(core.SystemConfig{
-		Machine:           mcfg,
-		Policy:            core.Config{},
-		SamplingInterval:  time.Millisecond,
-		MigrationInterval: 10 * time.Millisecond,
+		Machine:             mcfg,
+		Policy:              core.Config{},
+		SamplingInterval:    time.Millisecond,
+		MigrationInterval:   10 * time.Millisecond,
+		PageTraceSampleRate: *pagetrace,
 	})
 	// The Go runtime's own health (goroutines, heap, GC) rides along on
 	// the same /metrics page as the simulator's.
@@ -147,7 +151,11 @@ func main() {
 
 	fmt.Printf("artmemd: build %s\n", build)
 	fmt.Printf("artmemd: serving interaction channels on http://%s\n", *listen)
-	fmt.Printf("artmemd: telemetry at /metrics, /metrics.json, /trace; profiling at /debug/pprof/\n")
+	fmt.Printf("artmemd: telemetry at /metrics, /metrics.json, /trace, /qtable; profiling at /debug/pprof/\n")
+	if *pagetrace > 0 {
+		fmt.Printf("artmemd: page-lifecycle tracing on at 1/%d sampling (/pagetrace)\n",
+			sys.Telemetry().PageTrace.Rate())
+	}
 	fmt.Printf("artmemd: replaying %s (%d MB) at %s in a loop; SIGINT/SIGTERM to stop\n",
 		*name, foot>>20, *ratio)
 

@@ -7,13 +7,25 @@
 //	artmemviz -workload CC
 //	artmemviz -workload S2 -rows 32 -cols 16
 //	artmemviz -workload SSSP -csv > sssp.csv
+//
+// With -qtable it instead renders a running agent's RL state — Q-value
+// heatmaps for both tables plus the state-visit histogram — from a
+// daemon's /qtable endpoint or a saved copy of its JSON:
+//
+//	artmemviz -qtable http://localhost:8080/qtable
+//	artmemviz -qtable qtable.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
+	"artmem/internal/core"
 	"artmem/internal/damon"
 	"artmem/internal/memsim"
 	"artmem/internal/textplot"
@@ -29,8 +41,17 @@ func main() {
 		acc      = flag.Int64("accesses", 4_000_000, "trace length")
 		csv      = flag.Bool("csv", false, "emit raw counts as CSV instead of sparklines")
 		useDamon = flag.Bool("damon", false, "estimate the footprint with the DAMON region monitor instead of exact counting")
+		qtable   = flag.String("qtable", "", "render the RL Q-tables from this /qtable URL or JSON file instead of a workload heatmap")
 	)
 	flag.Parse()
+
+	if *qtable != "" {
+		if err := qtableViz(*qtable, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "artmemviz:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	spec, err := workloads.ByName(*name)
 	if err != nil {
@@ -108,6 +129,119 @@ func main() {
 		fmt.Printf("%3d | %s | %5.1f%%\n", r, textplot.Sparkline(counts[r]),
 			100*rowTot/float64(total))
 	}
+}
+
+// qtableViz fetches a QTableReport (from a /qtable endpoint or a saved
+// JSON file) and renders the agent's learning: one shaded heatmap per
+// Q-table (row per state, column per action, current state marked with
+// '>'), the per-state visit histogram, and the exploration/reward
+// attribution the report carries.
+func qtableViz(src string, w io.Writer) error {
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			return fmt.Errorf("%s: %s: %s", src, resp.Status,
+				strings.TrimSpace(string(body)))
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		r = f
+	}
+	defer r.Close()
+	var rep core.QTableReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return fmt.Errorf("%s: bad qtable json: %w", src, err)
+	}
+	if rep.States == 0 || len(rep.Migration.Q) == 0 {
+		return fmt.Errorf("%s: empty qtable report", src)
+	}
+
+	mode := "learning"
+	if rep.Degraded {
+		mode = "DEGRADED (heuristic fallback, Q-tables idle)"
+	}
+	fmt.Fprintf(w, "%s: %d decisions, threshold %d (floor %d), beta %.1f, %s\n\n",
+		rep.Policy, rep.Decisions, rep.Threshold, rep.MinThreshold, rep.Beta, mode)
+
+	rows := stateLabels(rep)
+	intLabels := func(vals []int) []string {
+		signed := false
+		for _, v := range vals {
+			if v < 0 {
+				signed = true
+			}
+		}
+		out := make([]string, len(vals))
+		for i, v := range vals {
+			if signed {
+				out[i] = fmt.Sprintf("%+d", v)
+			} else {
+				out[i] = fmt.Sprintf("%d", v)
+			}
+		}
+		return out
+	}
+	fmt.Fprint(w, textplot.Heatmap(
+		fmt.Sprintf("migration Q-table (%s, ε=%.2f, %d updates) — pages/period",
+			rep.Migration.Algorithm, rep.Migration.Epsilon, rep.Migration.Updates),
+		rows, intLabels(rep.MigrationPages), rep.Migration.Q))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, textplot.Heatmap(
+		fmt.Sprintf("threshold Q-table (%s, %d updates) — threshold delta",
+			rep.ThresholdTable.Algorithm, rep.ThresholdTable.Updates),
+		rows, intLabels(rep.ThresholdDeltas), rep.ThresholdTable.Q))
+	fmt.Fprintln(w)
+
+	visits := make([]float64, len(rep.Migration.Visits))
+	for i, v := range rep.Migration.Visits {
+		visits[i] = float64(v)
+	}
+	fmt.Fprint(w, textplot.Bars("state visits (migration table)", rows, visits, 40))
+
+	tb := textplot.Table{
+		Title:  "per-state learning",
+		Header: []string{"state", "visits", "explored", "greedy_pages", "mean_reward"},
+	}
+	for s := 0; s < rep.States && s < len(rep.Migration.Visits); s++ {
+		greedy := ""
+		if g := rep.Migration.Greedy[s]; g < len(rep.MigrationPages) {
+			greedy = fmt.Sprintf("%d", rep.MigrationPages[g])
+		}
+		tb.AddRow(rows[s], int(rep.Migration.Visits[s]),
+			int(rep.Migration.Explorations[s]), greedy,
+			rep.Migration.MeanReward[s])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, tb.Render())
+	return nil
+}
+
+// stateLabels names the agent's states: K+1 access-ratio bins plus the
+// dedicated no-sample state, with the current state marked.
+func stateLabels(rep core.QTableReport) []string {
+	out := make([]string, rep.States)
+	for s := range out {
+		switch {
+		case s == rep.NoSampleState:
+			out[s] = "no-smp"
+		default:
+			out[s] = fmt.Sprintf("s%d", s)
+		}
+		if s == rep.CurrentState {
+			out[s] = ">" + out[s]
+		}
+	}
+	return out
 }
 
 // damonHeatmap replays the workload through a machine watched by the

@@ -1,0 +1,224 @@
+// Command artmon is a live terminal monitor for a running artmemd: it
+// polls the daemon's /metrics.json and /trace endpoints and redraws one
+// dashboard frame per interval — tier occupancy, migration and access
+// rates, sampler health, degraded status, and the tail of the RL
+// decision trace. The missing `top` for the tiered-memory agent.
+//
+// Usage:
+//
+//	artmon                          # watch localhost:7600 at 1s cadence
+//	artmon -url http://host:7600 -interval 250ms
+//	artmon -once                    # print a single frame and exit
+//
+// Rates (migrations/s, accesses/s, ...) are derived from counter deltas
+// between consecutive polls, so the first frame — and every -once frame
+// — shows totals only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"artmem/internal/telemetry"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:7600", "artmemd base URL")
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		tail     = flag.Int("tail", 8, "RL decision-trace tail length")
+		once     = flag.Bool("once", false, "print a single frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+	base := strings.TrimSuffix(*url, "/")
+
+	var prev *sample
+	for {
+		cur, err := poll(base, *tail)
+		if err != nil {
+			if *once {
+				fmt.Fprintln(os.Stderr, "artmon:", err)
+				os.Exit(1)
+			}
+			// A daemon restart should not kill the monitor: report and
+			// keep polling.
+			fmt.Fprintf(os.Stderr, "artmon: %v (retrying in %s)\n", err, *interval)
+			prev = nil
+			time.Sleep(*interval)
+			continue
+		}
+		frame := renderFrame(cur, prev, base)
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// Home the cursor and clear before each redraw.
+		fmt.Print("\x1b[H\x1b[2J" + frame)
+		prev = cur
+		time.Sleep(*interval)
+	}
+}
+
+// sample is one poll of the daemon: the flattened metric snapshot plus
+// the decision-trace tail, stamped with the local receive time (rates
+// use wall-clock deltas between samples).
+type sample struct {
+	at     time.Time
+	vals   map[string]float64
+	events []telemetry.Event
+}
+
+// metric returns the value of a series key ("name" or
+// `name{label="v"}`), 0 when absent.
+func (s *sample) metric(key string) float64 { return s.vals[key] }
+
+func poll(base string, tail int) (*sample, error) {
+	s := &sample{at: time.Now(), vals: map[string]float64{}}
+
+	body, err := get(base + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	// Histograms snapshot as objects; everything numeric flattens into
+	// vals and non-scalar series are skipped — the dashboard only needs
+	// counters and gauges.
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return nil, fmt.Errorf("%s/metrics.json: %w", base, err)
+	}
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			s.vals[k] = f
+		}
+	}
+
+	body, err = get(fmt.Sprintf("%s/trace?n=%d", base, tail))
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	for {
+		var e telemetry.Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%s/trace: %w", base, err)
+		}
+		s.events = append(s.events, e)
+	}
+	return s, nil
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+}
+
+// renderFrame draws one dashboard frame. prev supplies the counter
+// baseline for rates; nil renders totals only.
+func renderFrame(cur, prev *sample, base string) string {
+	var b strings.Builder
+	degraded := ""
+	if cur.metric("artmem_degraded") > 0 {
+		degraded = "  [DEGRADED: heuristic fallback active]"
+	}
+	fmt.Fprintf(&b, "artmon %s  %s%s\n\n", base,
+		cur.at.Format("15:04:05"), degraded)
+
+	// Tier occupancy as used/capacity bars.
+	for _, tier := range []string{"fast", "slow"} {
+		used := cur.metric(fmt.Sprintf("artmem_tier_pages{tier=%q}", tier))
+		capac := cur.metric(fmt.Sprintf("artmem_tier_capacity_pages{tier=%q}", tier))
+		b.WriteString(gaugeBar(tier, used, capac))
+	}
+	b.WriteByte('\n')
+
+	// Counters worth watching, with per-second rates when a previous
+	// sample exists.
+	rows := []struct{ label, key string }{
+		{"accesses fast", `artmem_accesses_total{tier="fast"}`},
+		{"accesses slow", `artmem_accesses_total{tier="slow"}`},
+		{"migrations", "artmem_migrations_total"},
+		{"promotions", "artmem_promotions_total"},
+		{"demotions", "artmem_demotions_total"},
+		{"migration fails", "artmem_migration_failures_total"},
+		{"pebs samples", "artmem_pebs_samples_total"},
+		{"pebs drops", "artmem_pebs_samples_dropped_total"},
+		{"rl decisions", "artmem_decisions_total"},
+	}
+	dt := 0.0
+	if prev != nil {
+		dt = cur.at.Sub(prev.at).Seconds()
+	}
+	fmt.Fprintf(&b, "%-16s %14s %12s\n", "counter", "total", "per second")
+	for _, r := range rows {
+		v := cur.metric(r.key)
+		rate := "-"
+		if prev != nil && dt > 0 {
+			rate = fmt.Sprintf("%.1f", (v-prev.metric(r.key))/dt)
+		}
+		fmt.Fprintf(&b, "%-16s %14.0f %12s\n", r.label, v, rate)
+	}
+	b.WriteByte('\n')
+
+	// Agent operating point.
+	fmt.Fprintf(&b, "agent: state %.0f  threshold %.0f  epsilon %.2f  period %.0f\n",
+		cur.metric("artmem_state"), cur.metric("artmem_threshold"),
+		cur.metric("artmem_rl_epsilon"), cur.metric("artmem_pebs_sampling_period"))
+	lru := []string{}
+	for _, l := range []string{"fast_active", "fast_inactive", "slow_active", "slow_inactive"} {
+		lru = append(lru, fmt.Sprintf("%s %.0f",
+			l, cur.metric(fmt.Sprintf("artmem_lru_pages{list=%q}", l))))
+	}
+	fmt.Fprintf(&b, "lru:   %s\n\n", strings.Join(lru, "  "))
+
+	// Decision-trace tail, newest last.
+	fmt.Fprintln(&b, "recent decisions (state, reward, quota, threshold, promoted):")
+	if len(cur.events) == 0 {
+		fmt.Fprintln(&b, "  (none yet)")
+	}
+	sort.SliceStable(cur.events, func(i, j int) bool {
+		return cur.events[i].Seq < cur.events[j].Seq
+	})
+	for _, e := range cur.events {
+		if e.Kind != telemetry.KindDecision {
+			fmt.Fprintf(&b, "  %6d  %-9s %s\n", e.Seq, e.Kind, e.Detail)
+			continue
+		}
+		fmt.Fprintf(&b, "  %6d  s=%d r=%+.2f quota=%d thr=%d promoted=%d\n",
+			e.Seq, e.State, e.Reward, e.Quota, e.Threshold, e.Promoted)
+	}
+	return b.String()
+}
+
+// gaugeBar renders a used/capacity occupancy bar.
+func gaugeBar(label string, used, capac float64) string {
+	const width = 40
+	n := 0
+	if capac > 0 {
+		n = int(used / capac * width)
+		if n > width {
+			n = width
+		}
+	}
+	pct := 0.0
+	if capac > 0 {
+		pct = 100 * used / capac
+	}
+	return fmt.Sprintf("%-5s [%-*s] %5.0f/%5.0f pages (%5.1f%%)\n",
+		label, width, strings.Repeat("|", n), used, capac, pct)
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"artmem/internal/core"
+	"artmem/internal/memsim"
+	"artmem/internal/telemetry"
+)
+
+// TestPollAndRenderAgainstSystem exercises the monitor end to end
+// against a real System behind its ControlHandler: the poll flattens
+// /metrics.json and parses the /trace tail, and the rendered frame
+// carries the dashboard's fixtures.
+func TestPollAndRenderAgainstSystem(t *testing.T) {
+	mcfg := memsim.DefaultConfig(64*64*1024, 16*64*1024, 64*1024)
+	mcfg.CacheLines = 0
+	sys := core.NewSystem(core.SystemConfig{
+		Machine:           mcfg,
+		Policy:            core.Config{SamplePeriod: 1},
+		SamplingInterval:  500 * time.Microsecond,
+		MigrationInterval: time.Millisecond,
+	})
+	srv := httptest.NewServer(sys.ControlHandler())
+	defer srv.Close()
+
+	for p := uint64(0); p < 64; p++ {
+		sys.Access(p*64*1024, false)
+	}
+
+	cur, err := poll(srv.URL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.vals) == 0 {
+		t.Fatal("poll flattened no metrics")
+	}
+	if v := cur.metric(`artmem_tier_pages{tier="fast"}`); v <= 0 {
+		t.Errorf("fast tier pages = %v, want > 0", v)
+	}
+	if v := cur.metric(`artmem_tier_capacity_pages{tier="fast"}`); v != 16 {
+		t.Errorf("fast capacity = %v, want 16", v)
+	}
+
+	frame := renderFrame(cur, nil, srv.URL)
+	for _, want := range []string{
+		"artmon " + srv.URL,
+		"fast  [", "slow  [", // occupancy bars
+		"counter", "migrations", "pebs samples",
+		"agent: state", "lru:   fast_active",
+		"recent decisions",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// No previous sample: every rate cell is the placeholder.
+	if !strings.Contains(frame, " -\n") {
+		t.Errorf("first frame should render '-' rates:\n%s", frame)
+	}
+	if strings.Contains(frame, "DEGRADED") {
+		t.Errorf("healthy system rendered degraded:\n%s", frame)
+	}
+}
+
+// TestRenderFrameRates checks the counter-delta arithmetic and the
+// degraded banner against hand-built samples.
+func TestRenderFrameRates(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+	prev := &sample{at: t0, vals: map[string]float64{
+		"artmem_migrations_total": 100,
+	}}
+	cur := &sample{at: t0.Add(2 * time.Second), vals: map[string]float64{
+		"artmem_migrations_total": 150,
+		"artmem_degraded":         1,
+	}}
+	frame := renderFrame(cur, prev, "http://x")
+	if !strings.Contains(frame, "migrations") || !strings.Contains(frame, "25.0") {
+		t.Errorf("missing 25.0/s migration rate:\n%s", frame)
+	}
+	if !strings.Contains(frame, "[DEGRADED") {
+		t.Errorf("degraded banner missing:\n%s", frame)
+	}
+	if !strings.Contains(frame, "(none yet)") {
+		t.Errorf("empty trace tail not reported:\n%s", frame)
+	}
+}
+
+// TestRenderFrameDecisionTail pins the decision-line format and the
+// seq ordering.
+func TestRenderFrameDecisionTail(t *testing.T) {
+	cur := &sample{at: time.Now(), vals: map[string]float64{}, events: []telemetry.Event{
+		{Seq: 2, Kind: telemetry.KindDecision, State: 3, Reward: -0.5, Quota: 64, Threshold: 4, Promoted: 7},
+		{Seq: 1, Kind: telemetry.KindDegraded, Detail: "entered fallback"},
+	}}
+	frame := renderFrame(cur, nil, "http://x")
+	i := strings.Index(frame, "entered fallback")
+	j := strings.Index(frame, "s=3 r=-0.50 quota=64 thr=4 promoted=7")
+	if i < 0 || j < 0 {
+		t.Fatalf("decision tail misrendered:\n%s", frame)
+	}
+	if i > j {
+		t.Errorf("events not in seq order:\n%s", frame)
+	}
+}
+
+func TestPollError(t *testing.T) {
+	srv := httptest.NewServer(nil)
+	srv.Close()
+	if _, err := poll(srv.URL, 4); err == nil {
+		t.Fatal("poll against a dead server succeeded")
+	}
+}
+
+func TestGaugeBar(t *testing.T) {
+	full := gaugeBar("fast", 40, 40)
+	if !strings.Contains(full, "100.0%") || !strings.Contains(full, strings.Repeat("|", 40)) {
+		t.Errorf("full bar = %q", full)
+	}
+	empty := gaugeBar("slow", 0, 40)
+	if strings.Contains(empty, "|") {
+		t.Errorf("empty bar drew ticks: %q", empty)
+	}
+	// Zero capacity (metrics not yet scraped) must not divide by zero.
+	if z := gaugeBar("x", 5, 0); !strings.Contains(z, "0.0%") {
+		t.Errorf("zero-capacity bar = %q", z)
+	}
+}

@@ -8,12 +8,23 @@
 //	artrace info cc.trace
 //	artrace replay -policy ArtMem -ratio 1:4 cc.trace
 //	artrace replay -decisions cc.trace        # print the RL decision timeline
+//
+// The pagetrace subcommand reconstructs per-page lifecycle timelines
+// from the journal served by a live daemon's /pagetrace endpoint (or a
+// saved copy of it):
+//
+//	artrace pagetrace http://localhost:8080/pagetrace   # list traced pages
+//	artrace pagetrace -page 23 journal.jsonl            # one page's timeline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 
 	"artmem/internal/core"
@@ -35,6 +46,8 @@ func main() {
 		info(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "pagetrace":
+		pagetrace(os.Args[2:])
 	default:
 		usage()
 	}
@@ -44,7 +57,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   artrace record -workload <name> [-div N] [-accesses N] -o <file>
   artrace info <file>
-  artrace replay [-policy P] [-ratio F:S] [-pagesize N] [-decisions] <file>`)
+  artrace replay [-policy P] [-ratio F:S] [-pagesize N] [-decisions] <file>
+  artrace pagetrace [-page N] [-n M] <journal.jsonl | http://host/pagetrace>`)
 	os.Exit(2)
 }
 
@@ -171,6 +185,166 @@ func replay(args []string) {
 	if tel != nil {
 		printDecisions(tel)
 	}
+}
+
+// pagetrace reads a page-lifecycle journal (JSONL, as served by
+// /pagetrace) from a file or URL and reconstructs timelines. Without
+// -page it lists every traced page with its event mix so the reader can
+// pick a page worth following; with -page it prints that page's full
+// lifecycle, one event per line in journal order.
+func pagetrace(args []string) {
+	fs := flag.NewFlagSet("pagetrace", flag.ExitOnError)
+	page := fs.Int64("page", -1, "reconstruct this page's timeline (default: list pages)")
+	n := fs.Int("n", 0, "read only the last N events (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	events, err := readPageEvents(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *n > 0 && len(events) > *n {
+		events = events[len(events)-*n:]
+	}
+	if len(events) == 0 {
+		fmt.Println("no page events (is tracing enabled? start artmemd with -pagetrace)")
+		return
+	}
+	if *page >= 0 {
+		printTimeline(uint64(*page), events)
+		return
+	}
+	listPages(events)
+}
+
+func readPageEvents(src string) ([]telemetry.PageEvent, error) {
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s: %s: %s", src, resp.Status,
+				strings.TrimSpace(string(body)))
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return nil, err
+		}
+		r = f
+	}
+	defer r.Close()
+	var events []telemetry.PageEvent
+	dec := json.NewDecoder(r)
+	for {
+		var e telemetry.PageEvent
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%s: bad journal line after %d events: %w",
+				src, len(events), err)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// listPages summarises the journal per page: how many events of each
+// kind, and where the page settled last.
+func listPages(events []telemetry.PageEvent) {
+	type pageSum struct {
+		page            uint64
+		total           int
+		kinds           map[string]int
+		lastTier        string
+		firstNs, lastNs int64
+	}
+	byPage := map[uint64]*pageSum{}
+	var order []uint64
+	for _, e := range events {
+		s := byPage[e.Page]
+		if s == nil {
+			s = &pageSum{page: e.Page, kinds: map[string]int{}, firstNs: e.TimeNs}
+			byPage[e.Page] = s
+			order = append(order, e.Page)
+		}
+		s.total++
+		s.kinds[e.Kind]++
+		s.lastNs = e.TimeNs
+		switch {
+		case e.Kind == telemetry.PageKindAlloc:
+			s.lastTier = e.Tier
+		case e.Kind == telemetry.PageKindMigration && e.Outcome == telemetry.OutcomeSettled:
+			s.lastTier = e.To
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	fmt.Printf("%d events across %d traced pages\n\n", len(events), len(order))
+	fmt.Println("    page  events  alloc  sample  lru  verdict  migration  tier      span_ms")
+	for _, p := range order {
+		s := byPage[p]
+		tier := s.lastTier
+		if tier == "" {
+			tier = "?"
+		}
+		fmt.Printf("  %6d  %6d  %5d  %6d  %3d  %7d  %9d  %-8s  %7.2f\n",
+			s.page, s.total,
+			s.kinds[telemetry.PageKindAlloc], s.kinds[telemetry.PageKindSample],
+			s.kinds[telemetry.PageKindLRU], s.kinds[telemetry.PageKindVerdict],
+			s.kinds[telemetry.PageKindMigration], tier,
+			float64(s.lastNs-s.firstNs)/1e6)
+	}
+	fmt.Println("\nrun `artrace pagetrace -page N <src>` for one page's full timeline")
+}
+
+// printTimeline renders one page's journal entries in order, formatting
+// each kind with the fields that matter for it.
+func printTimeline(page uint64, events []telemetry.PageEvent) {
+	n := 0
+	fmt.Printf("page %d lifecycle\n", page)
+	fmt.Println("     seq   time_ms  kind       detail")
+	for _, e := range events {
+		if e.Page != page {
+			continue
+		}
+		n++
+		var detail string
+		switch e.Kind {
+		case telemetry.PageKindAlloc:
+			detail = fmt.Sprintf("placed in %s", e.Tier)
+		case telemetry.PageKindSample:
+			detail = fmt.Sprintf("PEBS sample in %s (%s)", e.Tier, e.Outcome)
+		case telemetry.PageKindLRU:
+			detail = fmt.Sprintf("%s -> %s", orNone(e.From), orNone(e.To))
+		case telemetry.PageKindVerdict:
+			detail = fmt.Sprintf("%s: %s", e.Outcome, e.Reason)
+		case telemetry.PageKindMigration:
+			detail = fmt.Sprintf("%s -> %s: %s", orNone(e.From), orNone(e.To), e.Outcome)
+			if e.Reason != "" {
+				detail += " (" + e.Reason + ")"
+			}
+		default:
+			detail = e.Outcome
+		}
+		fmt.Printf("  %6d  %8.2f  %-9s  %s\n",
+			e.Seq, float64(e.TimeNs)/1e6, e.Kind, detail)
+	}
+	if n == 0 {
+		fmt.Printf("  no events — page %d may not be in the sampled subset\n", page)
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // printDecisions renders the replay's decision trace as one line per

@@ -6,6 +6,7 @@ package benchdiff
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -65,6 +66,58 @@ func Parse(r io.Reader) ([]Table, error) {
 	flush()
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	return tables, nil
+}
+
+// benchJSON mirrors the subset of artbench's BENCH_<revision>.json
+// that the comparison consumes. Run metadata (revision, timestamp,
+// durations) is deliberately ignored: the simulation is deterministic,
+// so only the result tables are diffed, and wall-clock noise never
+// trips the regression gate.
+type benchJSON struct {
+	Experiments []struct {
+		ID     string `json:"id"`
+		Tables []struct {
+			Title  string
+			Header []string
+			Rows   [][]string
+		} `json:"tables"`
+	} `json:"experiments"`
+}
+
+// ParseBenchJSON reads every result table from one BENCH_<revision>.json
+// file written by artbench. Table titles are prefixed with the owning
+// experiment ID so equally-titled tables from different experiments
+// stay distinct.
+func ParseBenchJSON(r io.Reader) ([]Table, error) {
+	var bf benchJSON
+	if err := json.NewDecoder(r).Decode(&bf); err != nil {
+		return nil, fmt.Errorf("benchdiff: bad BENCH json: %w", err)
+	}
+	var tables []Table
+	for _, exp := range bf.Experiments {
+		for _, src := range exp.Tables {
+			t := Table{
+				Title:  exp.ID + ": " + src.Title,
+				Header: src.Header,
+				Rows:   map[string][]float64{},
+			}
+			for _, row := range src.Rows {
+				label, nums := splitRow(strings.Join(row, " "))
+				if label == "" && len(nums) == 0 {
+					continue
+				}
+				if _, dup := t.Rows[label]; dup {
+					label = fmt.Sprintf("%s#%d", label, len(t.RowOrder))
+				}
+				t.Rows[label] = nums
+				t.RowOrder = append(t.RowOrder, label)
+			}
+			if len(t.Rows) > 0 {
+				tables = append(tables, t)
+			}
+		}
 	}
 	return tables, nil
 }
@@ -153,6 +206,11 @@ func Compare(old, new []Table, threshold float64) []Delta {
 				}
 			}
 		}
+		for row := range nt.Rows {
+			if _, ok := ot.Rows[row]; !ok {
+				out = append(out, Delta{Table: title, Row: row + " <row missing in old>", Col: -1})
+			}
+		}
 	}
 	for title := range newIdx {
 		if _, ok := oldIdx[title]; !ok {
@@ -165,6 +223,28 @@ func Compare(old, new []Table, threshold float64) []Delta {
 		}
 		return out[i].RelChange() > out[j].RelChange()
 	})
+	return out
+}
+
+// IsAddition reports whether d records a table or row present only in
+// the new result set — a newly added benchmark rather than a
+// regression.
+func (d Delta) IsAddition() bool {
+	return d.Col == -1 && strings.HasSuffix(d.Row, "missing in old>")
+}
+
+// Regressions filters ds down to the deltas a regression gate should
+// fail on: every above-threshold change plus tables and rows that
+// disappeared. Pure additions (new benchmarks with no baseline) are
+// excluded — they are reported, not failed, so adding an experiment
+// does not require regenerating the baseline in the same change.
+func Regressions(ds []Delta) []Delta {
+	var out []Delta
+	for _, d := range ds {
+		if !d.IsAddition() {
+			out = append(out, d)
+		}
+	}
 	return out
 }
 

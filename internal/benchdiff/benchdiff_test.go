@@ -148,3 +148,169 @@ func TestParseRealBenchResults(t *testing.T) {
 		}
 	}
 }
+
+// Hand-written BENCH JSON fixtures for the regression gate: oldBench is
+// the baseline, variants below inject a regression, drop a benchmark,
+// and add one.
+const oldBench = `{
+  "revision": "aaaaaaaaaaaa",
+  "go_version": "go1.24.0",
+  "timestamp": "2026-01-01T00:00:00Z",
+  "quick": true,
+  "experiments": [
+    {
+      "id": "fig7",
+      "title": "End-to-end comparison",
+      "paper": "Figure 7",
+      "duration_ms": 1200,
+      "tables": [
+        {
+          "Title": "Normalized runtime",
+          "Header": ["system", "S1", "S2"],
+          "Rows": [
+            ["MEMTIS", "0.550", "0.748"],
+            ["ArtMem", "0.569", "0.738"]
+          ]
+        }
+      ]
+    },
+    {
+      "id": "table2",
+      "title": "Overheads",
+      "paper": "Table 2",
+      "duration_ms": 300,
+      "tables": [
+        {
+          "Title": "Overheads",
+          "Header": ["workload", "sampling"],
+          "Rows": [["XSBench", "1.44%"]]
+        }
+      ]
+    }
+  ]
+}`
+
+// oneExpBench is oldBench with the table2 experiment removed.
+const oneExpBench = `{
+  "revision": "bbbbbbbbbbbb",
+  "go_version": "go1.24.0",
+  "timestamp": "2026-01-02T00:00:00Z",
+  "quick": true,
+  "experiments": [
+    {
+      "id": "fig7",
+      "title": "End-to-end comparison",
+      "paper": "Figure 7",
+      "duration_ms": 1100,
+      "tables": [
+        {
+          "Title": "Normalized runtime",
+          "Header": ["system", "S1", "S2"],
+          "Rows": [
+            ["MEMTIS", "0.550", "0.748"],
+            ["ArtMem", "0.569", "0.738"]
+          ]
+        }
+      ]
+    }
+  ]
+}`
+
+func mustParseBench(t *testing.T, src string) []Table {
+	t.Helper()
+	tables, err := ParseBenchJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables
+}
+
+func TestParseBenchJSON(t *testing.T) {
+	tables := mustParseBench(t, oldBench)
+	if len(tables) != 2 {
+		t.Fatalf("parsed %d tables, want 2", len(tables))
+	}
+	if tables[0].Title != "fig7: Normalized runtime" {
+		t.Errorf("title = %q, want experiment-prefixed", tables[0].Title)
+	}
+	cells := tables[0].Rows["ArtMem"]
+	if len(cells) != 2 || cells[0] != 0.569 || cells[1] != 0.738 {
+		t.Errorf("ArtMem cells = %v", cells)
+	}
+	if cells := tables[1].Rows["XSBench"]; len(cells) != 1 || cells[0] != 1.44 {
+		t.Errorf("percent cell = %v", cells)
+	}
+
+	if _, err := ParseBenchJSON(strings.NewReader("not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestBenchJSONRegressionDetected(t *testing.T) {
+	// Inject a >10% regression into one cell.
+	regressed := strings.Replace(oldBench, `"0.569"`, `"0.700"`, 1)
+	deltas := Compare(mustParseBench(t, oldBench), mustParseBench(t, regressed), 0.10)
+	regs := Regressions(deltas)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the injected cell", regs)
+	}
+	d := regs[0]
+	if d.Table != "fig7: Normalized runtime" || d.Row != "ArtMem" || d.Col != 0 {
+		t.Errorf("delta = %+v", d)
+	}
+
+	// A <10% drift passes.
+	small := strings.Replace(oldBench, `"0.569"`, `"0.590"`, 1)
+	if regs := Regressions(Compare(mustParseBench(t, oldBench), mustParseBench(t, small), 0.10)); len(regs) != 0 {
+		t.Errorf("sub-threshold drift failed the gate: %+v", regs)
+	}
+
+	// Identical results pass.
+	if regs := Regressions(Compare(mustParseBench(t, oldBench), mustParseBench(t, oldBench), 0.10)); len(regs) != 0 {
+		t.Errorf("self-compare failed the gate: %+v", regs)
+	}
+}
+
+func TestBenchJSONMissingBenchmarkFails(t *testing.T) {
+	// The table2 experiment is gone from the new side: a benchmark
+	// that disappeared is a regression.
+	deltas := Compare(mustParseBench(t, oldBench), mustParseBench(t, oneExpBench), 0.10)
+	regs := Regressions(deltas)
+	if len(regs) != 1 || !strings.Contains(regs[0].Row, "missing in new") {
+		t.Fatalf("missing benchmark not failed: %+v", regs)
+	}
+	if regs[0].Table != "table2: Overheads" {
+		t.Errorf("missing table = %q", regs[0].Table)
+	}
+}
+
+func TestBenchJSONAddedBenchmarkPasses(t *testing.T) {
+	// Run the comparison the other direction: the new side has an extra
+	// experiment. It is reported as a delta but not a regression.
+	deltas := Compare(mustParseBench(t, oneExpBench), mustParseBench(t, oldBench), 0.10)
+	var addition *Delta
+	for i := range deltas {
+		if deltas[i].IsAddition() {
+			addition = &deltas[i]
+		}
+	}
+	if addition == nil {
+		t.Fatalf("added benchmark not reported: %+v", deltas)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Errorf("added benchmark failed the gate: %+v", regs)
+	}
+}
+
+func TestBenchJSONAddedRowPasses(t *testing.T) {
+	extra := strings.Replace(oldBench,
+		`["ArtMem", "0.569", "0.738"]`,
+		`["ArtMem", "0.569", "0.738"], ["Nimble", "0.9", "0.9"]`, 1)
+	deltas := Compare(mustParseBench(t, oldBench), mustParseBench(t, extra), 0.10)
+	if len(deltas) != 1 || !deltas[0].IsAddition() {
+		t.Fatalf("added row deltas = %+v", deltas)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Errorf("added row failed the gate: %+v", regs)
+	}
+}

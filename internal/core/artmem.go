@@ -347,6 +347,25 @@ func (a *ArtMem) Attach(m *memsim.Machine) {
 		a.sampler.SetInjector(fi)
 	}
 	m.SetSampler(a.sampler)
+	if pt := a.tel.PageTrace; pt != nil {
+		// Page-lifecycle tracing: journal allocation, sampling, LRU,
+		// verdict, and migration events for the trace's hash-sampled page
+		// subset. Each hook costs one branch for unsampled pages.
+		m.SetPageTrace(pt)
+		a.sampler.SetPageTrace(pt)
+		a.lists.SetTransitionHook(func(p memsim.PageID, from, to lru.ListID) {
+			if !pt.Sampled(uint64(p)) {
+				return
+			}
+			pt.Append(telemetry.PageEvent{
+				TimeNs: m.Now(),
+				Page:   uint64(p),
+				Kind:   telemetry.PageKindLRU,
+				From:   from.String(),
+				To:     to.String(),
+			})
+		})
+	}
 	a.hist = ema.New(m.NumPages(), a.cfg.CoolingSamples)
 	a.scanQuota = m.NumPages()/4 + 1
 
@@ -717,9 +736,12 @@ func (a *ArtMem) migrate(want int) int {
 	depth := want*4 + 64
 	for p := a.lists.Head(lru.SlowActive); p != memsim.NoPage && len(cands) < want && depth > 0; p = a.lists.Next(p) {
 		depth--
-		if a.hist.Count(p) >= a.threshold {
+		count := a.hist.Count(p)
+		qualified := count >= a.threshold
+		if qualified {
 			cands = append(cands, p)
 		}
+		a.tracePageVerdict(p, count, qualified)
 	}
 	a.lastAttempted = len(cands)
 	promoted := 0
@@ -769,6 +791,8 @@ func (a *ArtMem) migrate(want int) int {
 				// candidate and continue (the victim stays resident).
 				a.ctSkips.Inc()
 				a.lastFailed++
+				a.tracePageOutcome(p, telemetry.OutcomeSkipped,
+					"victim demotion retries exhausted")
 				continue
 			}
 		}
@@ -776,6 +800,8 @@ func (a *ArtMem) migrate(want int) int {
 		if err := a.moveWithRetry(p, memsim.Fast); err != nil {
 			a.ctSkips.Inc()
 			a.lastFailed++
+			a.tracePageOutcome(p, telemetry.OutcomeSkipped,
+				"promotion retries exhausted")
 			if victim != memsim.NoPage {
 				// Roll back the demotion performed solely to make room for
 				// this promotion: re-promote the victim and restore its
@@ -785,6 +811,8 @@ func (a *ArtMem) migrate(want int) int {
 					a.lists.PushHead(victimList, victim)
 					a.ctRollbacks.Inc()
 					a.lastRolled++
+					a.tracePageOutcome(victim, telemetry.OutcomeRolledBack,
+						"paired promotion failed, demotion undone")
 				}
 			}
 			continue
@@ -793,6 +821,48 @@ func (a *ArtMem) migrate(want int) int {
 		promoted++
 	}
 	return promoted
+}
+
+// tracePageVerdict journals the policy's promotion verdict for a
+// sampled candidate: the hotness comparison that accepted or rejected
+// it, with the numbers behind it.
+func (a *ArtMem) tracePageVerdict(p memsim.PageID, count uint32, qualified bool) {
+	pt := a.tel.PageTrace
+	if !pt.Sampled(uint64(p)) {
+		return
+	}
+	outcome, op := telemetry.OutcomeRejected, "<"
+	if qualified {
+		outcome, op = telemetry.OutcomeQualified, ">="
+	}
+	pt.Append(telemetry.PageEvent{
+		TimeNs:    a.m.Now(),
+		Page:      uint64(p),
+		Kind:      telemetry.PageKindVerdict,
+		Tier:      a.m.TierOf(p).String(),
+		Count:     count,
+		Threshold: a.threshold,
+		Outcome:   outcome,
+		Reason:    fmt.Sprintf("count %d %s threshold %d", count, op, a.threshold),
+	})
+}
+
+// tracePageOutcome journals a policy-level migration outcome (skip,
+// rollback) for a sampled page. The machine journals the per-attempt
+// outcomes (settled/busy/tier_full) itself.
+func (a *ArtMem) tracePageOutcome(p memsim.PageID, outcome, reason string) {
+	pt := a.tel.PageTrace
+	if !pt.Sampled(uint64(p)) {
+		return
+	}
+	pt.Append(telemetry.PageEvent{
+		TimeNs:  a.m.Now(),
+		Page:    uint64(p),
+		Kind:    telemetry.PageKindMigration,
+		Tier:    a.m.TierOf(p).String(),
+		Outcome: outcome,
+		Reason:  reason,
+	})
 }
 
 // moveWithRetry attempts MovePage(p, dst), retrying transient busy

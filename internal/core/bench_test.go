@@ -17,6 +17,9 @@ import (
 //
 // BenchmarkAccessBatch            the instrumented default
 // BenchmarkAccessBatchPushHist    worst case: atomic histogram per access
+// BenchmarkAccessBatchPageTrace   page-lifecycle tracing at the default
+//                                 1/64 sampling rate (must be in noise)
+// BenchmarkAccessBatchPageTraceAll  tracing every page (rate 1)
 
 func benchBatch() ([]uint64, []bool) {
 	const n = 1024
@@ -31,6 +34,30 @@ func benchBatch() ([]uint64, []bool) {
 
 func BenchmarkAccessBatch(b *testing.B) {
 	s := NewSystem(testSystemConfig())
+	addrs, writes := benchBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AccessBatch(addrs, writes)
+	}
+}
+
+func BenchmarkAccessBatchPageTrace(b *testing.B) {
+	cfg := testSystemConfig()
+	cfg.PageTraceSampleRate = telemetry.DefaultPageSampleRate
+	s := NewSystem(cfg)
+	addrs, writes := benchBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AccessBatch(addrs, writes)
+	}
+}
+
+func BenchmarkAccessBatchPageTraceAll(b *testing.B) {
+	cfg := testSystemConfig()
+	cfg.PageTraceSampleRate = 1
+	s := NewSystem(cfg)
 	addrs, writes := benchBatch()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -26,6 +26,9 @@ import (
 //	GET /stats                   machine counters as JSON
 //	GET /metrics                 the full registry in Prometheus text format
 //	GET /trace                   the decision trace as JSONL (?n= caps events)
+//	GET /pagetrace               the page-lifecycle journal as JSONL
+//	                             (?page= filters one page, ?n= caps events)
+//	GET /qtable                  both Q-tables with learning history as JSON
 func (s *System) ControlHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /memory.hit_ratio_show", func(w http.ResponseWriter, r *http.Request) {
@@ -129,6 +132,43 @@ func (s *System) ControlHandler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		s.tel.Trace.WriteJSONL(w, n)
+	})
+	mux.HandleFunc("GET /pagetrace", func(w http.ResponseWriter, r *http.Request) {
+		// The page trace has its own lock; serving it must not take s.mu
+		// (the lifecycle hooks append while the policy holds it).
+		pt := s.tel.PageTrace
+		if pt == nil {
+			http.Error(w, "page tracing disabled (start with a page-trace sample rate)",
+				http.StatusNotFound)
+			return
+		}
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		page := int64(-1)
+		if q := r.URL.Query().Get("page"); q != "" {
+			v, err := strconv.ParseInt(q, 10, 64)
+			if err != nil || v < 0 {
+				http.Error(w, "bad page", http.StatusBadRequest)
+				return
+			}
+			page = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		pt.WriteJSONL(w, n, page)
+	})
+	mux.HandleFunc("GET /qtable", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		rep := s.pol.QTableReport()
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
 	})
 	return mux
 }

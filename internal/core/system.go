@@ -85,6 +85,14 @@ type SystemConfig struct {
 	// TraceCapacity bounds the decision-trace ring when Telemetry is
 	// nil. 0 uses telemetry.DefaultTraceCap.
 	TraceCapacity int
+	// PageTraceSampleRate, when > 0, enables page-lifecycle tracing for
+	// roughly one page in PageTraceSampleRate (rounded up to a power of
+	// two; 1 traces every page), served over /pagetrace. 0 — the default
+	// — keeps tracing off and every lifecycle hook a one-branch no-op.
+	PageTraceSampleRate int
+	// PageTraceCapacity bounds the page-trace ring. 0 uses
+	// telemetry.DefaultPageTraceCap.
+	PageTraceCapacity int
 }
 
 // NewSystem builds an online system. Call Start to launch the
@@ -111,6 +119,11 @@ func NewSystem(cfg SystemConfig) *System {
 			Registry: telemetry.NewRegistry(),
 			Trace:    telemetry.NewTrace(cfg.TraceCapacity),
 		}
+	}
+	if cfg.PageTraceSampleRate > 0 && tel.PageTrace == nil {
+		// Must exist before Attach: the policy wires the lifecycle hooks
+		// into the machine, sampler, and LRU lists there.
+		tel.PageTrace = telemetry.NewPageTrace(cfg.PageTraceCapacity, cfg.PageTraceSampleRate)
 	}
 	pol := New(cfg.Policy)
 	pol.SetTelemetry(tel)

@@ -86,6 +86,19 @@ type PageLists struct {
 	list       []ListID
 	head, tail [numLists]memsim.PageID
 	size       [numLists]int
+
+	// transition, when non-nil, observes every list change: it fires
+	// after page p has moved from one list to another (to == None for a
+	// bare removal). Same-list reinsertions (recency refreshes) do not
+	// fire — they are position changes, not state changes.
+	transition func(p memsim.PageID, from, to ListID)
+}
+
+// SetTransitionHook installs fn as the list-transition observer (nil to
+// remove). The page-lifecycle tracer uses this to journal LRU state
+// changes for its sampled pages.
+func (l *PageLists) SetTransitionHook(fn func(p memsim.PageID, from, to ListID)) {
+	l.transition = fn
 }
 
 // New returns empty lists for a space of numPages pages.
@@ -129,9 +142,18 @@ func (l *PageLists) Prev(p memsim.PageID) memsim.PageID { return l.prev[p] }
 // Remove takes page p off whatever list it is on. Removing an unlisted
 // page is a no-op.
 func (l *PageLists) Remove(p memsim.PageID) {
+	if from := l.remove(p); from != None && l.transition != nil {
+		l.transition(p, from, None)
+	}
+}
+
+// remove unlinks p without firing the transition hook and returns the
+// list it was on (None if unlisted). Push* use it so a move fires one
+// from→to transition rather than a remove plus an insert.
+func (l *PageLists) remove(p memsim.PageID) ListID {
 	id := l.list[p]
 	if id == None {
-		return
+		return None
 	}
 	pr, nx := l.prev[p], l.next[p]
 	if pr != memsim.NoPage {
@@ -147,46 +169,55 @@ func (l *PageLists) Remove(p memsim.PageID) {
 	l.prev[p], l.next[p] = memsim.NoPage, memsim.NoPage
 	l.list[p] = None
 	l.size[id]--
+	return id
+}
+
+// notify fires the transition hook for a completed move. Same-list
+// refreshes stay silent.
+func (l *PageLists) notify(p memsim.PageID, from, to ListID) {
+	if l.transition != nil && from != to {
+		l.transition(p, from, to)
+	}
 }
 
 // PushHead inserts page p at the head of list id, removing it from any
 // list it was on. Pushing to None just removes the page.
 func (l *PageLists) PushHead(id ListID, p memsim.PageID) {
-	l.Remove(p)
-	if id == None {
-		return
+	from := l.remove(p)
+	if id != None {
+		h := l.head[id]
+		l.next[p] = h
+		l.prev[p] = memsim.NoPage
+		if h != memsim.NoPage {
+			l.prev[h] = p
+		} else {
+			l.tail[id] = p
+		}
+		l.head[id] = p
+		l.list[p] = id
+		l.size[id]++
 	}
-	h := l.head[id]
-	l.next[p] = h
-	l.prev[p] = memsim.NoPage
-	if h != memsim.NoPage {
-		l.prev[h] = p
-	} else {
-		l.tail[id] = p
-	}
-	l.head[id] = p
-	l.list[p] = id
-	l.size[id]++
+	l.notify(p, from, id)
 }
 
 // PushTail inserts page p at the tail of list id, removing it from any
 // list it was on. Pushing to None just removes the page.
 func (l *PageLists) PushTail(id ListID, p memsim.PageID) {
-	l.Remove(p)
-	if id == None {
-		return
+	from := l.remove(p)
+	if id != None {
+		t := l.tail[id]
+		l.prev[p] = t
+		l.next[p] = memsim.NoPage
+		if t != memsim.NoPage {
+			l.next[t] = p
+		} else {
+			l.head[id] = p
+		}
+		l.tail[id] = p
+		l.list[p] = id
+		l.size[id]++
 	}
-	t := l.tail[id]
-	l.prev[p] = t
-	l.next[p] = memsim.NoPage
-	if t != memsim.NoPage {
-		l.next[t] = p
-	} else {
-		l.head[id] = p
-	}
-	l.tail[id] = p
-	l.list[p] = id
-	l.size[id]++
+	l.notify(p, from, id)
 }
 
 // FromTail visits up to n pages of list id starting at the tail (the

@@ -246,3 +246,66 @@ func BenchmarkPushHeadRemove(b *testing.B) {
 		l.PushHead(FastActive, p)
 	}
 }
+
+func TestTransitionHook(t *testing.T) {
+	l := New(8)
+	type move struct {
+		p        memsim.PageID
+		from, to ListID
+	}
+	var got []move
+	l.SetTransitionHook(func(p memsim.PageID, from, to ListID) {
+		got = append(got, move{p, from, to})
+	})
+
+	l.PushHead(FastActive, 1)   // none -> fast-active
+	l.PushHead(FastActive, 1)   // refresh: silent
+	l.PushTail(FastActive, 1)   // refresh via tail: silent
+	l.PushHead(FastInactive, 1) // fast-active -> fast-inactive
+	l.PushTail(SlowActive, 1)   // fast-inactive -> slow-active
+	l.Remove(1)                 // slow-active -> none
+	l.Remove(1)                 // unlisted: silent
+	l.PushHead(None, 2)         // unlisted push-to-none: silent
+
+	want := []move{
+		{1, None, FastActive},
+		{1, FastActive, FastInactive},
+		{1, FastInactive, SlowActive},
+		{1, SlowActive, None},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hook fired %d times, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Uninstalling restores silence.
+	l.SetTransitionHook(nil)
+	l.PushHead(FastActive, 3)
+	if len(got) != len(want) {
+		t.Error("hook fired after removal")
+	}
+}
+
+func TestTransitionHookDuringAge(t *testing.T) {
+	l := New(4)
+	fires := 0
+	l.PushHead(FastActive, 0)
+	l.PushHead(FastInactive, 1)
+	l.SetTransitionHook(func(p memsim.PageID, from, to ListID) {
+		if from == to {
+			t.Errorf("hook fired for same-list refresh of page %d on %v", p, from)
+		}
+		fires++
+	})
+	// Page 0 unreferenced: active -> inactive. Page 1 referenced:
+	// inactive -> active. Both are real transitions.
+	refs := map[memsim.PageID]bool{1: true}
+	l.Age(memsim.Fast, 10, func(p memsim.PageID) bool { return refs[p] })
+	if fires != 2 {
+		t.Errorf("hook fired %d times during aging, want 2", fires)
+	}
+}

@@ -100,10 +100,11 @@ type Machine struct {
 
 	cache cacheModel
 
-	sampler  Sampler
-	faults   FaultHandler
-	injector FaultInjector
-	onAlloc  func(PageID, TierID)
+	sampler   Sampler
+	faults    FaultHandler
+	injector  FaultInjector
+	onAlloc   func(PageID, TierID)
+	pageTrace *telemetry.PageTrace
 
 	ctr Counters
 	// Background (non-application) virtual CPU time consumed by
@@ -280,6 +281,11 @@ func (m *Machine) FaultInjector() FaultInjector { return m.injector }
 // structures.
 func (m *Machine) SetAllocHook(h func(PageID, TierID)) { m.onAlloc = h }
 
+// SetPageTrace installs a page-lifecycle trace (nil to remove). The
+// machine journals first-touch placement and migration outcomes for
+// pages in the trace's hash-selected subset.
+func (m *Machine) SetPageTrace(pt *telemetry.PageTrace) { m.pageTrace = pt }
+
 // PageOf returns the page containing byte address addr. Addresses beyond
 // the footprint wrap (workload generators keep addresses in range; the
 // wrap keeps a stray address from corrupting memory accounting).
@@ -391,6 +397,14 @@ func (m *Machine) allocate(p PageID) {
 	m.tier[p] = t
 	m.allocated[p] = true
 	m.used[t]++
+	if m.pageTrace.Sampled(uint64(p)) {
+		m.pageTrace.Append(telemetry.PageEvent{
+			TimeNs: m.clock,
+			Page:   uint64(p),
+			Kind:   telemetry.PageKindAlloc,
+			Tier:   t.String(),
+		})
+	}
 	if m.onAlloc != nil {
 		m.onAlloc(p, t)
 	}
@@ -440,12 +454,14 @@ func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
 		return nil
 	}
 	if m.used[dst] >= m.cap[dst] {
+		m.tracePageMove(p, src, dst, telemetry.OutcomeTierFull)
 		return ErrTierFull
 	}
 	cost := m.migCostNs[src][dst]
 	if m.injector != nil {
 		if m.injector.FailMigration(m.clock) {
 			m.ctr.MigrationFailures++
+			m.tracePageMove(p, src, dst, telemetry.OutcomeBusy)
 			return ErrMigrationBusy
 		}
 		if f := m.injector.BandwidthFactor(m.clock); f > 1 {
@@ -464,7 +480,24 @@ func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
 	} else {
 		m.ctr.Demotions++
 	}
+	m.tracePageMove(p, src, dst, telemetry.OutcomeSettled)
 	return nil
+}
+
+// tracePageMove journals one migration-attempt outcome for a sampled
+// page. A nil trace or an unsampled page costs one branch.
+func (m *Machine) tracePageMove(p PageID, src, dst TierID, outcome string) {
+	if !m.pageTrace.Sampled(uint64(p)) {
+		return
+	}
+	m.pageTrace.Append(telemetry.PageEvent{
+		TimeNs:  m.clock,
+		Page:    uint64(p),
+		Kind:    telemetry.PageKindMigration,
+		From:    src.String(),
+		To:      dst.String(),
+		Outcome: outcome,
+	})
 }
 
 // ChargeBackground adds ns of background CPU time (sampling threads,

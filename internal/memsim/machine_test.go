@@ -592,3 +592,71 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 		t.Errorf("restored machine still failing: %v", err)
 	}
 }
+
+func TestMachinePageTrace(t *testing.T) {
+	m := NewMachine(testConfig(0))
+	pt := telemetry.NewPageTrace(64, 1)
+	m.SetPageTrace(pt)
+
+	m.Access(0, false) // first touch: alloc event, fast tier
+	p := m.PageOf(0)
+	if err := m.MovePage(p, Slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MovePage(p, Fast); err != nil {
+		t.Fatal(err)
+	}
+	ev := pt.PageEvents(uint64(p))
+	if len(ev) != 3 {
+		t.Fatalf("traced %d events, want 3 (alloc + 2 migrations): %+v", len(ev), ev)
+	}
+	if ev[0].Kind != telemetry.PageKindAlloc || ev[0].Tier != "fast" {
+		t.Errorf("alloc event = %+v", ev[0])
+	}
+	if ev[1].Kind != telemetry.PageKindMigration || ev[1].From != "fast" ||
+		ev[1].To != "slow" || ev[1].Outcome != telemetry.OutcomeSettled {
+		t.Errorf("demotion event = %+v", ev[1])
+	}
+	if ev[2].From != "slow" || ev[2].To != "fast" || ev[2].Outcome != telemetry.OutcomeSettled {
+		t.Errorf("promotion event = %+v", ev[2])
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].TimeNs < ev[i-1].TimeNs || ev[i].Seq <= ev[i-1].Seq {
+			t.Errorf("events out of order: %+v then %+v", ev[i-1], ev[i])
+		}
+	}
+}
+
+func TestMachinePageTraceTierFull(t *testing.T) {
+	cfg := testConfig(0)
+	m := NewMachine(cfg)
+	pt := telemetry.NewPageTrace(256, 1)
+	m.SetPageTrace(pt)
+	// Fill the fast tier, then allocate one page in slow and try to
+	// promote it: the attempt must journal a tier_full outcome.
+	for i := 0; i <= m.CapacityPages(Fast); i++ {
+		m.Access(uint64(i)*uint64(cfg.PageSize), false)
+	}
+	var slow PageID = NoPage
+	for p := 0; p < m.NumPages(); p++ {
+		if m.Allocated(PageID(p)) && m.TierOf(PageID(p)) == Slow {
+			slow = PageID(p)
+			break
+		}
+	}
+	if slow == NoPage {
+		t.Fatal("no slow-tier page allocated")
+	}
+	if err := m.MovePage(slow, Fast); err != ErrTierFull {
+		t.Fatalf("MovePage = %v, want ErrTierFull", err)
+	}
+	var found bool
+	for _, e := range pt.PageEvents(uint64(slow)) {
+		if e.Kind == telemetry.PageKindMigration && e.Outcome == telemetry.OutcomeTierFull {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no tier_full migration event journaled")
+	}
+}

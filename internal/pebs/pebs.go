@@ -16,7 +16,10 @@
 // situation ArtMem's extra "no events" state exists for.
 package pebs
 
-import "artmem/internal/memsim"
+import (
+	"artmem/internal/memsim"
+	"artmem/internal/telemetry"
+)
 
 // Injector lets a chaos harness perturb the sampling path.
 // internal/faultinject implements it; the sampler consults it (when
@@ -80,6 +83,10 @@ type Sampler struct {
 
 	injector Injector
 
+	// pageTrace, when non-nil, journals samples for its hash-selected
+	// page subset (nil keeps the hot path to a single branch).
+	pageTrace *telemetry.PageTrace
+
 	// Per-window sampled-event counters, reset by WindowCounts.
 	winFast uint64
 	winSlow uint64
@@ -125,7 +132,21 @@ func (s *Sampler) OnMiss(page memsim.PageID, tier memsim.TierID, write bool, now
 	if s.cfg.Charge != nil && s.cfg.SampleCostNs > 0 {
 		s.cfg.Charge(s.cfg.SampleCostNs)
 	}
-	if s.count == len(s.ring) || (s.injector != nil && s.injector.RingOverflow(now)) {
+	full := s.count == len(s.ring) || (s.injector != nil && s.injector.RingOverflow(now))
+	if s.pageTrace.Sampled(uint64(page)) {
+		outcome := telemetry.OutcomeRecorded
+		if full {
+			outcome = telemetry.OutcomeRingDropped
+		}
+		s.pageTrace.Append(telemetry.PageEvent{
+			TimeNs:  now,
+			Page:    uint64(page),
+			Kind:    telemetry.PageKindSample,
+			Tier:    tier.String(),
+			Outcome: outcome,
+		})
+	}
+	if full {
 		s.dropped++
 		return
 	}
@@ -165,6 +186,11 @@ func (s *Sampler) InjectedDrops() uint64 { return s.injectedDrops }
 // SetInjector installs a fault injector on the sampling path (nil to
 // remove).
 func (s *Sampler) SetInjector(fi Injector) { s.injector = fi }
+
+// SetPageTrace installs a page-lifecycle trace on the sampling path
+// (nil to remove). Samples for pages in the trace's hash-selected
+// subset are journaled as they are recorded or lost to ring overflow.
+func (s *Sampler) SetPageTrace(pt *telemetry.PageTrace) { s.pageTrace = pt }
 
 // Total returns the cumulative number of samples recorded (including
 // dropped ones).

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"artmem/internal/memsim"
+	"artmem/internal/telemetry"
 )
 
 func TestSamplingPeriod(t *testing.T) {
@@ -261,5 +262,38 @@ func TestInjectedRingOverflowKeepsWindowCounts(t *testing.T) {
 	s.OnMiss(0, memsim.Fast, false, 100)
 	if s.Pending() != 1 {
 		t.Error("ring did not recover after the overflow window")
+	}
+}
+
+func TestSamplerPageTrace(t *testing.T) {
+	pt := telemetry.NewPageTrace(64, 1) // trace every page
+	s := New(Config{Period: 2, RingSize: 3})
+	s.SetPageTrace(pt)
+	for i := 0; i < 10; i++ {
+		s.OnMiss(7, memsim.Fast, false, int64(100+i))
+	}
+	ev := pt.PageEvents(7)
+	if len(ev) != 5 {
+		t.Fatalf("traced %d sample events, want 5 (period 2, 10 misses)", len(ev))
+	}
+	for i, e := range ev {
+		if e.Kind != telemetry.PageKindSample || e.Tier != "fast" {
+			t.Errorf("event %d: kind %q tier %q", i, e.Kind, e.Tier)
+		}
+		want := telemetry.OutcomeRecorded
+		if i >= 3 { // ring size 3: later samples overflow
+			want = telemetry.OutcomeRingDropped
+		}
+		if e.Outcome != want {
+			t.Errorf("event %d: outcome %q, want %q", i, e.Outcome, want)
+		}
+	}
+
+	// Removing the trace silences the journal.
+	s.SetPageTrace(nil)
+	s.OnMiss(7, memsim.Fast, false, 200)
+	s.OnMiss(7, memsim.Fast, false, 201)
+	if got := len(pt.PageEvents(7)); got != 5 {
+		t.Errorf("journal grew to %d events after trace removal", got)
 	}
 }

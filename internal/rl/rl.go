@@ -87,6 +87,15 @@ type Table struct {
 	rng      *dist.RNG
 	updates  uint64
 	explores uint64
+
+	// Explainability accounting (see Snapshot): how often each state
+	// was visited by Choose, how many of those visits took the
+	// ε-exploration branch, and the reward mass attributed to updates
+	// from each state.
+	visits        []uint64
+	stateExplores []uint64
+	rewardSum     []float64
+	rewardCount   []uint64
 }
 
 // NewTable returns a zero-initialized Q-table. It panics on non-positive
@@ -109,9 +118,13 @@ func NewTable(cfg Config, rng *dist.RNG) *Table {
 		rng = dist.NewRNG(0)
 	}
 	return &Table{
-		cfg: cfg,
-		q:   make([]float64, cfg.States*cfg.Actions),
-		rng: rng,
+		cfg:           cfg,
+		q:             make([]float64, cfg.States*cfg.Actions),
+		rng:           rng,
+		visits:        make([]uint64, cfg.States),
+		stateExplores: make([]uint64, cfg.States),
+		rewardSum:     make([]float64, cfg.States),
+		rewardCount:   make([]uint64, cfg.States),
 	}
 }
 
@@ -174,8 +187,10 @@ func (t *Table) MaxQ(state int) float64 {
 // Choose performs ε-greedy selection: with probability ε a uniformly
 // random action (exploration), otherwise the greedy action.
 func (t *Table) Choose(state int) int {
+	t.visits[state]++
 	if t.cfg.Epsilon > 0 && t.rng.Float64() < t.cfg.Epsilon {
 		t.explores++
+		t.stateExplores[state]++
 		return t.rng.Intn(t.cfg.Actions)
 	}
 	a, _ := t.Best(state)
@@ -200,6 +215,8 @@ func (t *Table) Update(state, action int, reward float64, nextState, nextAction 
 	i := state*t.cfg.Actions + action
 	t.q[i] += t.cfg.Alpha * (reward + t.cfg.Gamma*target - t.q[i])
 	t.updates++
+	t.rewardSum[state] += reward
+	t.rewardCount[state]++
 }
 
 // expectedQ returns the ε-greedy expectation of the next state's value:
@@ -221,8 +238,15 @@ func (t *Table) expectedQ(state int) float64 {
 // freshly split RNG. Used by the robustness study (§6.3.6): a Q-table
 // trained on one workload is cloned and reused to run another.
 func (t *Table) Clone() *Table {
-	c := &Table{cfg: t.cfg, q: append([]float64(nil), t.q...), rng: t.rng.Split()}
-	return c
+	return &Table{
+		cfg:           t.cfg,
+		q:             append([]float64(nil), t.q...),
+		rng:           t.rng.Split(),
+		visits:        append([]uint64(nil), t.visits...),
+		stateExplores: append([]uint64(nil), t.stateExplores...),
+		rewardSum:     append([]float64(nil), t.rewardSum...),
+		rewardCount:   append([]uint64(nil), t.rewardCount...),
+	}
 }
 
 // CopyQFrom copies the Q values of src into t. Dimensions must match.
@@ -238,6 +262,76 @@ func (t *Table) CopyQFrom(src *Table) error {
 // MemoryBytes returns the table's Q-value storage footprint. The paper
 // reports the two ArtMem Q-tables occupy under 10KB total (§6.4).
 func (t *Table) MemoryBytes() int { return len(t.q) * 8 }
+
+// GreedyAction returns the argmax action for state without consuming
+// randomness: ties break toward the lowest action index, so repeated
+// calls are stable. This is the explainability view of the policy —
+// "what would the agent do here if it did not explore".
+func (t *Table) GreedyAction(state int) int {
+	row := t.q[state*t.cfg.Actions : (state+1)*t.cfg.Actions]
+	best := 0
+	for a := 1; a < len(row); a++ {
+		if row[a] > row[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// Snapshot is a point-in-time, JSON-marshalable view of one Q-table
+// and its learning history — the payload behind the /qtable endpoint
+// and the artmemviz heatmap.
+type Snapshot struct {
+	States    int     `json:"states"`
+	Actions   int     `json:"actions"`
+	Algorithm string  `json:"algorithm"`
+	Alpha     float64 `json:"alpha"`
+	Gamma     float64 `json:"gamma"`
+	Epsilon   float64 `json:"epsilon"`
+	Updates   uint64  `json:"updates"`
+	// Q is the full value matrix, row per state.
+	Q [][]float64 `json:"q"`
+	// Visits counts Choose calls per state; Explorations the subset
+	// that took the ε-branch (greedy draws = Visits − Explorations).
+	Visits       []uint64 `json:"visits"`
+	Explorations []uint64 `json:"explorations"`
+	// Greedy is the current argmax action per state (stable ties).
+	Greedy []int `json:"greedy"`
+	// MeanReward attributes reward to the state it was received in:
+	// the mean TD reward over updates from that state (0 if never
+	// updated); RewardCount is the per-state update count.
+	MeanReward  []float64 `json:"mean_reward"`
+	RewardCount []uint64  `json:"reward_count"`
+}
+
+// Snapshot captures the table's current Q values, per-state visit and
+// exploration counts, greedy actions, and reward attribution. The
+// result shares no memory with the table.
+func (t *Table) Snapshot() Snapshot {
+	s := Snapshot{
+		States:       t.cfg.States,
+		Actions:      t.cfg.Actions,
+		Algorithm:    t.cfg.Algorithm.String(),
+		Alpha:        t.cfg.Alpha,
+		Gamma:        t.cfg.Gamma,
+		Epsilon:      t.cfg.Epsilon,
+		Updates:      t.updates,
+		Q:            make([][]float64, t.cfg.States),
+		Visits:       append([]uint64(nil), t.visits...),
+		Explorations: append([]uint64(nil), t.stateExplores...),
+		Greedy:       make([]int, t.cfg.States),
+		MeanReward:   make([]float64, t.cfg.States),
+		RewardCount:  append([]uint64(nil), t.rewardCount...),
+	}
+	for st := 0; st < t.cfg.States; st++ {
+		s.Q[st] = append([]float64(nil), t.q[st*t.cfg.Actions:(st+1)*t.cfg.Actions]...)
+		s.Greedy[st] = t.GreedyAction(st)
+		if n := t.rewardCount[st]; n > 0 {
+			s.MeanReward[st] = t.rewardSum[st] / float64(n)
+		}
+	}
+	return s
+}
 
 const marshalMagic = uint32(0x41724d51) // "ArMQ"
 

@@ -334,3 +334,138 @@ func TestExpectedSARSAString(t *testing.T) {
 		t.Error("String wrong")
 	}
 }
+
+func TestPerStateVisitAccounting(t *testing.T) {
+	tab := newTest(QLearning, 0.5)
+	draws := map[int]int{0: 10, 1: 5, 3: 25}
+	for state, n := range draws {
+		for i := 0; i < n; i++ {
+			tab.Choose(state)
+		}
+	}
+	snap := tab.Snapshot()
+	var explores uint64
+	for state := 0; state < 4; state++ {
+		if got, want := snap.Visits[state], uint64(draws[state]); got != want {
+			t.Errorf("state %d: visits = %d, want %d", state, got, want)
+		}
+		if snap.Explorations[state] > snap.Visits[state] {
+			t.Errorf("state %d: explorations %d exceed visits %d",
+				state, snap.Explorations[state], snap.Visits[state])
+		}
+		explores += snap.Explorations[state]
+	}
+	if explores != tab.Explorations() {
+		t.Errorf("per-state explorations sum %d != table total %d",
+			explores, tab.Explorations())
+	}
+	// ε = 0.5 over 40 draws: some but not all should be exploratory.
+	if explores == 0 || explores == 40 {
+		t.Errorf("explorations = %d of 40, want a proper subset", explores)
+	}
+
+	// Greedy-only table records visits but never explores.
+	greedy := newTest(QLearning, 0)
+	for i := 0; i < 8; i++ {
+		greedy.Choose(2)
+	}
+	gs := greedy.Snapshot()
+	if gs.Visits[2] != 8 || gs.Explorations[2] != 0 {
+		t.Errorf("greedy table: visits %d explorations %d, want 8 and 0",
+			gs.Visits[2], gs.Explorations[2])
+	}
+}
+
+func TestRewardAttribution(t *testing.T) {
+	tab := newTest(QLearning, 0)
+	tab.Update(1, 0, 2.0, 1, 0)
+	tab.Update(1, 1, 4.0, 1, 0)
+	tab.Update(2, 0, -1.0, 2, 0)
+	snap := tab.Snapshot()
+	if got := snap.MeanReward[1]; math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("state 1 mean reward = %g, want 3", got)
+	}
+	if got := snap.RewardCount[1]; got != 2 {
+		t.Errorf("state 1 reward count = %d, want 2", got)
+	}
+	if got := snap.MeanReward[2]; math.Abs(got+1.0) > 1e-12 {
+		t.Errorf("state 2 mean reward = %g, want -1", got)
+	}
+	if snap.MeanReward[0] != 0 || snap.RewardCount[0] != 0 {
+		t.Errorf("untouched state 0 has reward attribution %g/%d",
+			snap.MeanReward[0], snap.RewardCount[0])
+	}
+}
+
+func TestGreedyActionStableAndRNGFree(t *testing.T) {
+	tab := newTest(QLearning, 1) // always-explore table
+	tab.SetQ(0, 1, 5)
+	tab.SetQ(0, 2, 5) // tie: lowest index wins
+	for i := 0; i < 10; i++ {
+		if got := tab.GreedyAction(0); got != 1 {
+			t.Fatalf("GreedyAction = %d, want 1 (stable tie-break)", got)
+		}
+	}
+	// GreedyAction must not consume randomness: two same-seed tables
+	// stay in lock-step even if one queried GreedyAction in between.
+	a, b := newTest(QLearning, 1), newTest(QLearning, 1)
+	for i := 0; i < 50; i++ {
+		a.GreedyAction(0)
+		if a.Choose(0) != b.Choose(0) {
+			t.Fatal("GreedyAction consumed RNG state")
+		}
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	tab := newTest(SARSA, 0.3)
+	for i := 0; i < 20; i++ {
+		a := tab.Choose(i % 4)
+		tab.Update(i%4, a, float64(i), (i+1)%4, 0)
+	}
+	snap := tab.Snapshot()
+	if snap.Algorithm != "sarsa" || snap.States != 4 || snap.Actions != 3 {
+		t.Fatalf("snapshot header = %q %dx%d", snap.Algorithm, snap.States, snap.Actions)
+	}
+	if snap.Updates != tab.Updates() {
+		t.Errorf("snapshot updates = %d, want %d", snap.Updates, tab.Updates())
+	}
+	for st := 0; st < 4; st++ {
+		for a := 0; a < 3; a++ {
+			if snap.Q[st][a] != tab.Q(st, a) {
+				t.Errorf("snapshot Q[%d][%d] = %g, want %g", st, a, snap.Q[st][a], tab.Q(st, a))
+			}
+		}
+		if snap.Greedy[st] != tab.GreedyAction(st) {
+			t.Errorf("snapshot greedy[%d] = %d, want %d", st, snap.Greedy[st], tab.GreedyAction(st))
+		}
+	}
+	// Mutating the snapshot must not leak back into the table.
+	before := tab.Q(0, 0)
+	snap.Q[0][0] = 999
+	snap.Visits[0] = 999
+	snap.MeanReward[0] = 999
+	if tab.Q(0, 0) != before {
+		t.Error("snapshot Q aliases table storage")
+	}
+	if tab.Snapshot().Visits[0] == 999 {
+		t.Error("snapshot visits alias table storage")
+	}
+}
+
+func TestCloneCopiesExplainabilityState(t *testing.T) {
+	tab := newTest(QLearning, 0.3)
+	for i := 0; i < 12; i++ {
+		a := tab.Choose(1)
+		tab.Update(1, a, 1.5, 1, 0)
+	}
+	cl := tab.Clone()
+	orig, cloned := tab.Snapshot(), cl.Snapshot()
+	if orig.Visits[1] != cloned.Visits[1] || orig.RewardCount[1] != cloned.RewardCount[1] {
+		t.Fatal("clone dropped visit/reward accounting")
+	}
+	cl.Choose(1)
+	if tab.Snapshot().Visits[1] != orig.Visits[1] {
+		t.Error("clone shares visit counters with original")
+	}
+}

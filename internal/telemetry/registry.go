@@ -280,6 +280,72 @@ func NewRegistry() *Registry {
 	return &Registry{byKey: make(map[string]*series)}
 }
 
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote, and line feed become
+// \\, \", and \n; every other byte passes through verbatim. (Go's %q
+// escapes far more — tabs, non-printables, non-ASCII — which the
+// format forbids: a tab in a label value must appear raw.)
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLabelValue reverses EscapeLabelValue — the parsing side of
+// the round trip, used by tests and by consumers of the text format.
+func UnescapeLabelValue(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case '"':
+				b.WriteByte('"')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string per the exposition format: only
+// backslash and line feed (quotes are legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 func renderLabels(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
@@ -290,7 +356,7 @@ func renderLabels(labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		fmt.Fprintf(&b, "%s=\"%s\"", l.Key, EscapeLabelValue(l.Value))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -411,7 +477,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if !written[s.name] {
 			written[s.name] = true
 			if s.help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, escapeHelp(s.help)); err != nil {
 					return err
 				}
 			}

@@ -286,6 +286,74 @@ func TestConcurrentUpdatesAndScrapes(t *testing.T) {
 	}
 }
 
+// TestLabelValueEscapingRoundTrip pins the exposition-format escaping
+// rules: backslash, quote, and newline are escaped (\\, \", \n), and
+// nothing else is — a tab must survive raw, unlike Go's %q. The
+// round trip parses the rendered line back and compares values.
+func TestLabelValueEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`back\slash`,
+		"line\nfeed",
+		`quo"te`,
+		"all\\three\"at\nonce",
+		"raw\ttab stays raw",
+		`trailing backslash\`,
+	}
+	for _, v := range values {
+		if got := UnescapeLabelValue(EscapeLabelValue(v)); got != v {
+			t.Errorf("round trip %q -> %q", v, got)
+		}
+	}
+	if got := EscapeLabelValue("a\\b\"c\nd\te"); got != "a\\\\b\\\"c\\nd\te" {
+		t.Errorf("escape = %q", got)
+	}
+
+	// Full exposition round trip: render a gauge carrying every special
+	// character, then parse the sample line back.
+	r := NewRegistry()
+	hostile := "path\\to\"x\"\nend"
+	r.Gauge("esc_gauge", "", L("p", hostile)).Set(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var sample string
+	for _, ln := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(ln, "esc_gauge{") {
+			sample = ln
+		}
+	}
+	if sample == "" {
+		t.Fatalf("no sample line in:\n%s", b.String())
+	}
+	if strings.Count(sample, "\n") != 0 {
+		t.Fatalf("sample line contains a raw newline: %q", sample)
+	}
+	open, close := strings.Index(sample, `p="`), strings.LastIndex(sample, `"}`)
+	if open < 0 || close < 0 {
+		t.Fatalf("unparsable sample line %q", sample)
+	}
+	if got := UnescapeLabelValue(sample[open+3 : close]); got != hostile {
+		t.Errorf("parsed label = %q, want %q", got, hostile)
+	}
+}
+
+// TestHelpEscaping: HELP text with backslashes or newlines must render
+// on one line per the exposition format.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("help_esc_total", "first\nsecond \\ done")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP help_esc_total first\nsecond \\ done`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("missing %q in:\n%s", want, b.String())
+	}
+}
+
 func TestRegisterRuntimeMetrics(t *testing.T) {
 	r := NewRegistry()
 	RegisterRuntimeMetrics(r)

@@ -167,9 +167,14 @@ func (t *Trace) WriteJSONL(w io.Writer, n int) error {
 type Set struct {
 	Registry *Registry
 	Trace    *Trace
+	// PageTrace, when non-nil, enables page-lifecycle tracing for a
+	// hash-sampled page subset (see pagetrace.go). Nil — the default —
+	// keeps every lifecycle hook a one-branch no-op.
+	PageTrace *PageTrace
 }
 
-// NewSet returns a fresh registry plus a default-capacity trace.
+// NewSet returns a fresh registry plus a default-capacity trace. Page
+// tracing stays disabled; callers opt in by assigning Set.PageTrace.
 func NewSet() *Set {
 	return &Set{Registry: NewRegistry(), Trace: NewTrace(DefaultTraceCap)}
 }

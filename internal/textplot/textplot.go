@@ -6,6 +6,7 @@ package textplot
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a titled grid of cells with a header row.
@@ -131,6 +132,79 @@ func Bars(title string, labels []string, values []float64, maxWidth int) string 
 		}
 		fmt.Fprintf(&b, "%-*s |%s %s\n", maxL, labels[i],
 			strings.Repeat("#", n), FormatFloat(v))
+	}
+	return b.String()
+}
+
+// Heatmap renders a matrix as a grid of shaded cells (one ramp
+// character per cell, scaled to the matrix's global min/max) with the
+// numeric value beside each shade — compact enough for a Q-table, exact
+// enough to read actual values off. Row i is labelled rowLabels[i],
+// column j colLabels[j]; ragged rows render their missing cells blank.
+func Heatmap(title string, rowLabels, colLabels []string, values [][]float64) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	lo, hi, any := 0.0, 0.0, false
+	for _, row := range values {
+		for _, v := range row {
+			if !any {
+				lo, hi, any = v, v, true
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	ramp := []rune(" ░▒▓█")
+	shade := func(v float64) rune {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		return ramp[idx]
+	}
+	maxL := 0
+	for _, l := range rowLabels {
+		if len(l) > maxL {
+			maxL = len(l)
+		}
+	}
+	const cellW = 9 // "▓ -12.345"
+	// Pad by display width, not byte length: the ramp runes are
+	// multi-byte, so %*s would misalign shaded columns.
+	pad := func(s string, n int) string {
+		if r := utf8.RuneCountInString(s); r < n {
+			return strings.Repeat(" ", n-r) + s
+		}
+		return s
+	}
+	fmt.Fprintf(&b, "%-*s", maxL, "")
+	for _, c := range colLabels {
+		b.WriteString("  ")
+		b.WriteString(pad(c, cellW))
+	}
+	b.WriteByte('\n')
+	for i, row := range values {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s", maxL, label)
+		for _, v := range row {
+			b.WriteString("  ")
+			b.WriteString(pad(fmt.Sprintf("%c %s", shade(v), FormatFloat(v)), cellW))
+		}
+		b.WriteByte('\n')
+	}
+	if any {
+		fmt.Fprintf(&b, "scale: %c=%s .. %c=%s\n", ramp[0], FormatFloat(lo),
+			ramp[len(ramp)-1], FormatFloat(hi))
 	}
 	return b.String()
 }

@@ -71,6 +71,51 @@ func TestBars(t *testing.T) {
 	}
 }
 
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("q", []string{"s0", "s1"}, []string{"a0", "a1", "a2"},
+		[][]float64{{0, 5, 10}, {2.5, 7.5}})
+	if !strings.Contains(out, "== q ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + 2 rows + scale line
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Min and max values get the extreme ramp glyphs.
+	if !strings.Contains(lines[2], "█ 10.0") {
+		t.Errorf("max cell not full shade: %q", lines[2])
+	}
+	if !strings.ContainsRune(lines[2], ' ') {
+		t.Errorf("min cell not blank shade: %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "scale:") ||
+		!strings.Contains(lines[4], "=0") || !strings.Contains(lines[4], "=10.0") {
+		t.Errorf("scale line = %q", lines[4])
+	}
+	// Display-width alignment: the ramp runes are multi-byte, so equal
+	// rune counts (not byte counts) prove the columns line up. The
+	// ragged second row is one cell shorter.
+	w := func(s string) int { return len([]rune(s)) }
+	if w(lines[1]) != w(lines[2]) {
+		t.Errorf("header/row width mismatch: %d vs %d\n%s",
+			w(lines[1]), w(lines[2]), out)
+	}
+	if got, want := w(lines[3]), w(lines[2])-11; got != want {
+		t.Errorf("ragged row width = %d, want %d\n%s", got, want, out)
+	}
+
+	// A constant matrix shades everything with the lowest glyph and
+	// still prints a scale.
+	flat := strings.Split(Heatmap("", []string{"r"}, []string{"c"}, [][]float64{{3}}), "\n")
+	if strings.ContainsRune(flat[1], '█') {
+		t.Errorf("flat heatmap row has full shade: %q", flat[1])
+	}
+	if !strings.Contains(flat[2], "scale:") {
+		t.Errorf("flat heatmap missing scale: %q", flat[2])
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	if got := Sparkline(nil); got != "" {
 		t.Errorf("empty sparkline = %q", got)
