@@ -3,7 +3,7 @@
 
 SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build test check race vet bench-baseline benchdiff
+.PHONY: all build test check race vet docs-check bench-baseline benchdiff
 
 all: build
 
@@ -21,6 +21,11 @@ race:
 
 check:
 	sh scripts/check.sh
+
+# Documentation gate: every package and exported identifier needs a doc
+# comment, and every relative link in *.md must resolve (cmd/docscheck).
+docs-check:
+	go run ./cmd/docscheck
 
 # Regression watch: the simulation is deterministic, so the quick bench
 # suite produces byte-stable tables and any drift is a real behaviour

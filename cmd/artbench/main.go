@@ -9,10 +9,24 @@
 //	artbench -exp fig2 -quick      # trimmed sweep at miniature scale
 //	artbench -all                  # run everything (long)
 //	artbench -exp fig7 -div 128 -accesses 3000000 -v
+//	artbench -all -quick -parallel 4   # four cell workers
+//	artbench -all -nocache             # force every cell to recompute
+//
+// Every experiment is a grid of independent cells (one simulation each)
+// executed by the internal/sched scheduler: -parallel bounds the worker
+// count for any run, single experiment or -all, and results are written
+// back by cell index so the tables are byte-identical to a serial run
+// at any worker count (DESIGN.md §7). Cells recurring across
+// experiments are memoized in-process, and -cache (default on) adds an
+// on-disk layer under <outdir>/cache/ keyed by a source stamp of the
+// simulator packages, so a rerun on an unchanged tree replays results
+// instead of recomputing them. The cache summary goes to stderr;
+// -nocache disables both layers.
 //
 // Output goes to stdout as aligned text tables. Every run also records
 // its tables as JSON under -outdir (default bench_results/), in a file
-// named BENCH_<git-sha>.json, so results are diffable across commits.
+// named BENCH_<git-sha>.json (written atomically: temp file + rename),
+// so results are diffable across commits.
 package main
 
 import (
@@ -23,10 +37,10 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
-	"sync"
 	"time"
 
 	"artmem/internal/exp"
+	"artmem/internal/sched"
 	"artmem/internal/telemetry"
 	"artmem/internal/textplot"
 )
@@ -37,11 +51,13 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "miniature scale, trimmed sweeps")
-		verbose  = flag.Bool("v", false, "log every simulation run")
+		verbose  = flag.Bool("v", false, "log every simulation run and cell progress")
 		div      = flag.Int64("div", 0, "override the footprint divisor (paper scale / div)")
 		accesses = flag.Int64("accesses", 0, "override the per-run access budget")
 		seed     = flag.Uint64("seed", 0, "override the base RNG seed")
-		par      = flag.Int("parallel", 1, "with -all: run this many experiments concurrently")
+		par      = flag.Int("parallel", 0, "cell workers for any run (0 = GOMAXPROCS, 1 = serial)")
+		cache    = flag.Bool("cache", true, "persist cell results under <outdir>/cache/ and reuse them")
+		nocache  = flag.Bool("nocache", false, "disable the run cache entirely (memory and disk)")
 		outdir   = flag.String("outdir", "bench_results", "directory for the JSON result file (empty disables)")
 	)
 	flag.Parse()
@@ -75,6 +91,21 @@ func main() {
 		}
 	}
 
+	// Cell scheduler: one worker pool + run cache shared by every
+	// experiment of this invocation, so cells recurring across
+	// experiments compute once.
+	var runCache *sched.Cache
+	if !*nocache {
+		runCache = sched.NewCache(cacheDir(*cache, *outdir))
+	}
+	reg := telemetry.NewRegistry()
+	o.Sched = sched.New(sched.Config{
+		Workers: *par,
+		Cache:   runCache,
+		Log:     o.Log,
+		Metrics: sched.NewMetrics(reg),
+	})
+
 	render := func(e exp.Experiment) (string, expResult) {
 		start := time.Now()
 		var b strings.Builder
@@ -100,31 +131,9 @@ func main() {
 
 	switch {
 	case *all:
-		if *par > 1 {
-			// Experiments are independent; shared caches (graphs, B-trees,
-			// pretrained Q-tables) are mutex-protected. Render in
-			// parallel, print in registry order.
-			exps := exp.All()
-			outs := make([]string, len(exps))
-			results = make([]expResult, len(exps))
-			sem := make(chan struct{}, *par)
-			var wg sync.WaitGroup
-			for i, e := range exps {
-				wg.Add(1)
-				go func(i int, e exp.Experiment) {
-					defer wg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
-					outs[i], results[i] = render(e)
-				}(i, e)
-			}
-			wg.Wait()
-			for _, out := range outs {
-				fmt.Print(out)
-			}
-			writeResults(*outdir, *quick, results)
-			return
-		}
+		// Experiments run in registry order; each one's cells fill the
+		// scheduler's worker pool, and the shared cache deduplicates the
+		// cells that recur across experiments.
 		for _, e := range exp.All() {
 			run(e)
 		}
@@ -140,7 +149,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if runCache != nil {
+		st := runCache.Stats()
+		fmt.Fprintf(os.Stderr,
+			"artbench: cache %d hits (%d mem + %d disk), %d misses — hit rate %.0f%%\n",
+			st.Hits(), st.MemHits, st.DiskHits, st.Misses, 100*st.HitRate())
+	}
 	writeResults(*outdir, *quick, results)
+}
+
+// cacheDir resolves the on-disk cache directory: <outdir>/cache/<stamp>
+// where the stamp hashes the simulator source (so any code change cold-
+// starts the cache). Returns "" — memory-only caching — when the disk
+// layer is off, outdir is disabled, or the source tree is not visible
+// from the working directory.
+func cacheDir(enabled bool, outdir string) string {
+	if !enabled || outdir == "" {
+		return ""
+	}
+	stamp, err := sched.SourceStamp("internal")
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(outdir, "cache", stamp)
 }
 
 // expResult is one experiment's machine-readable record.
@@ -165,7 +196,9 @@ type benchFile struct {
 
 // writeResults records the run under dir as BENCH_<git-sha>.json. A
 // rerun on the same commit overwrites — the file captures "the numbers
-// this tree produces", not a history (git holds the history).
+// this tree produces", not a history (git holds the history). The file
+// is written atomically (temp file + rename) so an interrupted run can
+// never leave a truncated document behind.
 func writeResults(dir string, quick bool, results []expResult) {
 	if dir == "" || len(results) == 0 {
 		return
@@ -198,9 +231,32 @@ func writeResults(dir string, quick bool, results []expResult) {
 		fmt.Fprintf(os.Stderr, "artbench: encoding results: %v\n", err)
 		return
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, ".bench-*.tmp")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artbench: writing %s: %v\n", path, err)
+		return
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		fmt.Fprintf(os.Stderr, "artbench: writing %s: %v\n", path, firstErr(werr, cerr))
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		fmt.Fprintf(os.Stderr, "artbench: writing %s: %v\n", path, err)
 		return
 	}
 	fmt.Printf("### results written to %s\n", path)
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

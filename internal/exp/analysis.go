@@ -22,20 +22,27 @@ func Fig12() Experiment {
 		Run: func(o Options) []textplot.Table {
 			ratio := harness.Ratio{Fast: 1, Slow: 4}
 			const bins = 24
-			t := textplot.Table{
-				Title:  "Pages migrated per time slice (XSBench)",
-				Header: []string{"reward", "migrations over time", "total", "exec (ms)"},
-			}
-			var ratioExec, latExec float64
-			for _, v := range []struct {
+			variants := []struct {
 				label string
 				cfg   core.Config
 			}{
 				{"DRAM-ratio", core.Config{}},
 				{"latency", core.Config{LatencyReward: true}},
-			} {
-				r := o.runOne("XSBench", o.ArtMemPolicy(v.cfg), harness.Config{
+			}
+			g := o.newGrid()
+			cell := make([]int, len(variants))
+			for vi, v := range variants {
+				cell[vi] = g.add("XSBench", o.artmemSpec(v.cfg), harness.Config{
 					Ratio: ratio, CollectSeries: true})
+			}
+			res := g.run()
+			t := textplot.Table{
+				Title:  "Pages migrated per time slice (XSBench)",
+				Header: []string{"reward", "migrations over time", "total", "exec (ms)"},
+			}
+			var ratioExec, latExec float64
+			for vi, v := range variants {
+				r := res[cell[vi]]
 				series := r.MigrationSeries.Bin(0, r.ExecNs, bins)
 				t.AddRow(v.label, textplot.Sparkline(series),
 					fmt.Sprintf("%d", r.Migrations),
@@ -65,24 +72,45 @@ func Fig13() Experiment {
 			if o.Quick {
 				names = []string{"S1", "XSBench"}
 			}
+			// Expected SARSA is this repository's extension beyond the
+			// paper's two algorithms.
+			algs := []rl.Algorithm{rl.QLearning, rl.SARSA, rl.ExpectedSARSA}
+			ratios := o.ratios()
+			g := o.newGrid()
+			// Static references per workload × ratio (shared across
+			// algorithms by the cache), then one cell per algorithm point.
+			static := make([][]int, len(names))
+			for ni, n := range names {
+				static[ni] = make([]int, len(ratios))
+				for ri, ratio := range ratios {
+					static[ni][ri] = g.add(n, baselineSpec("Static"), harness.Config{Ratio: ratio})
+				}
+			}
+			cell := make([][][]int, len(algs))
+			for ai, alg := range algs {
+				cell[ai] = make([][]int, len(names))
+				for ni, n := range names {
+					cell[ai][ni] = make([]int, len(ratios))
+					for ri, ratio := range ratios {
+						cell[ai][ni][ri] = g.add(n,
+							o.artmemTrainedSpec("Liblinear", alg, core.Config{}),
+							harness.Config{Ratio: ratio})
+					}
+				}
+			}
+			res := g.run()
 			t := textplot.Table{
 				Title:  "Mean runtime improvement over Static (geomean across ratios; higher is better)",
 				Header: append([]string{"algorithm"}, names...),
 			}
-			// Expected SARSA is this repository's extension beyond the
-			// paper's two algorithms.
-			for _, alg := range []rl.Algorithm{rl.QLearning, rl.SARSA, rl.ExpectedSARSA} {
+			for ai, alg := range algs {
 				cells := []any{alg.String()}
-				for _, n := range names {
+				for ni := range names {
 					var speedups []float64
-					for _, ratio := range o.ratios() {
-						static := o.runOne(n, mustPolicy("Static"), harness.Config{Ratio: ratio})
-						mig, thr := TrainTables(o, "Liblinear", alg)
-						pol := core.New(core.Config{Algorithm: alg,
-							PretrainedMig: mig, PretrainedThr: thr})
-						r := o.runOne(n, pol, harness.Config{Ratio: ratio})
-						speedups = append(speedups,
-							normalize(float64(static.ExecNs), float64(r.ExecNs)))
+					for ri := range ratios {
+						speedups = append(speedups, normalize(
+							float64(res[static[ni][ri]].ExecNs),
+							float64(res[cell[ai][ni][ri]].ExecNs)))
 					}
 					cells = append(cells, stats.GeoMean(speedups))
 				}
@@ -107,24 +135,34 @@ func Fig14() Experiment {
 				names = []string{"Liblinear", "XSBench", "CC"}
 			}
 			ratio := harness.Ratio{Fast: 1, Slow: 4}
-			// Self-trained reference runtimes.
+			g := o.newGrid()
+			// The full train × run matrix; its diagonal doubles as the
+			// self-trained reference (identical cell keys — the cache
+			// computes each diagonal entry once).
+			cell := make([][]int, len(names))
+			for ti, tr := range names {
+				cell[ti] = make([]int, len(names))
+				for ni, run := range names {
+					cell[ti][ni] = g.add(run,
+						o.artmemTrainedSpec(tr, rl.QLearning, core.Config{}),
+						harness.Config{Ratio: ratio})
+				}
+			}
+			res := g.run()
+			// Self-trained reference runtimes (the matrix diagonal).
 			self := map[string]float64{}
-			for _, n := range names {
-				mig, thr := TrainTables(o, n, rl.QLearning)
-				pol := core.New(core.Config{PretrainedMig: mig, PretrainedThr: thr})
-				self[n] = float64(o.runOne(n, pol, harness.Config{Ratio: ratio}).ExecNs)
+			for ni, n := range names {
+				self[n] = float64(res[cell[ni][ni]].ExecNs)
 			}
 			t := textplot.Table{
 				Title:  "Slowdown (%) vs self-trained Q-table (rows: trained on; cols: run on)",
 				Header: append([]string{"trained on"}, names...),
 			}
 			over10 := 0
-			for _, tr := range names {
-				mig, thr := TrainTables(o, tr, rl.QLearning)
+			for ti, tr := range names {
 				cells := []any{tr}
-				for _, run := range names {
-					pol := core.New(core.Config{PretrainedMig: mig, PretrainedThr: thr})
-					r := o.runOne(run, pol, harness.Config{Ratio: ratio})
+				for ni, run := range names {
+					r := res[cell[ti][ni]]
 					slow := 100 * (float64(r.ExecNs)/self[run] - 1)
 					if slow > 10 {
 						over10++
@@ -180,51 +218,79 @@ func Fig15() Experiment {
 				workloadsUnder = []string{"S3"}
 			}
 			ratio := harness.Ratio{Fast: 1, Slow: 4}
-			staticNs := map[string]float64{}
-			for _, n := range workloadsUnder {
-				staticNs[n] = float64(o.runOne(n, mustPolicy("Static"),
-					harness.Config{Ratio: ratio}).ExecNs)
+			g := o.newGrid()
+			static := make([]int, len(workloadsUnder))
+			for ni, n := range workloadsUnder {
+				static[ni] = g.add(n, baselineSpec("Static"), harness.Config{Ratio: ratio})
 			}
-			// score returns the geomean speedup over Static for a config.
-			score := func(cfg core.Config) float64 {
+			// Declare every sweep point's cells first, run the whole grid
+			// once, then render each sweep table from the indexed results.
+			type point struct {
+				val   float64
+				cells []int // one per workload under test
+			}
+			declare := func(vals []float64, mk func(v float64) core.Config) *[]point {
+				pts := make([]point, len(vals))
+				for vi, v := range vals {
+					pts[vi].val = v
+					for _, n := range workloadsUnder {
+						pts[vi].cells = append(pts[vi].cells,
+							g.add(n, o.artmemSpec(mk(v)), harness.Config{Ratio: ratio}))
+					}
+				}
+				return &pts
+			}
+			var out []textplot.Table
+			var res []harness.Result
+			// score returns the geomean speedup over Static for a point.
+			score := func(p point) float64 {
 				var sp []float64
-				for _, n := range workloadsUnder {
-					r := o.runOne(n, o.ArtMemPolicy(cfg), harness.Config{Ratio: ratio})
-					sp = append(sp, normalize(staticNs[n], float64(r.ExecNs)))
+				for ni := range workloadsUnder {
+					sp = append(sp, normalize(
+						float64(res[static[ni]].ExecNs),
+						float64(res[p.cells[ni]].ExecNs)))
 				}
 				return stats.GeoMean(sp)
 			}
-			var out []textplot.Table
-			sweep := func(title, unit string, vals []float64, mk func(v float64) core.Config) {
+			render := func(title, unit string, pts *[]point) {
 				t := textplot.Table{
 					Title:  title,
 					Header: []string{unit, "speedup vs Static"},
 				}
-				for _, v := range vals {
-					t.AddRow(textplot.FormatFloat(v), score(mk(v)))
+				for _, p := range *pts {
+					t.AddRow(textplot.FormatFloat(p.val), score(p))
 				}
 				out = append(out, t)
 			}
-			sweep("(a) learning rate α", "alpha",
-				[]float64{math.Exp(-1), math.Exp(-2), math.Exp(-3)},
-				func(v float64) core.Config { return core.Config{Alpha: v} })
-			sweep("(b) discount factor γ", "gamma",
-				[]float64{math.Exp(-0.5), math.Exp(-1), math.Exp(-2)},
-				func(v float64) core.Config { return core.Config{Gamma: v} })
-			sweep("(c) exploration ε", "epsilon",
-				[]float64{0.1, 0.3, 0.5},
-				func(v float64) core.Config { return core.Config{Epsilon: v} })
-			sweep("(d) sampling period", "period",
-				[]float64{5, 10, 40},
-				func(v float64) core.Config { return core.Config{SamplePeriod: uint64(v)} })
-			sweep("(e) target ratio β", "beta",
-				[]float64{6, 8, 9, 10},
-				func(v float64) core.Config { return core.Config{Beta: v} })
-			sweep("(f) migration interval (ms; paper: seconds)", "interval",
-				[]float64{1, 5, 10, 15, 30},
-				func(v float64) core.Config {
-					return core.Config{TickInterval: int64(v * 1e6)}
-				})
+			sweeps := []struct {
+				title, unit string
+				pts         *[]point
+			}{
+				{"(a) learning rate α", "alpha", declare(
+					[]float64{math.Exp(-1), math.Exp(-2), math.Exp(-3)},
+					func(v float64) core.Config { return core.Config{Alpha: v} })},
+				{"(b) discount factor γ", "gamma", declare(
+					[]float64{math.Exp(-0.5), math.Exp(-1), math.Exp(-2)},
+					func(v float64) core.Config { return core.Config{Gamma: v} })},
+				{"(c) exploration ε", "epsilon", declare(
+					[]float64{0.1, 0.3, 0.5},
+					func(v float64) core.Config { return core.Config{Epsilon: v} })},
+				{"(d) sampling period", "period", declare(
+					[]float64{5, 10, 40},
+					func(v float64) core.Config { return core.Config{SamplePeriod: uint64(v)} })},
+				{"(e) target ratio β", "beta", declare(
+					[]float64{6, 8, 9, 10},
+					func(v float64) core.Config { return core.Config{Beta: v} })},
+				{"(f) migration interval (ms; paper: seconds)", "interval", declare(
+					[]float64{1, 5, 10, 15, 30},
+					func(v float64) core.Config {
+						return core.Config{TickInterval: int64(v * 1e6)}
+					})},
+			}
+			res = g.run()
+			for _, s := range sweeps {
+				render(s.title, s.unit, s.pts)
+			}
 			return out
 		},
 	}
@@ -242,18 +308,22 @@ func LiblinearSampling() Experiment {
 		Paper: "denser sampling costs ~6% more overhead and buys ~17% runtime on Liblinear",
 		Run: func(o Options) []textplot.Table {
 			ratio := harness.Ratio{Fast: 1, Slow: 4}
+			periods := []uint64{10, 5, 2}
+			g := o.newGrid()
+			cell := make([]int, len(periods))
+			for pi, period := range periods {
+				cell[pi] = g.add("Liblinear",
+					o.artmemSpec(core.Config{SamplePeriod: period}),
+					harness.Config{Ratio: ratio})
+			}
+			res := g.run()
 			t := textplot.Table{
 				Title:  "ArtMem on Liblinear at 1:4 with varying PEBS sampling period",
 				Header: []string{"sampling period", "exec (ms)", "vs period 10", "bg CPU %"},
 			}
-			var base float64
-			for _, period := range []uint64{10, 5, 2} {
-				r := o.runOne("Liblinear",
-					o.ArtMemPolicy(core.Config{SamplePeriod: period}),
-					harness.Config{Ratio: ratio})
-				if base == 0 {
-					base = float64(r.ExecNs)
-				}
+			base := float64(res[cell[0]].ExecNs)
+			for pi, period := range periods {
+				r := res[cell[pi]]
 				t.AddRow(fmt.Sprintf("%d", period),
 					float64(r.ExecNs)/1e6,
 					normalize(float64(r.ExecNs), base),
@@ -278,21 +348,30 @@ func PageSize() Experiment {
 		Run: func(o Options) []textplot.Table {
 			ratio := harness.Ratio{Fast: 1, Slow: 4}
 			base := o.Profile.PageSize()
-			t := textplot.Table{
-				Title:  "ArtMem on XSBench at 1:4 with varying page size",
-				Header: []string{"page size (KB)", "exec (ms)", "migrated MB", "DRAM ratio"},
-			}
+			var sizes []int64
 			seen := map[int64]bool{}
 			for _, ps := range []int64{base / 4, base, base * 4} {
 				if ps < 4096 {
 					ps = 4096
 				}
-				if seen[ps] {
-					continue
+				if !seen[ps] {
+					seen[ps] = true
+					sizes = append(sizes, ps)
 				}
-				seen[ps] = true
-				r := o.runOne("XSBench", o.ArtMemPolicy(core.Config{}),
+			}
+			g := o.newGrid()
+			cell := make([]int, len(sizes))
+			for si, ps := range sizes {
+				cell[si] = g.add("XSBench", o.artmemSpec(core.Config{}),
 					harness.Config{Ratio: ratio, PageSize: ps})
+			}
+			res := g.run()
+			t := textplot.Table{
+				Title:  "ArtMem on XSBench at 1:4 with varying page size",
+				Header: []string{"page size (KB)", "exec (ms)", "migrated MB", "DRAM ratio"},
+			}
+			for si, ps := range sizes {
+				r := res[cell[si]]
 				t.AddRow(fmt.Sprintf("%d", ps>>10),
 					float64(r.ExecNs)/1e6,
 					float64(r.MigratedBytes)/(1<<20),

@@ -1,9 +1,12 @@
 // Package exp defines one reproducible experiment per table and figure
 // of the paper's evaluation (the per-experiment index in DESIGN.md §3).
-// Each experiment runs the necessary workload × policy × configuration
-// sweep through the harness and renders the same rows/series the paper
-// reports, as text tables. cmd/artbench and the top-level benchmarks are
-// thin wrappers around this package.
+// Each experiment declares its workload × policy × configuration sweep
+// as a grid of independent cells (grid.go), runs the grid through the
+// internal/sched scheduler — which parallelizes and memoizes cells
+// without changing a byte of output (DESIGN.md §7) — and renders the
+// same rows/series the paper reports, as text tables, by indexing the
+// returned results. cmd/artbench and the top-level benchmarks are thin
+// wrappers around this package.
 package exp
 
 import (
@@ -14,6 +17,7 @@ import (
 	"artmem/internal/harness"
 	"artmem/internal/policies"
 	"artmem/internal/rl"
+	"artmem/internal/sched"
 	"artmem/internal/textplot"
 	"artmem/internal/workloads"
 )
@@ -26,6 +30,10 @@ type Options struct {
 	Quick bool
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+	// Sched executes the experiment's cell grids (worker pool + run
+	// cache). Nil falls back to a process-wide serial scheduler with an
+	// in-memory cache; cmd/artbench installs a parallel one.
+	Sched *sched.Scheduler
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -107,21 +115,33 @@ var (
 	trainCache = map[trainKey]*trainedTables{}
 )
 
+// trainedTables is one memoized pretraining run; done is closed once
+// mig/thr are valid, so concurrent requests for the same key coalesce
+// onto a single training (parallel grid cells frequently race here)
+// instead of training redundantly.
 type trainedTables struct {
+	done     chan struct{}
 	mig, thr *rl.Table
 }
 
 // TrainTables pretrains ArtMem Q-tables by running the named workload
 // at two memory ratios (the paper primes its agent on Liblinear, §6.2).
-// Results are memoized per profile.
+// Results are memoized per profile; concurrent callers with the same
+// key share one training run. The returned tables are shared — callers
+// must pass them on as pretraining input (core.Config copies them) and
+// never mutate them.
 func TrainTables(o Options, workload string, alg rl.Algorithm) (mig, thr *rl.Table) {
 	key := trainKey{o.Profile.Div, o.Profile.AppAccesses, o.Profile.Seed, alg, workload}
 	trainMu.Lock()
 	if t, ok := trainCache[key]; ok {
 		trainMu.Unlock()
+		<-t.done
 		return t.mig, t.thr
 	}
+	t := &trainedTables{done: make(chan struct{})}
+	trainCache[key] = t
 	trainMu.Unlock()
+	defer close(t.done)
 
 	spec, err := workloads.ByName(workload)
 	if err != nil {
@@ -144,9 +164,7 @@ func TrainTables(o Options, workload string, alg rl.Algorithm) (mig, thr *rl.Tab
 		})
 		prevMig, prevThr = pol.QTables()
 	}
-	trainMu.Lock()
-	trainCache[key] = &trainedTables{mig: prevMig, thr: prevThr}
-	trainMu.Unlock()
+	t.mig, t.thr = prevMig, prevThr
 	return prevMig, prevThr
 }
 
@@ -178,7 +196,13 @@ func (o Options) AllPolicies() []policies.Factory {
 
 // ---- shared run helpers ------------------------------------------------------
 
-// runOne executes a single workload/policy/ratio combination.
+// runOne executes a single workload/policy/ratio combination directly,
+// bypassing the scheduler and its cache. Grid experiments declare
+// cells instead (see grid.go); runOne remains for the two setups the
+// cell model cannot express: runs whose policy carries evolving state
+// across iterations (Figure 14's retraining chains, where the Q-tables
+// are not part of any cacheable identity) and runs that inspect the
+// policy object after the run (the §6.4 overhead accounting).
 func (o Options) runOne(workload string, pol policies.Policy, cfg harness.Config) harness.Result {
 	spec, err := workloads.ByName(workload)
 	if err != nil {

@@ -29,7 +29,9 @@ func ratioHeaders(ratios []harness.Ratio) []string {
 
 // Fig7 reproduces the headline evaluation: eight applications × eight
 // systems × six DRAM:PM ratios, runtimes normalized to AutoNUMA at 1:16
-// (lower is better).
+// (lower is better). The full grid is 392 independent cells — the
+// repo's single heaviest sweep — declared up front and executed by the
+// cell scheduler.
 func Fig7() Experiment {
 	return Experiment{
 		ID:    "fig7",
@@ -37,20 +39,36 @@ func Fig7() Experiment {
 		Paper: "ArtMem best or near-best almost everywhere; 35%-172% improvements over baselines on average",
 		Run: func(o Options) []textplot.Table {
 			ratios := o.ratios()
-			var out []textplot.Table
-			for _, wl := range o.appNames() {
-				// Normalization baseline: AutoNUMA at 1:16.
-				base := o.runOne(wl, mustPolicy("AutoNUMA"), harness.Config{
+			names := o.appNames()
+			pols := o.allPolicySpecs()
+			g := o.newGrid()
+			// Normalization baselines (AutoNUMA at 1:16) per workload,
+			// then the full system × ratio grid per workload.
+			base := make([]int, len(names))
+			cell := make([][][]int, len(names))
+			for wi, wl := range names {
+				base[wi] = g.add(wl, baselineSpec("AutoNUMA"), harness.Config{
 					Ratio: harness.Ratio{Fast: 1, Slow: 16}})
+				cell[wi] = make([][]int, len(pols))
+				for pi, p := range pols {
+					cell[wi][pi] = make([]int, len(ratios))
+					for ri, ratio := range ratios {
+						cell[wi][pi][ri] = g.add(wl, p, harness.Config{Ratio: ratio})
+					}
+				}
+			}
+			res := g.run()
+			var out []textplot.Table
+			for wi, wl := range names {
 				t := textplot.Table{
 					Title:  fmt.Sprintf("%s runtime (normalized to AutoNUMA 1:16; lower is better)", wl),
 					Header: append([]string{"system"}, ratioHeaders(ratios)...),
 				}
-				for _, f := range o.AllPolicies() {
-					cells := []any{f.Name}
-					for _, ratio := range ratios {
-						r := o.runOne(wl, f.New(), harness.Config{Ratio: ratio})
-						cells = append(cells, normalize(float64(r.ExecNs), float64(base.ExecNs)))
+				baseNs := float64(res[base[wi]].ExecNs)
+				for pi, p := range pols {
+					cells := []any{p.name}
+					for ri := range ratios {
+						cells = append(cells, normalize(float64(res[cell[wi][pi][ri]].ExecNs), baseNs))
 					}
 					t.AddRow(cells...)
 				}
@@ -81,23 +99,36 @@ func Fig8() Experiment {
 				{"no-sorting", core.Config{DisableSorting: true}},
 				{"base (neither)", core.Config{DisableRL: true, DisableSorting: true}},
 			}
+			g := o.newGrid()
+			// DRAM-only lower bound per workload (identical across the two
+			// ratio tables — the cache serves the repeats).
+			dram := make([]int, len(names))
+			for ni, n := range names {
+				dram[ni] = g.add(n, baselineSpec("Static"), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 0}})
+			}
+			cell := make([][][]int, len(ratios))
+			for ri := range ratios {
+				cell[ri] = make([][]int, len(variants))
+				for vi, v := range variants {
+					cell[ri][vi] = make([]int, len(names))
+					for ni, n := range names {
+						cell[ri][vi][ni] = g.add(n, o.artmemSpec(v.cfg), harness.Config{Ratio: ratios[ri]})
+					}
+				}
+			}
+			res := g.run()
 			var out []textplot.Table
-			for _, ratio := range ratios {
+			for ri, ratio := range ratios {
 				t := textplot.Table{
 					Title:  fmt.Sprintf("Runtime at %s, normalized to DRAM-only (lower is better)", ratio),
 					Header: append([]string{"variant"}, names...),
 				}
-				dram := map[string]float64{}
-				for _, n := range names {
-					r := o.runOne(n, policies.NewStatic(), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 0}})
-					dram[n] = float64(r.ExecNs)
-				}
-				for _, v := range variants {
+				for vi, v := range variants {
 					cells := []any{v.label}
-					for _, n := range names {
-						pol := o.ArtMemPolicy(v.cfg)
-						r := o.runOne(n, pol, harness.Config{Ratio: ratio})
-						cells = append(cells, normalize(float64(r.ExecNs), dram[n]))
+					for ni := range names {
+						cells = append(cells, normalize(
+							float64(res[cell[ri][vi][ni]].ExecNs),
+							float64(res[dram[ni]].ExecNs)))
 					}
 					t.AddRow(cells...)
 				}
@@ -116,23 +147,37 @@ func Fig9() Experiment {
 		Title: "Figure 9: DRAM access ratio, RL vs heuristic adjustment (SSSP, CC)",
 		Paper: "RL consistently above heuristic; CC plateaus beyond 1:4 while SSSP climbs gradually",
 		Run: func(o Options) []textplot.Table {
+			wls := []string{"SSSP", "CC"}
+			variants := []struct {
+				label string
+				cfg   core.Config
+			}{
+				{"RL-based", core.Config{}},
+				{"heuristic", core.Config{DisableRL: true}},
+			}
+			ratios := o.ratios()
+			g := o.newGrid()
+			cell := make([][][]int, len(wls))
+			for wi, wl := range wls {
+				cell[wi] = make([][]int, len(variants))
+				for vi, v := range variants {
+					cell[wi][vi] = make([]int, len(ratios))
+					for ri, ratio := range ratios {
+						cell[wi][vi][ri] = g.add(wl, o.artmemSpec(v.cfg), harness.Config{Ratio: ratio})
+					}
+				}
+			}
+			res := g.run()
 			var out []textplot.Table
-			for _, wl := range []string{"SSSP", "CC"} {
+			for wi, wl := range wls {
 				t := textplot.Table{
 					Title:  fmt.Sprintf("%s DRAM access ratio", wl),
-					Header: append([]string{"method"}, ratioHeaders(o.ratios())...),
+					Header: append([]string{"method"}, ratioHeaders(ratios)...),
 				}
-				for _, v := range []struct {
-					label string
-					cfg   core.Config
-				}{
-					{"RL-based", core.Config{}},
-					{"heuristic", core.Config{DisableRL: true}},
-				} {
+				for vi, v := range variants {
 					cells := []any{v.label}
-					for _, ratio := range o.ratios() {
-						r := o.runOne(wl, o.ArtMemPolicy(v.cfg), harness.Config{Ratio: ratio})
-						cells = append(cells, r.DRAMRatio)
+					for ri := range ratios {
+						cells = append(cells, res[cell[wi][vi][ri]].DRAMRatio)
 					}
 					t.AddRow(cells...)
 				}
@@ -213,14 +258,23 @@ func Fig11() Experiment {
 		Paper: "MEMTIS migrates by far the most (capacity-derived threshold); ArtMem and AutoNUMA stay low; DLRM ≪ CC under ArtMem",
 		Run: func(o Options) []textplot.Table {
 			ratio := harness.Ratio{Fast: 1, Slow: 4}
+			pols := o.allPolicySpecs()
+			g := o.newGrid()
+			cc := make([]int, len(pols))
+			dl := make([]int, len(pols))
+			for pi, p := range pols {
+				cc[pi] = g.add("CC", p, harness.Config{Ratio: ratio})
+				dl[pi] = g.add("DLRM", p, harness.Config{Ratio: ratio})
+			}
+			res := g.run()
 			t := textplot.Table{
 				Title:  fmt.Sprintf("Pages migrated at %s", ratio),
 				Header: []string{"system", "CC", "DLRM"},
 			}
-			for _, f := range o.AllPolicies() {
-				cc := o.runOne("CC", f.New(), harness.Config{Ratio: ratio})
-				dl := o.runOne("DLRM", f.New(), harness.Config{Ratio: ratio})
-				t.AddRow(f.Name, fmt.Sprintf("%d", cc.Migrations), fmt.Sprintf("%d", dl.Migrations))
+			for pi, p := range pols {
+				t.AddRow(p.name,
+					fmt.Sprintf("%d", res[cc[pi]].Migrations),
+					fmt.Sprintf("%d", res[dl[pi]].Migrations))
 			}
 			return []textplot.Table{t}
 		},

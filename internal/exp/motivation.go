@@ -104,6 +104,21 @@ func Fig2() Experiment {
 		Paper: "each system wins some patterns and loses others (Observation 1); DRAM ratio tracks performance",
 		Run: func(o Options) []textplot.Table {
 			patterns := []string{"S1", "S2", "S3", "S4"}
+			cfg := harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 1}}
+			pols := o.allPolicySpecs()
+			g := o.newGrid()
+			static := make([]int, len(patterns))
+			for pi, pat := range patterns {
+				static[pi] = g.add(pat, baselineSpec("Static"), cfg)
+			}
+			cell := make([][]int, len(pols))
+			for si, p := range pols {
+				cell[si] = make([]int, len(patterns))
+				for pi, pat := range patterns {
+					cell[si][pi] = g.add(pat, p, cfg)
+				}
+			}
+			res := g.run()
 			perf := textplot.Table{
 				Title:  "Normalized runtime (Static = 1.0)",
 				Header: append([]string{"system"}, patterns...),
@@ -112,24 +127,16 @@ func Fig2() Experiment {
 				Title:  "DRAM access ratio",
 				Header: append([]string{"system"}, patterns...),
 			}
-			static := map[string]float64{}
-			for _, pat := range patterns {
-				r := o.runOne(pat, policies.NewStatic(), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 1}})
-				static[pat] = float64(r.ExecNs)
-			}
-			row := func(name string, mk func() policies.Policy) {
-				perfCells := []any{name}
-				ratioCells := []any{name}
-				for _, pat := range patterns {
-					r := o.runOne(pat, mk(), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 1}})
-					perfCells = append(perfCells, normalize(float64(r.ExecNs), static[pat]))
+			for si, p := range pols {
+				perfCells := []any{p.name}
+				ratioCells := []any{p.name}
+				for pi := range patterns {
+					r := res[cell[si][pi]]
+					perfCells = append(perfCells, normalize(float64(r.ExecNs), float64(res[static[pi]].ExecNs)))
 					ratioCells = append(ratioCells, r.DRAMRatio)
 				}
 				perf.AddRow(perfCells...)
 				ratio.AddRow(ratioCells...)
-			}
-			for _, f := range o.AllPolicies() {
-				row(f.Name, f.New)
 			}
 			return []textplot.Table{perf, ratio}
 		},
@@ -155,24 +162,33 @@ func Fig3() Experiment {
 				Header: []string{"system", "pearson r", "points"},
 				Note:   "performance normalized to a DRAM-only run of the same workload",
 			}
-			// DRAM-only reference per workload.
-			dramOnly := map[string]float64{}
-			for _, n := range names {
-				r := o.runOne(n, policies.NewStatic(), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 0}})
-				dramOnly[n] = float64(r.ExecNs)
+			ratios := []harness.Ratio{{Fast: 1, Slow: 1}, {Fast: 1, Slow: 4}}
+			g := o.newGrid()
+			// DRAM-only reference per workload, then every system × workload
+			// × ratio point of the scatter.
+			dramOnly := make([]int, len(names))
+			for ni, n := range names {
+				dramOnly[ni] = g.add(n, baselineSpec("Static"), harness.Config{Ratio: harness.Ratio{Fast: 1, Slow: 0}})
 			}
-			for _, sys := range systems {
-				f, err := policies.ByName(sys)
-				if err != nil {
-					panic(err)
+			cell := make([][][]int, len(systems))
+			for si, sys := range systems {
+				cell[si] = make([][]int, len(names))
+				for ni, n := range names {
+					cell[si][ni] = make([]int, len(ratios))
+					for ri, ratio := range ratios {
+						cell[si][ni][ri] = g.add(n, baselineSpec(sys), harness.Config{Ratio: ratio})
+					}
 				}
+			}
+			res := g.run()
+			for si, sys := range systems {
 				var xs, ys []float64
-				for _, n := range names {
-					for _, ratio := range []harness.Ratio{{Fast: 1, Slow: 1}, {Fast: 1, Slow: 4}} {
-						r := o.runOne(n, f.New(), harness.Config{Ratio: ratio})
+				for ni := range names {
+					for ri := range ratios {
+						r := res[cell[si][ni][ri]]
 						xs = append(xs, r.DRAMRatio)
 						// Higher = better performance (DRAM-only = 1).
-						ys = append(ys, normalize(dramOnly[n], float64(r.ExecNs)))
+						ys = append(ys, normalize(float64(res[dramOnly[ni]].ExecNs), float64(r.ExecNs)))
 					}
 				}
 				t.AddRow(sys, stats.Pearson(xs, ys), len(xs))
@@ -193,6 +209,25 @@ func Fig4() Experiment {
 		Run: func(o Options) []textplot.Table {
 			names := []string{"Liblinear", "XSBench"}
 			ratio := harness.Ratio{Fast: 1, Slow: 4}
+			thresholds := []uint32{4, 8, 16, 32}
+			memtis := func(thr uint32) policySpec {
+				return spec("MEMTIS", fmt.Sprintf("MEMTIS|thr=%d", thr), func() policies.Policy {
+					return policies.NewMEMTIS(policies.MEMTISConfig{ThresholdOverride: thr})
+				})
+			}
+			g := o.newGrid()
+			def := make([]int, len(names))
+			tuned := make([][]int, len(names))
+			for ni, n := range names {
+				def[ni] = g.add(n, spec("MEMTIS", "MEMTIS|default", func() policies.Policy {
+					return policies.NewMEMTIS(policies.MEMTISConfig{})
+				}), harness.Config{Ratio: ratio})
+				tuned[ni] = make([]int, len(thresholds))
+				for ti, thr := range thresholds {
+					tuned[ni][ti] = g.add(n, memtis(thr), harness.Config{Ratio: ratio})
+				}
+			}
+			res := g.run()
 			mig := textplot.Table{
 				Title:  "Migration volume (MB migrated)",
 				Header: []string{"workload", "default", "tuned"},
@@ -201,23 +236,20 @@ func Fig4() Experiment {
 				Title:  "Runtime normalized to default threshold (lower is better)",
 				Header: []string{"workload", "default", "tuned", "tuned threshold"},
 			}
-			for _, n := range names {
-				def := o.runOne(n, policies.NewMEMTIS(policies.MEMTISConfig{}),
-					harness.Config{Ratio: ratio})
+			for ni, n := range names {
 				// Manual tuning: sweep a few fixed thresholds, keep the best
 				// runtime (the paper's "manually reducing the hotness bins").
-				best := def
+				defRes := res[def[ni]]
+				best := defRes
 				bestThr := uint32(0)
-				for _, thr := range []uint32{4, 8, 16, 32} {
-					r := o.runOne(n, policies.NewMEMTIS(policies.MEMTISConfig{
-						ThresholdOverride: thr}), harness.Config{Ratio: ratio})
-					if r.ExecNs < best.ExecNs {
+				for ti, thr := range thresholds {
+					if r := res[tuned[ni][ti]]; r.ExecNs < best.ExecNs {
 						best, bestThr = r, thr
 					}
 				}
-				mig.AddRow(n, float64(def.MigratedBytes)/(1<<20),
+				mig.AddRow(n, float64(defRes.MigratedBytes)/(1<<20),
 					float64(best.MigratedBytes)/(1<<20))
-				perf.AddRow(n, 1.0, normalize(float64(best.ExecNs), float64(def.ExecNs)),
+				perf.AddRow(n, 1.0, normalize(float64(best.ExecNs), float64(defRes.ExecNs)),
 					fmt.Sprintf("%d", bestThr))
 			}
 			return []textplot.Table{mig, perf}

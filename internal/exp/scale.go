@@ -5,7 +5,7 @@ import (
 
 	"artmem/internal/core"
 	"artmem/internal/harness"
-	"artmem/internal/policies"
+	"artmem/internal/sched"
 	"artmem/internal/textplot"
 	"artmem/internal/workloads"
 )
@@ -24,11 +24,12 @@ func Fig16a() Experiment {
 				paperGBs = []float64{69, 200}
 			}
 			fastBytes := o.Profile.Bytes(54)
-			t := textplot.Table{
-				Title:  "Runtime normalized to AutoNUMA at each size (lower is better)",
-				Header: []string{"footprint (paper GB)", "AutoNUMA", "MEMTIS", "ArtMem"},
+			pols := []policySpec{
+				baselineSpec("AutoNUMA"), baselineSpec("MEMTIS"), o.artmemSpec(core.Config{}),
 			}
-			for _, gb := range paperGBs {
+			g := o.newGrid()
+			cell := make([][]int, len(paperGBs))
+			for gi, gb := range paperGBs {
 				// Rebuild CC at the requested footprint by scaling the
 				// profile's divisor inversely (bigger graph, same budget).
 				prof := o.Profile
@@ -36,23 +37,41 @@ func Fig16a() Experiment {
 				if prof.Div < 1 {
 					prof.Div = 1
 				}
-				runCC := func(pol policies.Policy) harness.Result {
-					spec, _ := workloads.ByName("CC")
-					w := spec.New(prof)
-					foot := w.FootprintBytes()
-					slow := foot - fastBytes
-					if slow < 0 {
-						slow = 0
-					}
-					return harness.Run(w, pol, harness.Config{
-						PageSize: o.Profile.PageSize(),
-						// Fixed fast tier expressed as an exact byte split.
-						Ratio: harness.Ratio{Fast: int(fastBytes >> 12), Slow: int(slow >> 12)},
+				cell[gi] = make([]int, len(pols))
+				for pi, p := range pols {
+					p := p
+					prof := prof
+					// The ratio is derived from the workload footprint inside
+					// the cell, so the key carries the fixed fast-tier split
+					// as its extra component instead of a Config.Ratio.
+					key := sched.Key("CC", prof, p.id,
+						harness.Config{PageSize: o.Profile.PageSize()},
+						fmt.Sprintf("fixedFast=%d", fastBytes))
+					cell[gi][pi] = g.addCell(key, func() harness.Result {
+						spec, _ := workloads.ByName("CC")
+						w := spec.New(prof)
+						foot := w.FootprintBytes()
+						slow := foot - fastBytes
+						if slow < 0 {
+							slow = 0
+						}
+						return harness.Run(w, p.mk(), harness.Config{
+							PageSize: o.Profile.PageSize(),
+							// Fixed fast tier expressed as an exact byte split.
+							Ratio: harness.Ratio{Fast: int(fastBytes >> 12), Slow: int(slow >> 12)},
+						})
 					})
 				}
-				an := runCC(mustPolicy("AutoNUMA"))
-				me := runCC(mustPolicy("MEMTIS"))
-				am := runCC(o.ArtMemPolicy(core.Config{}))
+			}
+			res := g.run()
+			t := textplot.Table{
+				Title:  "Runtime normalized to AutoNUMA at each size (lower is better)",
+				Header: []string{"footprint (paper GB)", "AutoNUMA", "MEMTIS", "ArtMem"},
+			}
+			for gi, gb := range paperGBs {
+				an := res[cell[gi][0]]
+				me := res[cell[gi][1]]
+				am := res[cell[gi][2]]
 				t.AddRow(textplot.FormatFloat(gb),
 					1.0,
 					normalize(float64(me.ExecNs), float64(an.ExecNs)),
@@ -81,26 +100,30 @@ func Fig16b() Experiment {
 				{"local PM (323ns)", 323, 26},
 				{"remote PM (431ns)", 431, 20},
 			}
-			systems := []string{"AutoNUMA", "TPP", "MEMTIS"}
+			pols := append([]policySpec{
+				baselineSpec("AutoNUMA"), baselineSpec("TPP"), baselineSpec("MEMTIS"),
+			}, o.artmemSpec(core.Config{}))
+			ratio := harness.Ratio{Fast: 1, Slow: 1}
+			g := o.newGrid()
+			cell := make([][]int, len(latencies))
+			for li, lat := range latencies {
+				cell[li] = make([]int, len(pols))
+				for pi, p := range pols {
+					cell[li][pi] = g.add("SSSP", p, harness.Config{
+						Ratio: ratio, SlowLatencyNs: lat.ns, SlowBWGBs: lat.bw})
+				}
+			}
+			res := g.run()
 			t := textplot.Table{
 				Title:  "Runtime normalized to AutoNUMA at 152ns (lower is better)",
-				Header: append([]string{"slow tier"}, append(systems, "ArtMem")...),
+				Header: []string{"slow tier", "AutoNUMA", "TPP", "MEMTIS", "ArtMem"},
 			}
-			ratio := harness.Ratio{Fast: 1, Slow: 1}
-			var base float64
-			for i, lat := range latencies {
+			base := float64(res[cell[0][0]].ExecNs) // AutoNUMA at 152ns
+			for li, lat := range latencies {
 				cells := []any{lat.name}
-				for _, sys := range systems {
-					r := o.runOne("SSSP", mustPolicy(sys), harness.Config{
-						Ratio: ratio, SlowLatencyNs: lat.ns, SlowBWGBs: lat.bw})
-					if i == 0 && sys == "AutoNUMA" {
-						base = float64(r.ExecNs)
-					}
-					cells = append(cells, normalize(float64(r.ExecNs), base))
+				for pi := range pols {
+					cells = append(cells, normalize(float64(res[cell[li][pi]].ExecNs), base))
 				}
-				r := o.runOne("SSSP", o.ArtMemPolicy(core.Config{}), harness.Config{
-					Ratio: ratio, SlowLatencyNs: lat.ns, SlowBWGBs: lat.bw})
-				cells = append(cells, normalize(float64(r.ExecNs), base))
 				t.AddRow(cells...)
 			}
 			return []textplot.Table{t}
@@ -120,24 +143,30 @@ func Fig16c() Experiment {
 			if o.Quick {
 				mixes = mixes[:2]
 			}
-			systems := []string{"AutoNUMA", "TPP", "MEMTIS", "Multi-clock"}
+			pols := append([]policySpec{
+				baselineSpec("AutoNUMA"), baselineSpec("TPP"),
+				baselineSpec("MEMTIS"), baselineSpec("Multi-clock"),
+			}, o.artmemSpec(core.Config{}))
+			ratio := harness.Ratio{Fast: 1, Slow: 2}
+			g := o.newGrid()
+			cell := make([][]int, len(mixes))
+			for mi, mix := range mixes {
+				cell[mi] = make([]int, len(pols))
+				for pi, p := range pols {
+					cell[mi][pi] = g.add(mix, p, harness.Config{Ratio: ratio})
+				}
+			}
+			res := g.run()
 			t := textplot.Table{
 				Title:  "Mixed-workload runtime normalized to AutoNUMA (lower is better)",
-				Header: append([]string{"mix"}, append(systems, "ArtMem")...),
+				Header: []string{"mix", "AutoNUMA", "TPP", "MEMTIS", "Multi-clock", "ArtMem"},
 			}
-			for _, mix := range mixes {
-				ratio := harness.Ratio{Fast: 1, Slow: 2}
+			for mi, mix := range mixes {
 				cells := []any{mix}
-				var base float64
-				for _, sys := range systems {
-					r := o.runOne(mix, mustPolicy(sys), harness.Config{Ratio: ratio})
-					if sys == "AutoNUMA" {
-						base = float64(r.ExecNs)
-					}
-					cells = append(cells, normalize(float64(r.ExecNs), base))
+				base := float64(res[cell[mi][0]].ExecNs) // AutoNUMA on this mix
+				for pi := range pols {
+					cells = append(cells, normalize(float64(res[cell[mi][pi]].ExecNs), base))
 				}
-				r := o.runOne(mix, o.ArtMemPolicy(core.Config{}), harness.Config{Ratio: ratio})
-				cells = append(cells, normalize(float64(r.ExecNs), base))
 				t.AddRow(cells...)
 			}
 			return []textplot.Table{t}
@@ -156,24 +185,25 @@ func Fig17() Experiment {
 		Run: func(o Options) []textplot.Table {
 			const bins = 24
 			ratio := harness.Ratio{Fast: 1, Slow: 2}
+			pols := []policySpec{o.artmemSpec(core.Config{}), baselineSpec("TPP")}
+			g := o.newGrid()
+			cell := make([]int, len(pols))
+			for pi, p := range pols {
+				cell[pi] = g.add("SSSP+XSBench", p, harness.Config{
+					Ratio: ratio, CollectSeries: true})
+			}
+			res := g.run()
 			t := textplot.Table{
 				Title:  "Behaviour over time",
 				Header: []string{"system", "metric", "over time", "total/mean"},
 			}
-			for _, mk := range []struct {
-				name string
-				pol  policies.Policy
-			}{
-				{"ArtMem", o.ArtMemPolicy(core.Config{})},
-				{"TPP", mustPolicy("TPP")},
-			} {
-				r := o.runOne("SSSP+XSBench", mk.pol, harness.Config{
-					Ratio: ratio, CollectSeries: true})
+			for pi, p := range pols {
+				r := res[cell[pi]]
 				migs := r.MigrationSeries.Bin(0, r.ExecNs, bins)
 				rat := r.RatioSeries.BinMean(0, r.ExecNs, bins)
-				t.AddRow(mk.name, "migrations", textplot.Sparkline(migs),
+				t.AddRow(p.name, "migrations", textplot.Sparkline(migs),
 					fmt.Sprintf("%d", r.Migrations))
-				t.AddRow(mk.name, "DRAM ratio", textplot.Sparkline(rat),
+				t.AddRow(p.name, "DRAM ratio", textplot.Sparkline(rat),
 					fmt.Sprintf("%.3f", r.DRAMRatio))
 			}
 			return []textplot.Table{t}
@@ -182,7 +212,10 @@ func Fig17() Experiment {
 }
 
 // Overheads reproduces the §6.4 overhead accounting: sampling CPU,
-// Q-table computation, and Q-table memory.
+// Q-table computation, and Q-table memory. It runs outside the cell
+// grid on purpose: the accounting reads the policy object after the
+// run (SamplingOverheadNs, RLOverheadNs, QTables), which a cached
+// harness.Result cannot reproduce.
 func Overheads() Experiment {
 	return Experiment{
 		ID:    "overheads",

@@ -157,13 +157,16 @@ func GenWeb(rng *dist.RNG, n, m int, weighted bool) *Graph {
 		a := make([]uint32, d)
 		for i := range a {
 			if rng.Float64() < 0.85 {
-				// Local edge within a ±4096 window.
+				// Local edge within a ±4096 window, wrapped onto [0, n).
+				// Go's % keeps the dividend's sign, so normalize after —
+				// on graphs smaller than the window (tiny test profiles)
+				// v+delta can sit below -n.
 				delta := rng.Intn(8192) - 4096
-				t := v + delta
+				t := (v + delta) % n
 				if t < 0 {
 					t += n
 				}
-				a[i] = uint32(t % n)
+				a[i] = uint32(t)
 			} else {
 				a[i] = uint32(rng.Intn(n))
 			}

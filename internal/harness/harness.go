@@ -132,8 +132,39 @@ func (r Result) OverheadFraction() float64 {
 	return r.BackgroundNs / float64(r.ExecNs)
 }
 
+// Canonical returns a deterministic string encoding of the Config,
+// suitable for hashing into a run-cache key (internal/sched). The
+// Faults pointer is flattened to its pointee so two configs with
+// distinct but equal injector configurations encode identically. The
+// encoding deliberately goes through %+v of the whole struct: a field
+// added to Config (or to faultinject.Config) changes every key, so the
+// cache can never conflate runs across a schema change.
+func (c Config) Canonical() string {
+	faults := "nil"
+	if c.Faults != nil {
+		faults = fmt.Sprintf("%+v", *c.Faults)
+	}
+	flat := c
+	flat.Faults = nil
+	return fmt.Sprintf("%+v|faults=%s", flat, faults)
+}
+
 // Run replays workload w under policy pol and returns the Result. It
 // closes the workload before returning.
+//
+// Purity contract: Run is a pure function of its inputs' identities.
+// Workload constructors are deterministic in (spec name, Profile),
+// policies are deterministic in their construction parameters
+// (including pretrained Q-tables and seeds), and the simulation
+// advances on a virtual clock with no wall-clock, goroutine-ordering,
+// or map-iteration dependence — so one (workload identity, policy
+// identity, Config) triple always yields the same Result, bit for bit.
+// The cell scheduler relies on this contract twice over: memoized
+// results may substitute for recomputation (internal/sched's cache),
+// and any worker interleaving must produce identical tables. Code that
+// breaks the contract (a policy reading wall time, a workload sharing
+// mutable state across constructions) breaks caching, not just
+// parallel runs; internal/exp's determinism test guards it.
 func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
 	defer w.Close()
 	foot := w.FootprintBytes()

@@ -1,0 +1,35 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"artmem/internal/harness"
+	"artmem/internal/workloads"
+)
+
+// Key builds the canonical identity string for a standard cell: one
+// workload replayed under one policy at one harness configuration and
+// one profile scale. policy must encode the full policy identity —
+// name, construction parameters, and pretraining provenance for
+// learned policies (see exp's policy specs). extra disambiguates cells
+// whose setup is not fully captured by cfg (for example Figure 16a's
+// fixed-fast-tier byte split, which derives Config.Ratio from the
+// workload footprint inside the cell); it is "" for ordinary cells.
+//
+// The encoding leans on %+v of the component structs on purpose: a new
+// field added to workloads.Profile or harness.Config automatically
+// changes every key, so the cache can never serve results computed
+// before the field existed.
+func Key(workload string, profile workloads.Profile, policy string, cfg harness.Config, extra string) string {
+	return fmt.Sprintf("v1|w=%s|prof=%+v|pol=%s|cfg=%s|x=%s",
+		workload, profile, policy, cfg.Canonical(), extra)
+}
+
+// hashKey maps a canonical key to the fixed-width hex digest used for
+// cache map lookups and disk file names.
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])[:32]
+}

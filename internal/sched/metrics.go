@@ -1,0 +1,38 @@
+package sched
+
+import "artmem/internal/telemetry"
+
+// Metrics are the scheduler's telemetry counters. The zero value (and
+// every nil counter inside it) is a valid no-op, so the scheduler and
+// cache update metrics unconditionally; wiring to a live registry is
+// opt-in via NewMetrics.
+type Metrics struct {
+	// CellsTotal counts cells declared across all grids.
+	CellsTotal *telemetry.Counter
+	// CellsDone counts cells completed (computed or served from cache).
+	CellsDone *telemetry.Counter
+	// MemHits counts cache requests served from memory (including
+	// coalesced in-flight duplicates).
+	MemHits *telemetry.Counter
+	// DiskHits counts cache requests served from the persisted layer.
+	DiskHits *telemetry.Counter
+	// Misses counts cache requests that ran the cell.
+	Misses *telemetry.Counter
+}
+
+// NewMetrics registers the scheduler series on r and returns the
+// bundle. A nil registry yields no-op metrics.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		CellsTotal: r.Counter("artmem_sched_cells_total",
+			"experiment cells declared across all grids"),
+		CellsDone: r.Counter("artmem_sched_cells_done_total",
+			"experiment cells completed (computed or cached)"),
+		MemHits: r.Counter("artmem_sched_cache_hits_total",
+			"run-cache hits served from memory", telemetry.L("layer", "mem")),
+		DiskHits: r.Counter("artmem_sched_cache_hits_total",
+			"run-cache hits served from disk", telemetry.L("layer", "disk")),
+		Misses: r.Counter("artmem_sched_cache_misses_total",
+			"run-cache misses (cell computed)"),
+	}
+}

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SourceStamp hashes every non-test .go file under the given roots
+// (path and content) into a short hex stamp. The disk cache directory
+// is keyed by this stamp: any edit to the simulator source — committed
+// or not, unlike a git sha — yields a new stamp and therefore a cold
+// cache, which is the invalidation rule (DESIGN.md §7). Roots that do
+// not exist are an error so callers fall back to a memory-only cache
+// rather than sharing a stamp across different trees.
+func SourceStamp(roots ...string) (string, error) {
+	h := sha256.New()
+	for _, root := range roots {
+		if _, err := os.Stat(root); err != nil {
+			return "", fmt.Errorf("sched: source stamp root: %w", err)
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || filepath.Ext(path) != ".go" || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(h, "%s\n", filepath.ToSlash(path))
+			h.Write(data)
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12], nil
+}
