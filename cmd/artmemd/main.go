@@ -23,6 +23,13 @@
 // The workload replays in a loop until interrupted, so the agent keeps
 // learning and the endpoints always show live state.
 //
+// Multi-tenant mode runs one tenant per listed workload — each a memcg
+// analogue with its own RL agent — under the fast-tier arbiter, and
+// serves the per-tenant control plane at /tenants:
+//
+//	artmemd -tenants SSSP,XSBench -arbiter dynamic -ratio 1:4
+//	curl localhost:7600/tenants
+//
 // The daemon is built to survive: SIGINT and SIGTERM drain the HTTP
 // server with a timeout before stopping the system, worker goroutines
 // recover from panics, and (with -checkpoint) the agent's Q-tables are
@@ -58,6 +65,8 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "interval between Q-table checkpoints")
 		drain     = flag.Duration("shutdown-timeout", 5*time.Second, "HTTP drain timeout on SIGINT/SIGTERM")
 		pagetrace = flag.Int("pagetrace", 0, "enable page-lifecycle tracing at 1-in-N page sampling (served at /pagetrace; 0 = off)")
+		tenants   = flag.String("tenants", "", "comma-separated workload list for multi-tenant mode (one tenant + RL agent per workload; serves /tenants)")
+		arbiter   = flag.String("arbiter", "dynamic", "multi-tenant fast-tier arbiter mode: off, static, or dynamic (quotas + admission control)")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -68,14 +77,18 @@ func main() {
 		return
 	}
 
-	spec, err := workloads.ByName(*name)
-	if err != nil {
-		fatal(err)
-	}
 	prof := workloads.Profile{Div: *div, PatternAccesses: *acc, AppAccesses: *acc, Seed: 1}
 	var fast, slow int
 	if _, err := fmt.Sscanf(*ratio, "%d:%d", &fast, &slow); err != nil {
 		fatal(fmt.Errorf("bad -ratio %q: %v", *ratio, err))
+	}
+	if *tenants != "" {
+		multiMain(*tenants, *arbiter, prof, fast, slow, *listen, *drain, build)
+		return
+	}
+	spec, err := workloads.ByName(*name)
+	if err != nil {
+		fatal(err)
 	}
 	// Size the machine from a probe instance of the workload.
 	probe := spec.New(prof)

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"artmem/internal/core"
+	"artmem/internal/memsim"
+	"artmem/internal/telemetry"
+	"artmem/internal/tenancy"
+	"artmem/internal/workloads"
+)
+
+// multiMain is artmemd's multi-tenant mode: one tenant per listed
+// workload on a shared machine, each with its own RL agent, under the
+// fast-tier arbiter. The control plane (including /tenants) is served
+// on the same listen address the single-tenant daemon uses.
+func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow int,
+	listen string, drain time.Duration, build telemetry.BuildInfo) {
+	var mode tenancy.Mode
+	switch arbMode {
+	case "off":
+		mode = tenancy.ModeOff
+	case "static":
+		mode = tenancy.ModeStatic
+	case "dynamic":
+		mode = tenancy.ModeDynamic
+	default:
+		fatal(fmt.Errorf("bad -arbiter %q: want off, static, or dynamic", arbMode))
+	}
+
+	names := strings.Split(tenantList, ",")
+	specs := make([]workloads.Spec, len(names))
+	offsets := make([]uint64, len(names))
+	tenants := make([]core.TenantConfig, len(names))
+	var foot int64
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		names[i] = name
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		specs[i] = spec
+		probe := spec.New(prof)
+		offsets[i] = uint64(foot)
+		foot += probe.FootprintBytes()
+		weight := int(probe.FootprintBytes() / prof.PageSize())
+		probe.Close()
+		if weight < 1 {
+			weight = 1
+		}
+		tenants[i] = core.TenantConfig{
+			Name:   name,
+			Weight: weight,
+			Policy: core.Config{Seed: prof.Seed + uint64(i)},
+		}
+	}
+
+	mcfg := memsim.DefaultConfig(foot, foot*int64(fast)/int64(fast+slow), prof.PageSize())
+	sys := core.NewMultiSystem(core.MultiSystemConfig{
+		Machine:           mcfg,
+		Tenants:           tenants,
+		Arbiter:           tenancy.ArbiterConfig{Mode: mode, Admission: mode != tenancy.ModeOff},
+		SamplingInterval:  time.Millisecond,
+		MigrationInterval: 10 * time.Millisecond,
+	})
+	telemetry.RegisterRuntimeMetrics(sys.Telemetry().Registry)
+	sys.Start()
+	defer sys.Stop()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", sys.ControlHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: listen, Handler: mux}
+	go protect("http", func() {
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			fatal(err)
+		}
+	})
+
+	fmt.Printf("artmemd: build %s\n", build)
+	fmt.Printf("artmemd: %d tenants (%s), arbiter %s, admission=%v\n",
+		len(names), strings.Join(names, ","), mode, mode != tenancy.ModeOff)
+	fmt.Printf("artmemd: serving control plane on http://%s (/tenants, /stats, /metrics, /metrics.json, /trace)\n", listen)
+	fmt.Printf("artmemd: replaying %d MB total footprint at %d:%d in a loop; SIGINT/SIGTERM to stop\n",
+		foot>>20, fast, slow)
+
+	replays := 0
+loop:
+	for {
+		if !replayTenants(sys, specs, offsets, prof, stop) {
+			break loop
+		}
+		replays++
+		rep := sys.TenantsReport()
+		parts := make([]string, len(rep.Tenants))
+		for i, t := range rep.Tenants {
+			parts[i] = fmt.Sprintf("%s ratio=%.3f fast=%d denied=%d",
+				t.Name, t.HitRatio, t.FastPages, t.AdmissionDenials)
+		}
+		fmt.Printf("replay %d done: %s, rebalances=%d\n",
+			replays, strings.Join(parts, "; "), rep.Rebalances)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "artmemd: http drain: %v\n", err)
+	}
+	sys.Stop()
+	fmt.Println("artmemd: stopped")
+}
+
+// replayTenants runs one interleaved pass of every tenant's workload,
+// returning false when a stop signal arrived. Panics are recovered as
+// in the single-tenant replay.
+func replayTenants(sys *core.MultiSystem, specs []workloads.Spec, offsets []uint64,
+	prof workloads.Profile, stop <-chan os.Signal) (again bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "artmemd: replay panicked (recovered): %v\n", r)
+			again = true
+		}
+	}()
+	loads := make([]workloads.Workload, len(specs))
+	for i, s := range specs {
+		loads[i] = s.New(prof)
+		defer loads[i].Close()
+	}
+	done := make([]bool, len(loads))
+	live := len(loads)
+	for turn := 0; live > 0; turn = (turn + 1) % len(loads) {
+		if done[turn] {
+			continue
+		}
+		b, ok := loads[turn].Next()
+		if !ok {
+			done[turn] = true
+			live--
+			continue
+		}
+		addrs := make([]uint64, len(b))
+		writes := make([]bool, len(b))
+		for i, a := range b {
+			addrs[i] = a.Addr + offsets[turn]
+			writes[i] = a.Write
+		}
+		sys.AccessBatch(turn, addrs, writes)
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+	}
+	return true
+}

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"artmem/internal/core"
 	"artmem/internal/telemetry"
 )
 
@@ -68,11 +69,15 @@ func main() {
 
 // sample is one poll of the daemon: the flattened metric snapshot plus
 // the decision-trace tail, stamped with the local receive time (rates
-// use wall-clock deltas between samples).
+// use wall-clock deltas between samples). tenants carries the
+// multi-tenant control plane when the daemon serves /tenants; nil
+// against a single-tenant (or older) daemon, which simply omits the
+// per-tenant section from the frame.
 type sample struct {
-	at     time.Time
-	vals   map[string]float64
-	events []telemetry.Event
+	at      time.Time
+	vals    map[string]float64
+	events  []telemetry.Event
+	tenants *core.TenantsReport
 }
 
 // metric returns the value of a series key ("name" or
@@ -96,6 +101,16 @@ func poll(base string, tail int) (*sample, error) {
 	for k, v := range raw {
 		if f, ok := v.(float64); ok {
 			s.vals[k] = f
+		}
+	}
+
+	// Multi-tenant daemons serve /tenants; a 404 or any other failure
+	// just means there is no per-tenant section to draw — the monitor
+	// must keep working against single-tenant and older daemons.
+	if body, err := get(base + "/tenants"); err == nil {
+		var rep core.TenantsReport
+		if json.Unmarshal(body, &rep) == nil && len(rep.Tenants) > 0 {
+			s.tenants = &rep
 		}
 	}
 
@@ -186,6 +201,11 @@ func renderFrame(cur, prev *sample, base string) string {
 	}
 	fmt.Fprintf(&b, "lru:   %s\n\n", strings.Join(lru, "  "))
 
+	// Per-tenant control plane, only when the daemon serves /tenants.
+	if cur.tenants != nil {
+		b.WriteString(renderTenants(cur.tenants))
+	}
+
 	// Decision-trace tail, newest last.
 	fmt.Fprintln(&b, "recent decisions (state, reward, quota, threshold, promoted):")
 	if len(cur.events) == 0 {
@@ -202,6 +222,32 @@ func renderFrame(cur, prev *sample, base string) string {
 		fmt.Fprintf(&b, "  %6d  s=%d r=%+.2f quota=%d thr=%d promoted=%d\n",
 			e.Seq, e.State, e.Reward, e.Quota, e.Threshold, e.Promoted)
 	}
+	return b.String()
+}
+
+// renderTenants draws the multi-tenant section: arbiter posture plus
+// one row per tenant with its fast-tier occupancy against quota, hit
+// ratio, and admission-control pressure.
+func renderTenants(rep *core.TenantsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tenants (arbiter %s, admission %v, rebalances %d):\n",
+		rep.ArbiterMode, rep.AdmissionControl, rep.Rebalances)
+	fmt.Fprintf(&b, "  %-10s %9s %7s %10s %8s %8s %6s\n",
+		"tenant", "hit ratio", "fast", "quota", "promo", "denied", "state")
+	for _, t := range rep.Tenants {
+		quota := "-"
+		if t.QuotaPages > 0 {
+			quota = fmt.Sprintf("%d", t.QuotaPages)
+		}
+		state := "ok"
+		if t.Degraded {
+			state = "DEGR"
+		}
+		fmt.Fprintf(&b, "  %-10s %9.3f %7d %10s %8d %8d %6s\n",
+			t.Name, t.HitRatio, t.FastPages, quota, t.Promotions,
+			t.AdmissionDenials, state)
+	}
+	b.WriteByte('\n')
 	return b.String()
 }
 

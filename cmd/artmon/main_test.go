@@ -9,6 +9,7 @@ import (
 	"artmem/internal/core"
 	"artmem/internal/memsim"
 	"artmem/internal/telemetry"
+	"artmem/internal/tenancy"
 )
 
 // TestPollAndRenderAgainstSystem exercises the monitor end to end
@@ -63,6 +64,87 @@ func TestPollAndRenderAgainstSystem(t *testing.T) {
 	}
 	if strings.Contains(frame, "DEGRADED") {
 		t.Errorf("healthy system rendered degraded:\n%s", frame)
+	}
+	// A single-tenant daemon serves no /tenants: the monitor must
+	// degrade gracefully — no tenants field, no per-tenant section.
+	if cur.tenants != nil {
+		t.Error("poll against single-tenant daemon filled tenants")
+	}
+	if strings.Contains(frame, "tenants (arbiter") {
+		t.Errorf("single-tenant frame rendered a tenants section:\n%s", frame)
+	}
+}
+
+// TestPollAndRenderAgainstMultiSystem drives the monitor against a
+// multi-tenant daemon: /tenants is picked up and the frame grows the
+// per-tenant section between the lru line and the decision tail.
+func TestPollAndRenderAgainstMultiSystem(t *testing.T) {
+	mcfg := memsim.DefaultConfig(128*64*1024, 32*64*1024, 64*1024)
+	mcfg.CacheLines = 0
+	sys := core.NewMultiSystem(core.MultiSystemConfig{
+		Machine: mcfg,
+		Tenants: []core.TenantConfig{
+			{Name: "alpha", Weight: 1, Policy: core.Config{SamplePeriod: 1, Seed: 1}},
+			{Name: "beta", Weight: 3, Policy: core.Config{SamplePeriod: 1, Seed: 2}},
+		},
+		Arbiter:           tenancy.ArbiterConfig{Mode: tenancy.ModeStatic, Admission: true},
+		SamplingInterval:  500 * time.Microsecond,
+		MigrationInterval: time.Millisecond,
+	})
+	srv := httptest.NewServer(sys.ControlHandler())
+	defer srv.Close()
+	for p := uint64(0); p < 40; p++ {
+		sys.Access(0, p*64*1024, false)
+		sys.Access(1, (64+p)*64*1024, false)
+	}
+
+	cur, err := poll(srv.URL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.tenants == nil {
+		t.Fatal("poll did not pick up /tenants")
+	}
+	frame := renderFrame(cur, nil, srv.URL)
+	for _, want := range []string{
+		"tenants (arbiter static, admission true",
+		"alpha", "beta", "hit ratio", "quota",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The section sits above the decision tail.
+	if i, j := strings.Index(frame, "tenants (arbiter"), strings.Index(frame, "recent decisions"); i > j {
+		t.Errorf("tenants section after decision tail:\n%s", frame)
+	}
+}
+
+// TestRenderTenants pins the per-tenant row format against a hand-built
+// report: unlimited quotas print "-", degraded agents flag DEGR.
+func TestRenderTenants(t *testing.T) {
+	out := renderTenants(&core.TenantsReport{
+		ArbiterMode: "off",
+		Rebalances:  2,
+		Tenants: []core.TenantStatus{
+			{Name: "a", HitRatio: 0.5, FastPages: 10, QuotaPages: 0, Promotions: 3},
+			{Name: "b", HitRatio: 0.25, FastPages: 4, QuotaPages: 7, AdmissionDenials: 9, Degraded: true},
+		},
+	})
+	for _, want := range []string{
+		"tenants (arbiter off, admission false, rebalances 2):",
+		"0.500", "0.250", "DEGR",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderTenants missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[2], " - ") {
+		t.Errorf("unlimited quota not rendered as '-': %q", lines[2])
+	}
+	if !strings.Contains(lines[3], " 7 ") && !strings.HasSuffix(strings.TrimRight(lines[3], " "), "DEGR") {
+		t.Errorf("row misrendered: %q", lines[3])
 	}
 }
 

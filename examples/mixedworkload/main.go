@@ -1,8 +1,11 @@
-// Mixed concurrent workloads on the online ArtMem runtime: SSSP and
-// XSBench run together against one tiered memory system, driven through
-// core.System's background sampling and migration threads — the paper's
-// §6.3.10 scenario ("dynamic and complex access patterns by running
-// multiple workloads concurrently") on the §4.4 thread architecture.
+// Mixed concurrent workloads on the multi-tenant ArtMem runtime: SSSP
+// and XSBench run as two tenants — two memcg analogues — of one
+// core.MultiSystem. Each tenant gets its own RL agent attached to a
+// tenant-scoped machine view, the fast tier is partitioned by the
+// arbiter's weighted quotas, and admission control meters both tenants'
+// promotion traffic; the shared background threads (§4.4) sample and
+// migrate for both. The periodic report shows each tenant's hit ratio
+// and fast-tier occupancy converging under its own agent.
 //
 //	go run ./examples/mixedworkload
 package main
@@ -13,6 +16,7 @@ import (
 
 	"artmem/internal/core"
 	"artmem/internal/memsim"
+	"artmem/internal/tenancy"
 	"artmem/internal/workloads"
 )
 
@@ -23,53 +27,84 @@ func main() {
 		PatternAccesses: 3_000_000,
 		Seed:            1,
 	}
-	mixSpec, err := workloads.ByName("SSSP+XSBench")
-	if err != nil {
-		panic(err)
+	names := []string{"SSSP", "XSBench"}
+	loads := make([]workloads.Workload, len(names))
+	offsets := make([]uint64, len(names))
+	tenants := make([]core.TenantConfig, len(names))
+	var foot int64
+	for i, name := range names {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		loads[i] = spec.New(prof)
+		defer loads[i].Close()
+		// Each tenant's addresses land in its own region of the shared
+		// machine, as two processes would.
+		offsets[i] = uint64(foot)
+		foot += loads[i].FootprintBytes()
+		tenants[i] = core.TenantConfig{
+			Name:   name,
+			Weight: int(loads[i].FootprintBytes() / prof.PageSize()),
+			Policy: core.Config{Seed: prof.Seed + uint64(i)},
+		}
 	}
-	mix := mixSpec.New(prof)
-	defer mix.Close()
 
-	mcfg := memsim.DefaultConfig(mix.FootprintBytes(),
-		mix.FootprintBytes()/3, prof.PageSize())
-	sys := core.NewSystem(core.SystemConfig{
-		Machine:           mcfg,
-		Policy:            core.Config{},
+	mcfg := memsim.DefaultConfig(foot, foot/3, prof.PageSize())
+	sys := core.NewMultiSystem(core.MultiSystemConfig{
+		Machine: mcfg,
+		Tenants: tenants,
+		Arbiter: tenancy.ArbiterConfig{
+			Mode:      tenancy.ModeDynamic,
+			Admission: true,
+		},
 		SamplingInterval:  time.Millisecond,
 		MigrationInterval: 5 * time.Millisecond,
 	})
 	sys.Start()
 	defer sys.Stop()
 
-	fmt.Printf("mixed workload %s: %d MB footprint, %d MB DRAM\n\n",
-		mix.Name(), mix.FootprintBytes()>>20,
-		int64(mcfg.Fast.CapacityPages)*mcfg.PageSize>>20)
-	fmt.Println("wall time   accesses     DRAM ratio   migrations   RL decisions")
+	fmt.Printf("tenants %s+%s: %d MB footprint, %d MB DRAM, arbiter %s\n\n",
+		names[0], names[1], foot>>20,
+		int64(mcfg.Fast.CapacityPages)*mcfg.PageSize>>20,
+		sys.Plane().Arbiter().Mode())
+	fmt.Println("wall time   tenant    accesses   hit ratio   fast pages   quota   denied")
 
-	var prev memsim.Counters
 	start := time.Now()
 	lastReport := start
-	for {
-		batch, ok := mix.Next()
+	report := func() {
+		rep := sys.TenantsReport()
+		for _, t := range rep.Tenants {
+			fmt.Printf("%8s   %-8s %9d       %.3f      %7d   %5d   %6d\n",
+				time.Since(start).Round(100*time.Millisecond), t.Name,
+				t.FastAccesses+t.SlowAccesses, t.HitRatio,
+				t.FastPages, t.QuotaPages, t.AdmissionDenials)
+		}
+	}
+
+	// Replay both tenants round-robin, a batch at a time, until both
+	// traces end.
+	done := make([]bool, len(names))
+	live := len(names)
+	for turn := 0; live > 0; turn = (turn + 1) % len(names) {
+		if done[turn] {
+			continue
+		}
+		batch, ok := loads[turn].Next()
 		if !ok {
-			break
+			done[turn] = true
+			live--
+			continue
 		}
-		for _, a := range batch {
-			sys.Access(a.Addr, a.Write)
+		addrs := make([]uint64, len(batch))
+		writes := make([]bool, len(batch))
+		for i, a := range batch {
+			addrs[i] = a.Addr + offsets[turn]
+			writes[i] = a.Write
 		}
+		sys.AccessBatch(turn, addrs, writes)
 		if time.Since(lastReport) >= 200*time.Millisecond {
-			c := sys.Counters()
-			df := c.FastAccesses - prev.FastAccesses
-			ds := c.SlowAccesses - prev.SlowAccesses
-			ratio := 0.0
-			if df+ds > 0 {
-				ratio = float64(df) / float64(df+ds)
-			}
-			fmt.Printf("%8s   %9d        %.3f      %7d        %5d\n",
-				time.Since(start).Round(100*time.Millisecond),
-				c.FastAccesses+c.SlowAccesses+c.CacheHits,
-				ratio, c.Migrations, sys.Policy().Decisions())
-			prev = c
+			report()
 			lastReport = time.Now()
 		}
 	}
@@ -77,4 +112,5 @@ func main() {
 	c := sys.Counters()
 	fmt.Printf("\nfinished: %.1f ms virtual time, overall DRAM ratio %.3f, %d migrations\n",
 		float64(sys.Now())/1e6, c.DRAMRatio(), c.Migrations)
+	report()
 }

@@ -182,7 +182,7 @@ func (c *Config) defaults() {
 type ArtMem struct {
 	cfg Config
 
-	m       *memsim.Machine
+	m       memsim.Env
 	lists   *lru.PageLists
 	sampler *pebs.Sampler
 	hist    *ema.Histogram
@@ -328,7 +328,13 @@ func (a *ArtMem) registerMetrics() {
 }
 
 // Attach implements the policy contract.
-func (a *ArtMem) Attach(m *memsim.Machine) {
+func (a *ArtMem) Attach(m *memsim.Machine) { a.AttachEnv(m) }
+
+// AttachEnv binds the agent to an arbitrary machine surface — a whole
+// machine or a tenant-scoped view (tenancy.TenantView), which is how
+// the multi-tenant control plane runs one independent agent per tenant
+// (implements policies.EnvPolicy).
+func (a *ArtMem) AttachEnv(m memsim.Env) {
 	a.registerMetrics()
 	a.m = m
 	a.lists = lru.New(m.NumPages())

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// ControlHandler returns an http.Handler exposing the multi-tenant
+// control plane:
+//
+//	GET /tenants       arbiter posture + per-tenant occupancy, quota,
+//	                   traffic, and agent state as JSON (TenantsReport)
+//	GET /stats         machine-wide counters as JSON (same shape a
+//	                   single-tenant daemon serves, minus agent fields)
+//	GET /metrics       the shared registry in Prometheus text format,
+//	                   including the tenant-labelled series
+//	GET /metrics.json  the shared registry as JSON
+//	GET /trace         one tenant agent's decision trace as JSONL
+//	                   (?tenant= selects the tenant, default 0; ?n= caps)
+//
+// A single-tenant System's handler serves no /tenants route — clients
+// (cmd/artmon) treat a 404 there as "not a multi-tenant daemon" and
+// degrade gracefully.
+func (s *MultiSystem) ControlHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.TenantsReport())
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		c := s.m.Counters()
+		now := s.m.Now()
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			VirtualNs     int64   `json:"virtual_ns"`
+			FastAccesses  uint64  `json:"fast_accesses"`
+			SlowAccesses  uint64  `json:"slow_accesses"`
+			CacheHits     uint64  `json:"cache_hits"`
+			DRAMRatio     float64 `json:"dram_ratio"`
+			Migrations    uint64  `json:"migrations"`
+			Promotions    uint64  `json:"promotions"`
+			Demotions     uint64  `json:"demotions"`
+			MigratedBytes uint64  `json:"migrated_bytes"`
+		}{
+			VirtualNs:     now,
+			FastAccesses:  c.FastAccesses,
+			SlowAccesses:  c.SlowAccesses,
+			CacheHits:     c.CacheHits,
+			DRAMRatio:     c.DRAMRatio(),
+			Migrations:    c.Migrations,
+			Promotions:    c.Promotions,
+			Demotions:     c.Demotions,
+			MigratedBytes: c.MigratedBytes,
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// The registry's pull closures lock s.mu themselves; this handler
+		// must not hold it (see internal/core/telemetry.go).
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.tel.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.tel.Registry.Snapshot())
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		tenant := 0
+		if q := r.URL.Query().Get("tenant"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 || v >= len(s.agents) {
+				http.Error(w, "bad tenant", http.StatusBadRequest)
+				return
+			}
+			tenant = v
+		}
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.agents[tenant].Telemetry().Trace.WriteJSONL(w, n)
+	})
+	return mux
+}

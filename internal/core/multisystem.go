@@ -1,0 +1,490 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"artmem/internal/faultinject"
+	"artmem/internal/memsim"
+	"artmem/internal/telemetry"
+	"artmem/internal/tenancy"
+)
+
+// MultiSystem is the multi-tenant online runtime: one machine, one
+// tenancy control plane, and one ArtMem agent per tenant, all driven by
+// the same shared background threads a single-tenant System runs. The
+// kernel analogue is the paper's per-memcg deployment — each memory
+// cgroup gets its own hit-ratio state and Q-tables while ksampled and
+// kmigrated remain global kernel threads; here each tenant's agent
+// attaches to its tenancy.TenantView and the shared migration thread
+// opens one arbiter control period, then ticks every agent under it,
+// so all promotion traffic competes for the same per-period admission
+// budgets.
+//
+// Each agent carries a private telemetry.Set (ArtMem metric names are
+// fixed, so agents cannot share one registry); the MultiSystem's own
+// shared set carries the machine-level series plus tenant-labelled
+// aggregates and is what ControlHandler serves.
+type MultiSystem struct {
+	mu     sync.Mutex
+	m      *memsim.Machine
+	plane  *tenancy.Plane
+	agents []*ArtMem
+
+	injector *faultinject.Injector
+
+	samplingInterval  time.Duration
+	migrationInterval time.Duration
+	watchdogInterval  time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	started bool
+
+	tel *telemetry.Set
+
+	// Liveness accounting, as in System: heartbeats advance once per
+	// completed worker iteration across all tenants.
+	sampleBeats   *telemetry.Counter
+	migrateBeats  *telemetry.Counter
+	sampleStalls  *telemetry.Counter
+	migrateStalls *telemetry.Counter
+	panics        *telemetry.Counter
+}
+
+// TenantConfig describes one tenant of a MultiSystem.
+type TenantConfig struct {
+	// Name labels the tenant in telemetry and the /tenants endpoint;
+	// "" uses "tenant<i>".
+	Name string
+	// Weight is the tenant's fast-tier and migration-bandwidth share;
+	// 0 means 1.
+	Weight int
+	// Policy configures the tenant's ArtMem agent.
+	Policy Config
+}
+
+// MultiSystemConfig parameterizes a multi-tenant runtime.
+type MultiSystemConfig struct {
+	// Machine configures the shared simulated tiered memory.
+	Machine memsim.Config
+	// Tenants configures the tenants; at least one is required.
+	Tenants []TenantConfig
+	// Arbiter configures fast-tier partitioning and migration admission
+	// control (zero value: arbitration off, no admission control).
+	Arbiter tenancy.ArbiterConfig
+	// SamplingInterval, MigrationInterval, and WatchdogInterval mirror
+	// SystemConfig: 0 uses 2ms, 20ms, and 1s respectively; a negative
+	// WatchdogInterval disables the watchdog.
+	SamplingInterval  time.Duration
+	MigrationInterval time.Duration
+	WatchdogInterval  time.Duration
+	// Faults, when non-nil, installs a shared fault injector — injected
+	// infrastructure chaos hits every tenant.
+	Faults *faultinject.Config
+	// Telemetry, when non-nil, is the shared registry + trace the
+	// runtime instruments itself onto; nil creates a fresh set. The
+	// per-tenant agents always get private sets.
+	Telemetry *telemetry.Set
+	// TraceCapacity bounds each tenant agent's decision-trace ring.
+	// 0 uses telemetry.DefaultTraceCap.
+	TraceCapacity int
+}
+
+// NewMultiSystem builds a multi-tenant online system. Call Start to
+// launch the background threads and Stop to halt them.
+func NewMultiSystem(cfg MultiSystemConfig) *MultiSystem {
+	if len(cfg.Tenants) == 0 {
+		panic("core: MultiSystemConfig needs at least one tenant")
+	}
+	if cfg.SamplingInterval == 0 {
+		cfg.SamplingInterval = 2 * time.Millisecond
+	}
+	if cfg.MigrationInterval == 0 {
+		cfg.MigrationInterval = 20 * time.Millisecond
+	}
+	if cfg.WatchdogInterval == 0 {
+		cfg.WatchdogInterval = time.Second
+	}
+	m := memsim.NewMachine(cfg.Machine)
+	var inj *faultinject.Injector
+	if cfg.Faults != nil {
+		inj = faultinject.New(*cfg.Faults)
+		m.SetFaultInjector(inj)
+	}
+	tenants := make([]tenancy.Tenant, len(cfg.Tenants))
+	for i, t := range cfg.Tenants {
+		tenants[i] = tenancy.Tenant{Name: t.Name, Weight: t.Weight}
+	}
+	plane := tenancy.NewPlane(m, tenants, cfg.Arbiter)
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = &telemetry.Set{
+			Registry: telemetry.NewRegistry(),
+			Trace:    telemetry.NewTrace(cfg.TraceCapacity),
+		}
+	}
+	agents := make([]*ArtMem, len(cfg.Tenants))
+	for i, t := range cfg.Tenants {
+		pol := New(t.Policy)
+		pol.SetTelemetry(&telemetry.Set{
+			Registry: telemetry.NewRegistry(),
+			Trace:    telemetry.NewTrace(cfg.TraceCapacity),
+		})
+		pol.AttachEnv(plane.View(i))
+		agents[i] = pol
+	}
+	s := &MultiSystem{
+		m:                 m,
+		plane:             plane,
+		agents:            agents,
+		injector:          inj,
+		samplingInterval:  cfg.SamplingInterval,
+		migrationInterval: cfg.MigrationInterval,
+		watchdogInterval:  cfg.WatchdogInterval,
+		stop:              make(chan struct{}),
+		tel:               tel,
+	}
+	reg := tel.Registry
+	s.sampleBeats = reg.Counter("artmem_sampling_beats_total",
+		"Completed sampling-thread iterations (ksampled heartbeats).")
+	s.migrateBeats = reg.Counter("artmem_migration_beats_total",
+		"Completed migration-thread iterations (kmigrated heartbeats).")
+	s.sampleStalls = reg.Counter("artmem_sampling_stalls_total",
+		"Watchdog intervals in which the sampling thread made no progress.")
+	s.migrateStalls = reg.Counter("artmem_migration_stalls_total",
+		"Watchdog intervals in which the migration thread made no progress.")
+	s.panics = reg.Counter("artmem_worker_panics_total",
+		"Recovered panics in the worker threads.")
+	s.registerMultiMetrics()
+	return s
+}
+
+// registerMultiMetrics instruments the shared registry: the machine
+// series every daemon exposes (byte-identical names to System's), plus
+// tenant-labelled aggregates and the arbiter's activity.
+func (s *MultiSystem) registerMultiMetrics() {
+	l := lockedRegistrar{&s.mu, s.tel.Registry}
+	registerMachineMetrics(l, s.m)
+
+	arb := s.plane.Arbiter()
+	l.counter("artmem_arbiter_rebalances_total",
+		"Dynamic fast-tier quota rebalances the arbiter executed.",
+		func() uint64 { return arb.Rebalances() })
+	for i := range s.agents {
+		i := i
+		id := memsim.TenantID(i)
+		agent := s.agents[i]
+		name := telemetry.L("tenant", s.plane.Tenant(i).Name)
+		l.gauge("artmem_tenant_fast_pages",
+			"Fast-tier pages resident per tenant.",
+			func() float64 { return float64(s.m.TenantUsedPages(id, memsim.Fast)) }, name)
+		l.gauge("artmem_tenant_slow_pages",
+			"Slow-tier pages resident per tenant.",
+			func() float64 { return float64(s.m.TenantUsedPages(id, memsim.Slow)) }, name)
+		l.gauge("artmem_tenant_quota_pages",
+			"Fast-tier quota per tenant (0 = unlimited, arbiter off).",
+			func() float64 { return float64(arb.Quota(i)) }, name)
+		l.counter("artmem_tenant_accesses_total",
+			"Cache-missing accesses per tenant per tier.",
+			func() uint64 { return s.m.TenantCounters(id).FastAccesses },
+			name, telemetry.L("tier", "fast"))
+		l.counter("artmem_tenant_accesses_total", "",
+			func() uint64 { return s.m.TenantCounters(id).SlowAccesses },
+			name, telemetry.L("tier", "slow"))
+		l.gauge("artmem_tenant_hit_ratio",
+			"Cumulative fast-tier access share per tenant.",
+			func() float64 { return s.m.TenantCounters(id).DRAMRatio() }, name)
+		l.counter("artmem_tenant_promotions_total",
+			"Slow-to-fast moves of the tenant's pages.",
+			func() uint64 { return s.m.TenantCounters(id).Promotions }, name)
+		l.counter("artmem_tenant_demotions_total",
+			"Fast-to-slow moves of the tenant's pages.",
+			func() uint64 { return s.m.TenantCounters(id).Demotions }, name)
+		l.counter("artmem_tenant_admission_denials_total",
+			"Promotions denied by the arbiter's admission control.",
+			func() uint64 { return arb.Denials(i) }, name)
+		l.gauge("artmem_tenant_degraded",
+			"1 while the tenant's agent runs the heuristic fallback, else 0.",
+			func() float64 {
+				if agent.degraded {
+					return 1
+				}
+				return 0
+			}, name)
+	}
+}
+
+// Telemetry returns the shared registry + trace served by the control
+// endpoints. Per-tenant agent telemetry lives on the agents' own sets
+// (Agent(i).Telemetry()).
+func (s *MultiSystem) Telemetry() *telemetry.Set { return s.tel }
+
+// Machine returns the underlying machine. Callers must not use it
+// concurrently with a started MultiSystem except through MultiSystem
+// methods.
+func (s *MultiSystem) Machine() *memsim.Machine { return s.m }
+
+// Plane returns the tenancy control plane.
+func (s *MultiSystem) Plane() *tenancy.Plane { return s.plane }
+
+// NumTenants returns the number of tenants.
+func (s *MultiSystem) NumTenants() int { return len(s.agents) }
+
+// Agent returns tenant i's ArtMem agent.
+func (s *MultiSystem) Agent(i int) *ArtMem { return s.agents[i] }
+
+// Injector returns the installed fault injector, or nil.
+func (s *MultiSystem) Injector() *faultinject.Injector { return s.injector }
+
+// Start launches the sampling, migration, and watchdog threads. It is a
+// no-op if already started.
+func (s *MultiSystem) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.wg.Add(2)
+	go s.samplingThread()
+	go s.migrationThread()
+	if s.watchdogInterval > 0 {
+		s.wg.Add(1)
+		go s.watchdogThread()
+	}
+}
+
+// Stop halts the background threads and waits for them. Idempotent.
+func (s *MultiSystem) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// Access performs one application memory access on behalf of tenant i:
+// the machine charges the access (and any first-touch allocation) to
+// that tenant.
+func (s *MultiSystem) Access(tenant int, addr uint64, write bool) {
+	s.mu.Lock()
+	s.m.SetCurrentTenant(memsim.TenantID(tenant))
+	s.m.Access(addr, write)
+	s.mu.Unlock()
+}
+
+// AccessBatch performs a batch of tenant i's accesses under one lock
+// acquisition. addrs and writes must have equal length.
+func (s *MultiSystem) AccessBatch(tenant int, addrs []uint64, writes []bool) {
+	s.mu.Lock()
+	s.m.SetCurrentTenant(memsim.TenantID(tenant))
+	for i, a := range addrs {
+		s.m.Access(a, writes[i])
+	}
+	s.mu.Unlock()
+}
+
+// Counters returns a snapshot of the machine-wide counters.
+func (s *MultiSystem) Counters() memsim.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Counters()
+}
+
+// TenantCounters returns tenant i's counter slice.
+func (s *MultiSystem) TenantCounters(i int) memsim.TenantCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.TenantCounters(memsim.TenantID(i))
+}
+
+// Now returns the machine's virtual time.
+func (s *MultiSystem) Now() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Now()
+}
+
+// Health returns the runtime's liveness snapshot; Degraded reports
+// whether ANY tenant's agent is in the heuristic fallback.
+func (s *MultiSystem) Health() Health {
+	s.mu.Lock()
+	degraded := false
+	for _, a := range s.agents {
+		if a.degraded {
+			degraded = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	return Health{
+		SamplingBeats:   s.sampleBeats.Value(),
+		MigrationBeats:  s.migrateBeats.Value(),
+		SamplingStalls:  s.sampleStalls.Value(),
+		MigrationStalls: s.migrateStalls.Value(),
+		Panics:          s.panics.Value(),
+		Degraded:        degraded,
+	}
+}
+
+// TenantStatus is one tenant's row of a TenantsReport — the JSON shape
+// served per tenant on /tenants (schema-pinned by test).
+type TenantStatus struct {
+	Name             string  `json:"name"`
+	Weight           int     `json:"weight"`
+	QuotaPages       int     `json:"quota_pages"`
+	FastPages        int     `json:"fast_pages"`
+	SlowPages        int     `json:"slow_pages"`
+	FastAccesses     uint64  `json:"fast_accesses"`
+	SlowAccesses     uint64  `json:"slow_accesses"`
+	HitRatio         float64 `json:"hit_ratio"`
+	Promotions       uint64  `json:"promotions"`
+	Demotions        uint64  `json:"demotions"`
+	AdmissionDenials uint64  `json:"admission_denials"`
+	Decisions        uint64  `json:"decisions"`
+	Threshold        uint32  `json:"threshold"`
+	Degraded         bool    `json:"degraded"`
+}
+
+// TenantsReport is the full /tenants payload: arbiter posture plus one
+// TenantStatus per tenant, in tenant order.
+type TenantsReport struct {
+	ArbiterMode       string         `json:"arbiter_mode"`
+	AdmissionControl  bool           `json:"admission_control"`
+	FastCapacityPages int            `json:"fast_capacity_pages"`
+	Rebalances        uint64         `json:"rebalances"`
+	Tenants           []TenantStatus `json:"tenants"`
+}
+
+// TenantsReport snapshots the control plane: per-tenant occupancy,
+// quota, traffic split, migration activity, and agent state. Safe to
+// call concurrently with a running MultiSystem.
+func (s *MultiSystem) TenantsReport() TenantsReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	arb := s.plane.Arbiter()
+	rep := TenantsReport{
+		ArbiterMode:       arb.Mode().String(),
+		AdmissionControl:  arb.AdmissionEnabled(),
+		FastCapacityPages: s.m.CapacityPages(memsim.Fast),
+		Rebalances:        arb.Rebalances(),
+		Tenants:           make([]TenantStatus, len(s.agents)),
+	}
+	for i, a := range s.agents {
+		id := memsim.TenantID(i)
+		tc := s.m.TenantCounters(id)
+		t := s.plane.Tenant(i)
+		rep.Tenants[i] = TenantStatus{
+			Name:             t.Name,
+			Weight:           t.Weight,
+			QuotaPages:       arb.Quota(i),
+			FastPages:        s.m.TenantUsedPages(id, memsim.Fast),
+			SlowPages:        s.m.TenantUsedPages(id, memsim.Slow),
+			FastAccesses:     tc.FastAccesses,
+			SlowAccesses:     tc.SlowAccesses,
+			HitRatio:         tc.DRAMRatio(),
+			Promotions:       tc.Promotions,
+			Demotions:        tc.Demotions,
+			AdmissionDenials: arb.Denials(i),
+			Decisions:        a.Decisions(),
+			Threshold:        a.threshold,
+			Degraded:         a.degraded,
+		}
+	}
+	return rep
+}
+
+// runProtected executes one worker iteration under the lock, recovering
+// from panics, exactly as System.runProtected does.
+func (s *MultiSystem) runProtected(beat *telemetry.Counter, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+	beat.Inc()
+}
+
+// samplingThread drains every tenant agent's PEBS buffer each period —
+// the single shared ksampled serving all memcgs.
+func (s *MultiSystem) samplingThread() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.samplingInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.runProtected(s.sampleBeats, func() {
+				for _, a := range s.agents {
+					a.PumpSamples()
+				}
+			})
+		}
+	}
+}
+
+// migrationThread opens one arbiter control period (budget refill,
+// possible dynamic rebalance) and then runs every tenant agent's RL
+// decision period under it — the shared kmigrated.
+func (s *MultiSystem) migrationThread() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.migrationInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.runProtected(s.migrateBeats, func() {
+				s.plane.BeginPeriod()
+				now := s.m.Now()
+				for _, a := range s.agents {
+					a.Tick(now)
+				}
+			})
+		}
+	}
+}
+
+// watchdogThread checks once per interval that both workers' heartbeats
+// advanced, sharing System's watchdogCheck logic.
+func (s *MultiSystem) watchdogThread() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.watchdogInterval)
+	defer tick.Stop()
+	var w watchdogState
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.watchdogCheck(&w)
+		}
+	}
+}
+
+// watchdogCheck performs one watchdog interval's stall accounting (see
+// System.watchdogCheck).
+func (s *MultiSystem) watchdogCheck(w *watchdogState) {
+	if cur := s.sampleBeats.Value(); cur == w.lastSample {
+		s.sampleStalls.Inc()
+	} else {
+		w.lastSample = cur
+	}
+	if cur := s.migrateBeats.Value(); cur == w.lastMigrate {
+		s.migrateStalls.Inc()
+	} else {
+		w.lastMigrate = cur
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"artmem/internal/memsim"
+	"artmem/internal/tenancy"
+)
+
+// testMultiConfig builds a small two-tenant system: 128 pages (32
+// fast) split under a static arbiter with admission control.
+func testMultiConfig() MultiSystemConfig {
+	mcfg := memsim.DefaultConfig(128*64*1024, 32*64*1024, 64*1024)
+	mcfg.CacheLines = 0
+	return MultiSystemConfig{
+		Machine: mcfg,
+		Tenants: []TenantConfig{
+			{Name: "alpha", Weight: 1, Policy: Config{SamplePeriod: 1, Seed: 1}},
+			{Name: "beta", Weight: 3, Policy: Config{SamplePeriod: 1, Seed: 2}},
+		},
+		Arbiter:           tenancy.ArbiterConfig{Mode: tenancy.ModeStatic, Admission: true},
+		SamplingInterval:  500 * time.Microsecond,
+		MigrationInterval: time.Millisecond,
+	}
+}
+
+// driveMulti runs both tenants' traffic through a started MultiSystem
+// long enough for the background threads to sample and tick.
+func driveMulti(t *testing.T, s *MultiSystem) {
+	t.Helper()
+	s.Start()
+	defer s.Stop()
+	ps := uint64(64 * 1024)
+	deadline := time.Now().Add(2 * time.Second)
+	for round := 0; ; round++ {
+		for i := 0; i < 40; i++ {
+			s.Access(0, uint64(i)*ps, i%4 == 0)
+			s.Access(1, (64+uint64(i))*ps, false)
+		}
+		if s.Agent(0).Decisions() > 0 && s.Agent(1).Decisions() > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("agents made no decisions within deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestMultiSystemRunsPerTenantAgents(t *testing.T) {
+	s := NewMultiSystem(testMultiConfig())
+	driveMulti(t, s)
+
+	// Accesses were charged to the issuing tenant.
+	for i := 0; i < s.NumTenants(); i++ {
+		tc := s.TenantCounters(i)
+		if tc.FastAccesses+tc.SlowAccesses == 0 {
+			t.Errorf("tenant %d has no accesses", i)
+		}
+	}
+	c := s.Counters()
+	a, b := s.TenantCounters(0), s.TenantCounters(1)
+	if a.FastAccesses+b.FastAccesses != c.FastAccesses ||
+		a.SlowAccesses+b.SlowAccesses != c.SlowAccesses {
+		t.Error("per-tenant accesses do not sum to machine counters")
+	}
+	if err := s.Machine().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Health()
+	if h.SamplingBeats == 0 || h.MigrationBeats == 0 {
+		t.Errorf("background threads not beating: %+v", h)
+	}
+	// Each agent has a private telemetry set — fixed ArtMem metric names
+	// would collide on a shared registry.
+	if s.Agent(0).Telemetry() == s.Agent(1).Telemetry() {
+		t.Error("tenant agents share a telemetry set")
+	}
+}
+
+func TestMultiSystemTenantsReport(t *testing.T) {
+	s := NewMultiSystem(testMultiConfig())
+	driveMulti(t, s)
+
+	rep := s.TenantsReport()
+	if rep.ArbiterMode != "static" || !rep.AdmissionControl {
+		t.Errorf("arbiter posture = %q/%v, want static/true", rep.ArbiterMode, rep.AdmissionControl)
+	}
+	if rep.FastCapacityPages != 32 {
+		t.Errorf("fast capacity = %d, want 32", rep.FastCapacityPages)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("%d tenants, want 2", len(rep.Tenants))
+	}
+	if rep.Tenants[0].Name != "alpha" || rep.Tenants[1].Name != "beta" {
+		t.Errorf("names = %q/%q", rep.Tenants[0].Name, rep.Tenants[1].Name)
+	}
+	quotas := 0
+	for _, ts := range rep.Tenants {
+		if ts.QuotaPages <= 0 {
+			t.Errorf("%s: quota %d under static arbiter", ts.Name, ts.QuotaPages)
+		}
+		quotas += ts.QuotaPages
+		if ts.HitRatio < 0 || ts.HitRatio > 1 {
+			t.Errorf("%s: hit ratio %v", ts.Name, ts.HitRatio)
+		}
+		if ts.Decisions == 0 {
+			t.Errorf("%s: agent made no decisions", ts.Name)
+		}
+	}
+	if quotas != rep.FastCapacityPages {
+		t.Errorf("quotas sum to %d, want %d", quotas, rep.FastCapacityPages)
+	}
+	// Weight-3 beta gets the larger share.
+	if rep.Tenants[1].QuotaPages <= rep.Tenants[0].QuotaPages {
+		t.Errorf("quota split %d/%d ignores weights 1/3",
+			rep.Tenants[0].QuotaPages, rep.Tenants[1].QuotaPages)
+	}
+}
+
+// TestTenantsEndpointSchemaPinned pins the /tenants JSON schema —
+// cmd/artmon keys off these field names, so changing them is a
+// deliberate act: extend this list.
+func TestTenantsEndpointSchemaPinned(t *testing.T) {
+	s := NewMultiSystem(testMultiConfig())
+	driveMulti(t, s)
+	srv := httptest.NewServer(s.ControlHandler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(body, &obj); err != nil {
+		t.Fatal(err)
+	}
+	wantTop := []string{
+		"arbiter_mode", "admission_control", "fast_capacity_pages",
+		"rebalances", "tenants",
+	}
+	sort.Strings(wantTop)
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if strings.Join(keys, ",") != strings.Join(wantTop, ",") {
+		t.Errorf("/tenants schema drifted:\n got  %v\n want %v", keys, wantTop)
+	}
+
+	var rows []map[string]json.RawMessage
+	if err := json.Unmarshal(obj["tenants"], &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d tenant rows, want 2", len(rows))
+	}
+	wantRow := []string{
+		"name", "weight", "quota_pages", "fast_pages", "slow_pages",
+		"fast_accesses", "slow_accesses", "hit_ratio", "promotions",
+		"demotions", "admission_denials", "decisions", "threshold",
+		"degraded",
+	}
+	sort.Strings(wantRow)
+	for i, row := range rows {
+		keys := make([]string, 0, len(row))
+		for k := range row {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if strings.Join(keys, ",") != strings.Join(wantRow, ",") {
+			t.Errorf("/tenants row %d schema drifted:\n got  %v\n want %v", i, keys, wantRow)
+		}
+	}
+}
+
+func TestMultiControlEndpoints(t *testing.T) {
+	s := NewMultiSystem(testMultiConfig())
+	driveMulti(t, s)
+	srv := httptest.NewServer(s.ControlHandler())
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/stats"); code != 200 || !strings.Contains(body, "dram_ratio") {
+		t.Errorf("/stats = %d %q", code, body)
+	}
+	// The shared registry carries both the machine series and the
+	// tenant-labelled aggregates.
+	if _, body := get("/metrics"); !strings.Contains(body, `artmem_tenant_fast_pages{tenant="alpha"}`) ||
+		!strings.Contains(body, "artmem_tier_pages") {
+		t.Error("/metrics missing tenant-labelled or machine series")
+	}
+	if code, _ := get("/metrics.json"); code != 200 {
+		t.Errorf("/metrics.json = %d", code)
+	}
+	// Per-tenant traces are private: ?tenant selects the agent.
+	if code, body := get("/trace?tenant=1&n=4"); code != 200 {
+		t.Errorf("/trace?tenant=1 = %d %q", code, body)
+	}
+	for _, bad := range []string{"/trace?tenant=2", "/trace?tenant=-1", "/trace?tenant=x", "/trace?n=-1"} {
+		if code, _ := get(bad); code != 400 {
+			t.Errorf("%s = %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestNewMultiSystemPanicsWithoutTenants(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero tenants")
+		}
+	}()
+	NewMultiSystem(MultiSystemConfig{Machine: testSystemConfig().Machine})
+}

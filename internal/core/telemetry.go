@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"artmem/internal/lru"
 	"artmem/internal/memsim"
 	"artmem/internal/rl"
@@ -17,79 +19,106 @@ import (
 // call WritePrometheus or Snapshot while holding s.mu — the pull
 // closures would deadlock re-acquiring it.
 
-// lockedGauge registers a pull gauge whose read runs under s.mu.
-func (s *System) lockedGauge(name, help string, read func() float64, labels ...telemetry.Label) {
-	s.tel.Registry.GaugeFunc(name, help, func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
+// lockedRegistrar registers pull metrics whose read closures run under
+// a shared mutex — the System (or MultiSystem) lock guarding the state
+// they read. Factored out of System so both runtimes register the
+// machine-level series with byte-identical names and help strings.
+type lockedRegistrar struct {
+	mu  *sync.Mutex
+	reg *telemetry.Registry
+}
+
+// gauge registers a pull gauge whose read runs under the lock.
+func (l lockedRegistrar) gauge(name, help string, read func() float64, labels ...telemetry.Label) {
+	l.reg.GaugeFunc(name, help, func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
 		return read()
 	}, labels...)
 }
 
-// lockedCounter registers a pull counter whose read runs under s.mu.
-func (s *System) lockedCounter(name, help string, read func() uint64, labels ...telemetry.Label) {
-	s.tel.Registry.CounterFunc(name, help, func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
+// counter registers a pull counter whose read runs under the lock.
+func (l lockedRegistrar) counter(name, help string, read func() uint64, labels ...telemetry.Label) {
+	l.reg.CounterFunc(name, help, func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
 		return float64(read())
 	}, labels...)
+}
+
+// lockedGauge registers a pull gauge whose read runs under s.mu.
+func (s *System) lockedGauge(name, help string, read func() float64, labels ...telemetry.Label) {
+	lockedRegistrar{&s.mu, s.tel.Registry}.gauge(name, help, read, labels...)
+}
+
+// lockedCounter registers a pull counter whose read runs under s.mu.
+func (s *System) lockedCounter(name, help string, read func() uint64, labels ...telemetry.Label) {
+	lockedRegistrar{&s.mu, s.tel.Registry}.counter(name, help, read, labels...)
+}
+
+// registerMachineMetrics registers the machine-level series — tier
+// occupancy, machine counters, virtual clock, latency histogram — onto
+// l's registry. Shared by System and MultiSystem so single- and
+// multi-tenant daemons expose the same machine surface.
+func registerMachineMetrics(l lockedRegistrar, m *memsim.Machine) {
+	tierLabel := [2]telemetry.Label{telemetry.L("tier", "fast"), telemetry.L("tier", "slow")}
+	for _, t := range []memsim.TierID{memsim.Fast, memsim.Slow} {
+		t := t
+		l.gauge("artmem_tier_pages",
+			"Pages currently resident per tier.",
+			func() float64 { return float64(m.UsedPages(t)) }, tierLabel[t])
+		l.gauge("artmem_tier_capacity_pages",
+			"Tier capacity in pages.",
+			func() float64 { return float64(m.CapacityPages(t)) }, tierLabel[t])
+	}
+	l.counter("artmem_accesses_total",
+		"Cache-missing accesses served per tier.",
+		func() uint64 { return m.Counters().FastAccesses }, tierLabel[memsim.Fast])
+	l.counter("artmem_accesses_total", "",
+		func() uint64 { return m.Counters().SlowAccesses }, tierLabel[memsim.Slow])
+	l.counter("artmem_cache_hits_total",
+		"Accesses absorbed by the CPU cache model.",
+		func() uint64 { return m.Counters().CacheHits })
+	l.counter("artmem_migrations_total",
+		"Pages moved between tiers.",
+		func() uint64 { return m.Counters().Migrations })
+	l.counter("artmem_promotions_total",
+		"Slow-to-fast page moves.",
+		func() uint64 { return m.Counters().Promotions })
+	l.counter("artmem_demotions_total",
+		"Fast-to-slow page moves.",
+		func() uint64 { return m.Counters().Demotions })
+	l.counter("artmem_migrated_bytes_total",
+		"Total bytes moved between tiers.",
+		func() uint64 { return m.Counters().MigratedBytes })
+	l.counter("artmem_migration_failures_total",
+		"MovePage attempts that failed transiently (ErrMigrationBusy).",
+		func() uint64 { return m.Counters().MigrationFailures })
+	l.counter("artmem_numa_faults_total",
+		"NUMA-hint faults taken.",
+		func() uint64 { return m.Counters().Faults })
+	l.gauge("artmem_virtual_clock_ns",
+		"The machine's virtual clock.",
+		func() float64 { return float64(m.Now()) })
+	l.gauge("artmem_background_cpu_ns",
+		"Virtual CPU time consumed by background work (sampling, RL, migration).",
+		func() float64 { return m.BackgroundNs() })
+	l.reg.HistogramFunc("artmem_access_latency_ns",
+		"Distribution of per-access service latency (virtual ns).",
+		func() telemetry.HistogramData {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return m.AccessLatencyData()
+		})
 }
 
 // registerMetrics instruments every layer of the stack onto the
 // registry. Called once from NewSystem, after the policy attached.
 func (s *System) registerMetrics() {
-	m, pol := s.m, s.pol
+	pol := s.pol
 
 	// --- memsim: tier occupancy, machine counters, virtual clock ---
-	tierLabel := [2]telemetry.Label{telemetry.L("tier", "fast"), telemetry.L("tier", "slow")}
-	for _, t := range []memsim.TierID{memsim.Fast, memsim.Slow} {
-		t := t
-		s.lockedGauge("artmem_tier_pages",
-			"Pages currently resident per tier.",
-			func() float64 { return float64(m.UsedPages(t)) }, tierLabel[t])
-		s.lockedGauge("artmem_tier_capacity_pages",
-			"Tier capacity in pages.",
-			func() float64 { return float64(m.CapacityPages(t)) }, tierLabel[t])
-	}
-	s.lockedCounter("artmem_accesses_total",
-		"Cache-missing accesses served per tier.",
-		func() uint64 { return m.Counters().FastAccesses }, tierLabel[memsim.Fast])
-	s.lockedCounter("artmem_accesses_total", "",
-		func() uint64 { return m.Counters().SlowAccesses }, tierLabel[memsim.Slow])
-	s.lockedCounter("artmem_cache_hits_total",
-		"Accesses absorbed by the CPU cache model.",
-		func() uint64 { return m.Counters().CacheHits })
-	s.lockedCounter("artmem_migrations_total",
-		"Pages moved between tiers.",
-		func() uint64 { return m.Counters().Migrations })
-	s.lockedCounter("artmem_promotions_total",
-		"Slow-to-fast page moves.",
-		func() uint64 { return m.Counters().Promotions })
-	s.lockedCounter("artmem_demotions_total",
-		"Fast-to-slow page moves.",
-		func() uint64 { return m.Counters().Demotions })
-	s.lockedCounter("artmem_migrated_bytes_total",
-		"Total bytes moved between tiers.",
-		func() uint64 { return m.Counters().MigratedBytes })
-	s.lockedCounter("artmem_migration_failures_total",
-		"MovePage attempts that failed transiently (ErrMigrationBusy).",
-		func() uint64 { return m.Counters().MigrationFailures })
-	s.lockedCounter("artmem_numa_faults_total",
-		"NUMA-hint faults taken.",
-		func() uint64 { return m.Counters().Faults })
-	s.lockedGauge("artmem_virtual_clock_ns",
-		"The machine's virtual clock.",
-		func() float64 { return float64(m.Now()) })
-	s.lockedGauge("artmem_background_cpu_ns",
-		"Virtual CPU time consumed by background work (sampling, RL, migration).",
-		func() float64 { return m.BackgroundNs() })
-	s.tel.Registry.HistogramFunc("artmem_access_latency_ns",
-		"Distribution of per-access service latency (virtual ns).",
-		func() telemetry.HistogramData {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return m.AccessLatencyData()
-		})
+	registerMachineMetrics(lockedRegistrar{&s.mu, s.tel.Registry}, s.m)
 
 	// --- pebs: sampling substrate ---
 	s.lockedCounter("artmem_pebs_samples_total",

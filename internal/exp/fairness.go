@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+
+	"artmem/internal/core"
+	"artmem/internal/harness"
+	"artmem/internal/sched"
+	"artmem/internal/tenancy"
+	"artmem/internal/textplot"
+	"artmem/internal/workloads"
+)
+
+// fairnessWorkloads are the co-located tenants of the contention study:
+// S2 is the antagonist — its hotspot shifts every epoch, so its agent
+// churns promotions forever — while YCSB and DLRM have stable skewed
+// hot sets that an unprotected fast tier lets the antagonist crowd.
+var fairnessWorkloads = []string{"S2", "YCSB", "DLRM"}
+
+// fairnessModes are the arbiter postures the experiment compares. Off
+// is the memcg-blind baseline: one shared fast tier, first-touch and
+// promotion-order wins. Static partitions DRAM by weight and meters
+// promotion traffic (TierBPF-style admission control); dynamic
+// additionally reallocates quota along the observed hit-ratio
+// gradient.
+func fairnessModes() []struct {
+	label string
+	acfg  tenancy.ArbiterConfig
+} {
+	return []struct {
+		label string
+		acfg  tenancy.ArbiterConfig
+	}{
+		{"arbiter-off", tenancy.ArbiterConfig{Mode: tenancy.ModeOff}},
+		{"static+admission", tenancy.ArbiterConfig{Mode: tenancy.ModeStatic, Admission: true}},
+		{"dynamic+admission", tenancy.ArbiterConfig{Mode: tenancy.ModeDynamic, Admission: true}},
+	}
+}
+
+// fairnessAgentCfg is tenant i's agent configuration: pretraining as
+// the paper primes every memcg's agent, a per-tenant seed so the
+// agents explore independently.
+func fairnessAgentCfg(o Options, i int) core.Config {
+	return core.Config{Seed: o.Profile.Seed + uint64(i)}
+}
+
+// fairnessSpecs builds the tenant list. Each tenant weighs in
+// proportionally to its footprint, so the weighted static split gives
+// every tenant exactly the fast fraction it would have alone on a
+// machine at the same DRAM:PM ratio — which is what makes service
+// normalized to the isolated run the natural fairness metric.
+func fairnessSpecs(o Options) []harness.TenantSpec {
+	specs := make([]harness.TenantSpec, len(fairnessWorkloads))
+	for i, name := range fairnessWorkloads {
+		ws, err := workloads.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		w := ws.New(o.Profile)
+		weight := int(w.FootprintBytes() / o.Profile.PageSize())
+		if weight < 1 {
+			weight = 1
+		}
+		cfg := fairnessAgentCfg(o, i)
+		mig, thr := TrainTables(o, "Liblinear", cfg.Algorithm)
+		cfg.PretrainedMig, cfg.PretrainedThr = mig, thr
+		specs[i] = harness.TenantSpec{
+			Name:     name,
+			Weight:   weight,
+			Workload: w,
+			Policy:   core.New(cfg),
+		}
+	}
+	return specs
+}
+
+// fairnessKey canonically identifies one multi-tenant fairness cell
+// for the run cache: the tenant set, the per-tenant policy identity,
+// and the full arbiter configuration.
+func fairnessKey(o Options, acfg tenancy.ArbiterConfig, cfg harness.Config) string {
+	extra := fmt.Sprintf("fairness|tenants=%v|w=footprint|pol=%s|seed=per-tenant|arb=%+v",
+		fairnessWorkloads, artmemID("Liblinear", 0, core.Config{}), acfg)
+	return sched.Key("multi", o.Profile, "ArtMem-per-tenant", cfg, extra)
+}
+
+// Fairness reproduces the multi-tenant contention study: three tenants
+// with per-tenant ArtMem agents share one machine while the fast-tier
+// arbiter sweeps from off (unpartitioned contention) through static
+// weighted quotas with admission control to dynamic hit-ratio-gradient
+// reallocation.
+//
+// The fairness metric is normalized service: each tenant's hit ratio
+// divided by the hit ratio the same workload + agent achieves alone at
+// the same DRAM:PM ratio. A tenant at 1.0 gets exactly its isolated
+// service; the arbiter's weighted quotas reproduce the isolated DRAM
+// share, so partitioning pulls every tenant toward 1.0, while the
+// unpartitioned baseline lets allocation order and the antagonist's
+// promotion churn spread service unevenly. The summary reports Jain's
+// index over the normalized services per posture.
+func Fairness() Experiment {
+	return Experiment{
+		ID:    "fairness",
+		Title: "Multi-tenant fairness: fast-tier arbitration and admission control",
+		Paper: "ArtMem deploys per-memcg agents; TierBPF-style admission control keeps one tenant's promotion traffic from crowding out another's hot pages",
+		Run: func(o Options) []textplot.Table {
+			modes := fairnessModes()
+			cfg := harness.Config{
+				PageSize: o.Profile.PageSize(),
+				Ratio:    harness.Ratio{Fast: 1, Slow: 4},
+			}
+			g := o.newGrid()
+			// Isolated baselines: each tenant's workload alone, same agent
+			// identity, same ratio.
+			solo := make([]int, len(fairnessWorkloads))
+			for i, name := range fairnessWorkloads {
+				solo[i] = g.add(name, o.artmemSpec(fairnessAgentCfg(o, i)),
+					harness.Config{Ratio: cfg.Ratio})
+			}
+			idx := make([]int, len(modes))
+			for mi, mode := range modes {
+				acfg := mode.acfg
+				idx[mi] = g.addCell(fairnessKey(o, acfg, cfg), func() harness.Result {
+					res := harness.RunTenants(fairnessSpecs(o), acfg, cfg)
+					o.logf("  fairness/%s: mig=%d rebal=%d",
+						acfg.Mode, res.Migrations, res.ArbiterRebalances)
+					return res
+				})
+			}
+			res := g.run()
+
+			soloRatio := make([]float64, len(solo))
+			for i, s := range solo {
+				soloRatio[i] = res[s].DRAMRatio
+			}
+
+			perTenant := textplot.Table{
+				Title: "per-tenant service under each arbiter posture (1:4 DRAM:PM)",
+				Header: []string{"arbiter", "tenant", "hit ratio", "solo ratio",
+					"norm service", "fast pages", "quota", "promo", "denied"},
+				Note: "norm service = hit ratio / isolated-run hit ratio; 1.0 means the tenant gets exactly its solo service",
+			}
+			norms := make([][]float64, len(modes))
+			for mi, mode := range modes {
+				r := res[idx[mi]]
+				norms[mi] = make([]float64, len(r.Tenants))
+				for ti, tr := range r.Tenants {
+					norms[mi][ti] = normalize(tr.HitRatio, soloRatio[ti])
+					perTenant.AddRow(mode.label, tr.Name, tr.HitRatio, soloRatio[ti],
+						norms[mi][ti],
+						fmt.Sprintf("%d", tr.FastPages), fmt.Sprintf("%d", tr.QuotaPages),
+						fmt.Sprintf("%d", tr.Promotions), fmt.Sprintf("%d", tr.AdmissionDenials))
+				}
+			}
+
+			summary := textplot.Table{
+				Title: "fairness summary (Jain index over normalized service; higher is fairer)",
+				Header: []string{"arbiter", "jain", "mean norm service", "migrations",
+					"denials", "rebalances"},
+				Note: "admission control meters each tenant's promotions to its weighted share of migration bandwidth",
+			}
+			for mi, mode := range modes {
+				r := res[idx[mi]]
+				var mean float64
+				var denials uint64
+				for ti, tr := range r.Tenants {
+					mean += norms[mi][ti]
+					denials += tr.AdmissionDenials
+				}
+				mean /= float64(len(r.Tenants))
+				summary.AddRow(mode.label, harness.JainIndex(norms[mi]), mean,
+					fmt.Sprintf("%d", r.Migrations),
+					fmt.Sprintf("%d", denials),
+					fmt.Sprintf("%d", r.ArbiterRebalances))
+			}
+			return []textplot.Table{perTenant, summary}
+		},
+	}
+}

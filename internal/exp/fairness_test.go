@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"artmem/internal/sched"
+	"artmem/internal/workloads"
+)
+
+// fairnessJainFromSummary renders the fairness experiment and parses
+// the Jain column of its summary table, keyed by arbiter label.
+func fairnessJainFromSummary(t *testing.T, o Options) map[string]float64 {
+	t.Helper()
+	e, err := ByID("fairness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := e.Run(o)
+	if len(tables) != 2 {
+		t.Fatalf("fairness rendered %d tables, want 2", len(tables))
+	}
+	jain := map[string]float64{}
+	for _, line := range strings.Split(tables[1].Render(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		label := fields[0]
+		if label != "arbiter-off" && label != "static+admission" && label != "dynamic+admission" {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad jain cell in %q: %v", line, err)
+		}
+		jain[label] = v
+	}
+	if len(jain) != 3 {
+		t.Fatalf("summary table missing arbiter rows:\n%s", tables[1].Render())
+	}
+	return jain
+}
+
+// TestFairnessJainImprovesWithArbiter is the experiment's acceptance
+// criterion: with admission control on, the Jain fairness index over
+// the three tenants' normalized service must strictly beat the
+// arbiter-off baseline — in the rendered table, at both static and
+// dynamic quota postures.
+func TestFairnessJainImprovesWithArbiter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tenant experiment runs take a while")
+	}
+	o := QuickOptions()
+	o.Profile = workloads.Profile{Div: 512, PatternAccesses: 400_000, AppAccesses: 200_000, Seed: 1}
+	o.Sched = sched.New(sched.Config{Workers: 4, Cache: sched.NewCache("")})
+
+	jain := fairnessJainFromSummary(t, o)
+	off := jain["arbiter-off"]
+	for _, label := range []string{"static+admission", "dynamic+admission"} {
+		if jain[label] <= off {
+			t.Errorf("%s jain %.3f does not improve on arbiter-off %.3f", label, jain[label], off)
+		}
+	}
+}

@@ -108,6 +108,12 @@ type Result struct {
 	// Config.CheckInvariants was set; nil when the invariants held.
 	InvariantErr error
 
+	// Tenants holds per-tenant results when the run was multi-tenant
+	// (RunTenants); nil for single-tenant runs. ArbiterRebalances
+	// counts dynamic quota rebalances the arbiter executed.
+	Tenants           []TenantResult
+	ArbiterRebalances uint64
+
 	// MigrationSeries (pages migrated per tick) and RatioSeries
 	// (windowed DRAM access ratio per tick), when collected.
 	MigrationSeries stats.Series
@@ -167,37 +173,7 @@ func (c Config) Canonical() string {
 // parallel runs; internal/exp's determinism test guards it.
 func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
 	defer w.Close()
-	foot := w.FootprintBytes()
-	if cfg.PageSize <= 0 {
-		cfg.PageSize = 2 << 20
-	}
-	if cfg.Ratio.Fast == 0 && cfg.Ratio.Slow == 0 {
-		cfg.Ratio = Ratio{1, 1}
-	}
-	fastBytes := cfg.Ratio.FastBytes(foot)
-	mcfg := memsim.DefaultConfig(foot, fastBytes, cfg.PageSize)
-	mcfg.Fast.CapacityPages += cfg.FastHeadroom
-	if mcfg.Fast.CapacityPages < 1 {
-		mcfg.Fast.CapacityPages = 1
-	}
-	if cfg.SlowLatencyNs > 0 {
-		mcfg.Slow.LatencyNs = cfg.SlowLatencyNs
-	}
-	if cfg.SlowBWGBs > 0 {
-		mcfg.Slow.ReadBWGBs = cfg.SlowBWGBs
-		mcfg.Slow.WriteBWGBs = cfg.SlowBWGBs / 3
-	}
-	if cfg.CacheLines > 0 {
-		mcfg.CacheLines = cfg.CacheLines
-	} else if cfg.CacheLines < 0 {
-		mcfg.CacheLines = 0
-	}
-	m := memsim.NewMachine(mcfg)
-	var inj *faultinject.Injector
-	if cfg.Faults != nil {
-		inj = faultinject.New(*cfg.Faults)
-		m.SetFaultInjector(inj)
-	}
+	m, inj, cfg := buildMachine(w.FootprintBytes(), cfg)
 	pol.Attach(m)
 
 	interval := pol.Interval()
@@ -257,4 +233,42 @@ func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
 		res.InvariantErr = m.CheckInvariants()
 	}
 	return res
+}
+
+// buildMachine sizes a machine from a footprint and the run Config,
+// applying defaults, tier overrides, and the optional fault injector.
+// It returns the normalized Config so callers share one view of the
+// applied defaults.
+func buildMachine(foot int64, cfg Config) (*memsim.Machine, *faultinject.Injector, Config) {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 2 << 20
+	}
+	if cfg.Ratio.Fast == 0 && cfg.Ratio.Slow == 0 {
+		cfg.Ratio = Ratio{1, 1}
+	}
+	fastBytes := cfg.Ratio.FastBytes(foot)
+	mcfg := memsim.DefaultConfig(foot, fastBytes, cfg.PageSize)
+	mcfg.Fast.CapacityPages += cfg.FastHeadroom
+	if mcfg.Fast.CapacityPages < 1 {
+		mcfg.Fast.CapacityPages = 1
+	}
+	if cfg.SlowLatencyNs > 0 {
+		mcfg.Slow.LatencyNs = cfg.SlowLatencyNs
+	}
+	if cfg.SlowBWGBs > 0 {
+		mcfg.Slow.ReadBWGBs = cfg.SlowBWGBs
+		mcfg.Slow.WriteBWGBs = cfg.SlowBWGBs / 3
+	}
+	if cfg.CacheLines > 0 {
+		mcfg.CacheLines = cfg.CacheLines
+	} else if cfg.CacheLines < 0 {
+		mcfg.CacheLines = 0
+	}
+	m := memsim.NewMachine(mcfg)
+	var inj *faultinject.Injector
+	if cfg.Faults != nil {
+		inj = faultinject.New(*cfg.Faults)
+		m.SetFaultInjector(inj)
+	}
+	return m, inj, cfg
 }

@@ -1,0 +1,68 @@
+package memsim
+
+import "artmem/internal/telemetry"
+
+// Env is the machine surface a tiering policy programs against: page
+// queries, migration, hook installation, and cost accounting. A policy
+// written against Env runs unchanged on a whole *Machine (the
+// single-tenant case) or on a tenant-scoped view of one
+// (internal/tenancy.TenantView), which is how per-tenant agents are
+// built without the policy knowing tenancy exists. The method
+// contracts are those documented on Machine; a tenant view narrows
+// them to the tenant's pages, quota, and signal streams.
+type Env interface {
+	// Config returns the machine configuration (cost model, page size).
+	Config() Config
+	// NumPages returns the size of the page-indexable address space.
+	// Views report the machine's full space: page IDs are global, and
+	// per-page policy state is indexed by them.
+	NumPages() int
+	// PageSize returns the page size in bytes.
+	PageSize() int64
+	// Now returns the virtual clock in nanoseconds.
+	Now() int64
+	// Counters returns cumulative activity counters; a tenant view
+	// reports the tenant's share.
+	Counters() Counters
+
+	// TierOf, Allocated, UsedPages, FreePages and CapacityPages expose
+	// residency and capacity. A tenant view scopes UsedPages to the
+	// tenant's resident pages and Fast-tier Free/CapacityPages to its
+	// arbiter quota.
+	TierOf(p PageID) TierID
+	Allocated(p PageID) bool
+	UsedPages(t TierID) int
+	FreePages(t TierID) int
+	CapacityPages(t TierID) int
+
+	// MovePage migrates on the background path, MovePageSync on the
+	// application's critical path. Tenant views additionally pass
+	// promotions through the arbiter's admission control; denials
+	// surface as errors wrapping ErrTierFull.
+	MovePage(p PageID, dst TierID) error
+	MovePageSync(p PageID, dst TierID) error
+
+	// ChargeBackground adds non-application CPU time to the overhead
+	// accounting.
+	ChargeBackground(ns float64)
+	// TestAndClearAccessed reads and clears a page's accessed bit.
+	TestAndClearAccessed(p PageID) bool
+	// PoisonPage and PoisonRange arm NUMA-hint faults; a tenant view
+	// arms only pages the tenant owns.
+	PoisonPage(p PageID)
+	PoisonRange(start PageID, n int) PageID
+
+	// SetSampler, SetFaultHandler and SetAllocHook install the policy's
+	// signal hooks; a tenant view registers them with the tenancy demux
+	// so the policy sees only its tenant's events.
+	SetSampler(s Sampler)
+	SetFaultHandler(h FaultHandler)
+	SetAllocHook(h func(PageID, TierID))
+	// SetPageTrace installs a page-lifecycle trace. Page tracing is a
+	// machine-wide facility; tenant views ignore it.
+	SetPageTrace(pt *telemetry.PageTrace)
+	// FaultInjector returns the machine's chaos injector, or nil.
+	FaultInjector() FaultInjector
+}
+
+var _ Env = (*Machine)(nil)

@@ -123,6 +123,11 @@ type Machine struct {
 	// (atomic ops per access) for callers that want one.
 	latCounts  [numLatClasses]uint64
 	accessHist *telemetry.Histogram
+
+	// ts holds multi-tenant accounting (owner tags, per-tenant RSS and
+	// counters, fast-tier quotas); nil on single-tenant machines, where
+	// every accounting site reduces to one branch. See tenant.go.
+	ts *tenantState
 }
 
 // Latency classes indexing latCounts.
@@ -332,6 +337,9 @@ func (m *Machine) Access(addr uint64, write bool) {
 	if m.poisoned[p] {
 		m.poisoned[p] = false
 		m.ctr.Faults++
+		if m.ts != nil {
+			m.ts.ctr[m.ts.current].Faults++
+		}
 		m.advance(m.cfg.FaultCostNs)
 		if m.faults != nil {
 			m.faults.OnFault(p, m.tier[p], write, m.clock)
@@ -342,6 +350,11 @@ func (m *Machine) Access(addr uint64, write bool) {
 		m.latCounts[latCacheHit]++
 		m.advance(m.cfg.CacheHitNs)
 		m.accessHist.Observe(m.cfg.CacheHitNs)
+		if m.ts != nil {
+			tc := &m.ts.ctr[m.ts.current]
+			tc.CacheHits++
+			tc.AppNs += m.cfg.CacheHitNs
+		}
 		return
 	}
 	t := m.tier[p]
@@ -360,6 +373,15 @@ func (m *Machine) Access(addr uint64, write bool) {
 		m.ctr.FastAccesses++
 	} else {
 		m.ctr.SlowAccesses++
+	}
+	if m.ts != nil {
+		tc := &m.ts.ctr[m.ts.current]
+		if t == Fast {
+			tc.FastAccesses++
+		} else {
+			tc.SlowAccesses++
+		}
+		tc.AppNs += cost
 	}
 	if m.sampler != nil {
 		m.sampler.OnMiss(p, t, write, m.clock)
@@ -390,6 +412,26 @@ func (m *Machine) allocate(p PageID) {
 	t := Slow
 	if m.used[Fast] < m.cap[Fast] {
 		t = Fast
+	}
+	if m.ts != nil {
+		cur := m.ts.current
+		if t == Fast {
+			if q := m.ts.quota[cur]; q > 0 && m.ts.used[cur][Fast] >= q {
+				// Quota exhausted: first touch overflows to the slow
+				// tier — the memcg analogue of allocating past the
+				// fast-tier limit.
+				t = Slow
+			}
+		}
+		m.ts.owner[p] = cur
+		m.ts.used[cur][t]++
+		if t == Fast {
+			m.ts.ctr[cur].AllocFast++
+		} else {
+			m.ts.ctr[cur].AllocSlow++
+		}
+	}
+	if t == Fast {
 		m.ctr.AllocFast++
 	} else {
 		m.ctr.AllocSlow++
@@ -457,6 +499,16 @@ func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
 		m.tracePageMove(p, src, dst, telemetry.OutcomeTierFull)
 		return ErrTierFull
 	}
+	var owner TenantID
+	if m.ts != nil {
+		owner = m.ts.owner[p]
+		if dst == Fast {
+			if q := m.ts.quota[owner]; q > 0 && m.ts.used[owner][Fast] >= q {
+				m.tracePageMove(p, src, dst, telemetry.OutcomeQuotaFull)
+				return ErrTenantQuota
+			}
+		}
+	}
 	cost := m.migCostNs[src][dst]
 	if m.injector != nil {
 		if m.injector.FailMigration(m.clock) {
@@ -479,6 +531,15 @@ func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
 		m.ctr.Promotions++
 	} else {
 		m.ctr.Demotions++
+	}
+	if m.ts != nil {
+		m.ts.used[owner][src]--
+		m.ts.used[owner][dst]++
+		if dst == Fast {
+			m.ts.ctr[owner].Promotions++
+		} else {
+			m.ts.ctr[owner].Demotions++
+		}
 	}
 	m.tracePageMove(p, src, dst, telemetry.OutcomeSettled)
 	return nil
@@ -554,6 +615,40 @@ func (m *Machine) CheckInvariants() error {
 	if total := m.ctr.AllocFast + m.ctr.AllocSlow; total != uint64(allocated) {
 		return fmt.Errorf("memsim: allocation counters %d != %d allocated pages",
 			total, allocated)
+	}
+	if m.ts != nil {
+		// Per-tenant RSS: recount (owner, tier) over allocated pages and
+		// check both the per-tenant counters and that the tenant split
+		// sums back to the machine totals. Over-quota residency is NOT a
+		// violation — a dynamically shrunk quota only gates new growth.
+		n := len(m.ts.used)
+		tused := make([][NumTiers]int, n)
+		for p, ok := range m.allocated {
+			if !ok {
+				continue
+			}
+			o := m.ts.owner[p]
+			if int(o) >= n {
+				return fmt.Errorf("memsim: page %d owned by invalid tenant %d", p, o)
+			}
+			tused[o][m.tier[p]]++
+		}
+		var sum [NumTiers]int
+		for i := range tused {
+			for t := 0; t < NumTiers; t++ {
+				if tused[i][t] != m.ts.used[i][t] {
+					return fmt.Errorf("memsim: tenant %d %s counter %d != recounted %d",
+						i, TierID(t), m.ts.used[i][t], tused[i][t])
+				}
+				sum[t] += tused[i][t]
+			}
+		}
+		for t := 0; t < NumTiers; t++ {
+			if sum[t] != m.used[t] {
+				return fmt.Errorf("memsim: tenant %s pages sum to %d, machine has %d",
+					TierID(t), sum[t], m.used[t])
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,209 @@
+package memsim
+
+import (
+	"errors"
+	"testing"
+)
+
+// touch accesses n distinct pages starting at page base for the current
+// tenant.
+func touch(m *Machine, base, n int) {
+	ps := m.PageSize()
+	for i := 0; i < n; i++ {
+		m.Access(uint64(int64(base+i)*ps), false)
+	}
+}
+
+func TestTenantFirstTouchOwnershipAndRSS(t *testing.T) {
+	m := NewMachine(testConfig(0))
+	m.EnableTenants(2)
+
+	m.SetCurrentTenant(0)
+	touch(m, 0, 10)
+	m.SetCurrentTenant(1)
+	touch(m, 10, 10)
+
+	for p := 0; p < 10; p++ {
+		if got := m.OwnerOf(PageID(p)); got != 0 {
+			t.Errorf("page %d owner = %d, want 0", p, got)
+		}
+	}
+	for p := 10; p < 20; p++ {
+		if got := m.OwnerOf(PageID(p)); got != 1 {
+			t.Errorf("page %d owner = %d, want 1", p, got)
+		}
+	}
+
+	// Per-tenant RSS must sum to the machine totals in every tier.
+	for _, tier := range []TierID{Fast, Slow} {
+		sum := m.TenantUsedPages(0, tier) + m.TenantUsedPages(1, tier)
+		if sum != m.UsedPages(tier) {
+			t.Errorf("%s: tenant pages sum to %d, machine has %d",
+				tier, sum, m.UsedPages(tier))
+		}
+	}
+	c0, c1 := m.TenantCounters(0), m.TenantCounters(1)
+	if c0.AllocFast+c0.AllocSlow != 10 || c1.AllocFast+c1.AllocSlow != 10 {
+		t.Errorf("alloc split = %d/%d, want 10/10",
+			c0.AllocFast+c0.AllocSlow, c1.AllocFast+c1.AllocSlow)
+	}
+	mc := m.Counters()
+	if c0.FastAccesses+c1.FastAccesses != mc.FastAccesses ||
+		c0.SlowAccesses+c1.SlowAccesses != mc.SlowAccesses {
+		t.Error("per-tenant access counters do not sum to machine counters")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTenantQuotaGatesFirstTouchNotResidency(t *testing.T) {
+	m := NewMachine(testConfig(0)) // 16 fast pages
+	m.EnableTenants(2)
+	m.SetFastQuota(0, 4)
+
+	// Tenant 0 touches 8 pages with a 4-page quota: the overflow must
+	// spill to the slow tier even though the fast tier has room.
+	m.SetCurrentTenant(0)
+	touch(m, 0, 8)
+	if got := m.TenantUsedPages(0, Fast); got != 4 {
+		t.Errorf("tenant 0 fast pages = %d, want 4 (quota)", got)
+	}
+	if got := m.TenantUsedPages(0, Slow); got != 4 {
+		t.Errorf("tenant 0 slow pages = %d, want 4 (spilled)", got)
+	}
+	// An unlimited tenant still fills the remaining fast pages.
+	m.SetCurrentTenant(1)
+	touch(m, 8, 14)
+	if got := m.TenantUsedPages(1, Fast); got != 12 {
+		t.Errorf("tenant 1 fast pages = %d, want 12", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTenantQuotaBlocksPromotionWithTierFullError(t *testing.T) {
+	m := NewMachine(testConfig(0))
+	m.EnableTenants(1)
+	m.SetCurrentTenant(0)
+	m.SetFastQuota(0, 4)
+	touch(m, 0, 8) // 4 fast, 4 slow
+
+	var slow PageID
+	for p := 0; p < 8; p++ {
+		if m.TierOf(PageID(p)) == Slow {
+			slow = PageID(p)
+			break
+		}
+	}
+	err := m.MovePage(slow, Fast)
+	if !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("promotion over quota = %v, want ErrTenantQuota", err)
+	}
+	// Policies key their "stop promoting this period" path on
+	// ErrTierFull; a quota denial must take the same branch.
+	if !errors.Is(err, ErrTierFull) {
+		t.Error("ErrTenantQuota does not wrap ErrTierFull")
+	}
+
+	// Raising the quota unblocks the promotion; demotions are never
+	// quota-checked.
+	m.SetFastQuota(0, 5)
+	if err := m.MovePage(slow, Fast); err != nil {
+		t.Fatalf("promotion under raised quota: %v", err)
+	}
+	if err := m.MovePage(slow, Slow); err != nil {
+		t.Fatalf("demotion: %v", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTenantQuotaShrinkOnlyGatesGrowth(t *testing.T) {
+	m := NewMachine(testConfig(0))
+	m.EnableTenants(1)
+	m.SetCurrentTenant(0)
+	touch(m, 0, 8) // 8 fast pages, no quota
+
+	// Shrinking the quota below current residency is legal and must not
+	// evict anything — it only gates new growth.
+	m.SetFastQuota(0, 2)
+	if got := m.TenantUsedPages(0, Fast); got != 8 {
+		t.Errorf("fast pages after quota shrink = %d, want 8 (no eviction)", got)
+	}
+	touch(m, 8, 1)
+	if got := m.TenantUsedPages(0, Slow); got != 1 {
+		t.Errorf("new first touch over quota landed in fast, want slow")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleTenantPathUnchanged pins the zero-cost contract: a machine
+// that never calls EnableTenants answers every tenant query from the
+// machine-wide state, with tenant 0 as the implicit owner of all pages.
+func TestSingleTenantPathUnchanged(t *testing.T) {
+	m := NewMachine(testConfig(0))
+	m.SetCurrentTenant(0) // no-op, must not panic
+	touch(m, 0, 20)
+
+	if n := m.NumTenants(); n != 1 {
+		t.Errorf("NumTenants = %d, want 1", n)
+	}
+	if o := m.OwnerOf(3); o != DefaultTenant {
+		t.Errorf("OwnerOf = %d, want DefaultTenant", o)
+	}
+	if got, want := m.TenantUsedPages(DefaultTenant, Fast), m.UsedPages(Fast); got != want {
+		t.Errorf("tenant 0 fast pages = %d, want machine total %d", got, want)
+	}
+	tc, c := m.TenantCounters(DefaultTenant), m.Counters()
+	if tc.FastAccesses != c.FastAccesses || tc.SlowAccesses != c.SlowAccesses {
+		t.Error("tenant 0 counters do not mirror machine counters")
+	}
+	if tc := m.TenantCounters(5); tc != (TenantCounters{}) {
+		t.Error("out-of-range tenant on single-tenant machine not zero")
+	}
+	if q := m.FastQuota(DefaultTenant); q != 0 {
+		t.Errorf("single-tenant quota = %d, want 0 (unlimited)", q)
+	}
+}
+
+func TestEnableTenantsMisusePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("zero tenants", func() { NewMachine(testConfig(0)).EnableTenants(0) })
+	expectPanic("twice", func() {
+		m := NewMachine(testConfig(0))
+		m.EnableTenants(2)
+		m.EnableTenants(2)
+	})
+	expectPanic("after allocation", func() {
+		m := NewMachine(testConfig(0))
+		m.Access(0, false)
+		m.EnableTenants(2)
+	})
+	expectPanic("current tenant out of range", func() {
+		m := NewMachine(testConfig(0))
+		m.EnableTenants(2)
+		m.SetCurrentTenant(2)
+	})
+}
+
+func TestTenantDRAMRatio(t *testing.T) {
+	if r := (TenantCounters{}).DRAMRatio(); r != 0 {
+		t.Errorf("empty DRAMRatio = %v, want 0", r)
+	}
+	c := TenantCounters{FastAccesses: 3, SlowAccesses: 1}
+	if r := c.DRAMRatio(); r != 0.75 {
+		t.Errorf("DRAMRatio = %v, want 0.75", r)
+	}
+}

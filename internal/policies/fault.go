@@ -47,7 +47,7 @@ type faultBase struct {
 	queued  []bool
 }
 
-func (f *faultBase) attach(m *memsim.Machine) {
+func (f *faultBase) attach(m memsim.Env) {
 	f.cfg.defaults()
 	f.base.attach(m)
 	f.faultCnt = make([]uint8, m.NumPages())
@@ -138,7 +138,10 @@ func (a *AutoNUMA) Name() string { return "AutoNUMA" }
 func (a *AutoNUMA) Interval() int64 { return a.cfg.TickInterval }
 
 // Attach implements Policy.
-func (a *AutoNUMA) Attach(m *memsim.Machine) {
+func (a *AutoNUMA) Attach(m *memsim.Machine) { a.AttachEnv(m) }
+
+// AttachEnv implements EnvPolicy.
+func (a *AutoNUMA) AttachEnv(m memsim.Env) {
 	a.attach(m)
 	m.SetFaultHandler(faultHandlerFunc(a.onFault))
 }
@@ -197,7 +200,10 @@ func (t *TPP) Name() string { return "TPP" }
 func (t *TPP) Interval() int64 { return t.cfg.TickInterval }
 
 // Attach implements Policy.
-func (t *TPP) Attach(m *memsim.Machine) {
+func (t *TPP) Attach(m *memsim.Machine) { t.AttachEnv(m) }
+
+// AttachEnv implements EnvPolicy.
+func (t *TPP) AttachEnv(m memsim.Env) {
 	t.attach(m)
 	t.lastFaultTick = make([]uint32, m.NumPages())
 	m.SetFaultHandler(faultHandlerFunc(t.onFault))
@@ -265,7 +271,10 @@ func (a *AutoTiering) Name() string { return "AutoTiering" }
 func (a *AutoTiering) Interval() int64 { return a.cfg.TickInterval }
 
 // Attach implements Policy.
-func (a *AutoTiering) Attach(m *memsim.Machine) {
+func (a *AutoTiering) Attach(m *memsim.Machine) { a.AttachEnv(m) }
+
+// AttachEnv implements EnvPolicy.
+func (a *AutoTiering) AttachEnv(m memsim.Env) {
 	a.attach(m)
 	m.SetFaultHandler(faultHandlerFunc(a.onFault))
 }
@@ -370,7 +379,10 @@ func (t *Tiering08) Name() string { return "Tiering-0.8" }
 func (t *Tiering08) Interval() int64 { return t.cfg.TickInterval }
 
 // Attach implements Policy.
-func (t *Tiering08) Attach(m *memsim.Machine) {
+func (t *Tiering08) Attach(m *memsim.Machine) { t.AttachEnv(m) }
+
+// AttachEnv implements EnvPolicy.
+func (t *Tiering08) AttachEnv(m memsim.Env) {
 	t.attach(m)
 	m.SetFaultHandler(faultHandlerFunc(t.onFault))
 }

@@ -73,7 +73,10 @@ func (h *HeMem) Interval() int64 {
 }
 
 // Attach implements Policy.
-func (h *HeMem) Attach(m *memsim.Machine) {
+func (h *HeMem) Attach(m *memsim.Machine) { h.AttachEnv(m) }
+
+// AttachEnv implements EnvPolicy.
+func (h *HeMem) AttachEnv(m memsim.Env) {
 	h.cfg.defaults()
 	h.attach(m)
 	if h.cfg.MigrateQuota == 0 {

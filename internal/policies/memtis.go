@@ -76,7 +76,10 @@ func (mt *MEMTIS) Interval() int64 {
 }
 
 // Attach implements Policy.
-func (mt *MEMTIS) Attach(m *memsim.Machine) {
+func (mt *MEMTIS) Attach(m *memsim.Machine) { mt.AttachEnv(m) }
+
+// AttachEnv implements EnvPolicy.
+func (mt *MEMTIS) AttachEnv(m memsim.Env) {
 	mt.cfg.defaults()
 	mt.attach(m)
 	if mt.cfg.MigrateQuota == 0 {

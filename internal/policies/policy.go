@@ -38,6 +38,17 @@ type Policy interface {
 	Tick(now int64)
 }
 
+// EnvPolicy is implemented by policies that can also attach to a
+// tenant-scoped machine view (memsim.Env) instead of a whole machine —
+// the per-tenant baseline mode of the multi-tenant control plane
+// (internal/tenancy). Every baseline in this package implements it;
+// Attach(m) is equivalent to AttachEnv(m).
+type EnvPolicy interface {
+	Policy
+	// AttachEnv binds the policy to an arbitrary machine surface.
+	AttachEnv(e memsim.Env)
+}
+
 // Factory constructs a fresh policy instance for one run.
 type Factory struct {
 	Name string
@@ -76,11 +87,12 @@ func ByName(name string) (Factory, error) {
 // this corresponds to ~10ms.
 const DefaultTickInterval = 10_000_000 // 10ms
 
-// base carries the machinery shared by every baseline: the machine, the
-// per-tier active/inactive LRU lists maintained from accessed bits, and
+// base carries the machinery shared by every baseline: the machine
+// surface (a whole machine or a tenant view), the per-tier
+// active/inactive LRU lists maintained from accessed bits, and
 // rate-limit bookkeeping.
 type base struct {
-	m     *memsim.Machine
+	m     memsim.Env
 	lists *lru.PageLists
 	// scanQuota is the number of pages inspected per aging pass and per
 	// accessed-bit scan, derived from the footprint.
@@ -89,7 +101,7 @@ type base struct {
 	migQuota int
 }
 
-func (b *base) attach(m *memsim.Machine) {
+func (b *base) attach(m memsim.Env) {
 	b.m = m
 	b.lists = lru.New(m.NumPages())
 	m.SetAllocHook(func(p memsim.PageID, t memsim.TierID) {
@@ -199,7 +211,10 @@ func NewStatic() *Static { return &Static{} }
 func (s *Static) Name() string { return "Static" }
 
 // Attach implements Policy.
-func (s *Static) Attach(m *memsim.Machine) { s.attach(m) }
+func (s *Static) Attach(m *memsim.Machine) { s.AttachEnv(m) }
+
+// AttachEnv implements EnvPolicy.
+func (s *Static) AttachEnv(e memsim.Env) { s.attach(e) }
 
 // Interval implements Policy.
 func (s *Static) Interval() int64 { return DefaultTickInterval }

@@ -64,7 +64,10 @@ func (mc *MultiClock) Interval() int64 {
 }
 
 // Attach implements Policy.
-func (mc *MultiClock) Attach(m *memsim.Machine) {
+func (mc *MultiClock) Attach(m *memsim.Machine) { mc.AttachEnv(m) }
+
+// AttachEnv implements EnvPolicy.
+func (mc *MultiClock) AttachEnv(m memsim.Env) {
 	mc.cfg.defaults()
 	mc.attach(m)
 	mc.candidate = make([]bool, m.NumPages())
@@ -142,7 +145,10 @@ func (n *Nimble) Interval() int64 {
 }
 
 // Attach implements Policy.
-func (n *Nimble) Attach(m *memsim.Machine) {
+func (n *Nimble) Attach(m *memsim.Machine) { n.AttachEnv(m) }
+
+// AttachEnv implements EnvPolicy.
+func (n *Nimble) AttachEnv(m memsim.Env) {
 	n.cfg.defaults()
 	n.attach(m)
 	n.history = make([]uint8, m.NumPages())

@@ -51,6 +51,9 @@ const (
 	OutcomeBusy = "busy"
 	// OutcomeTierFull: the destination tier had no capacity.
 	OutcomeTierFull = "tier_full"
+	// OutcomeQuotaFull: the page owner's fast-tier tenant quota was
+	// exhausted (multi-tenant machines only).
+	OutcomeQuotaFull = "quota_full"
 	// OutcomeSkipped: the policy abandoned the page after exhausting
 	// its retries.
 	OutcomeSkipped = "skipped"

@@ -1,0 +1,260 @@
+package tenancy
+
+import (
+	"fmt"
+
+	"artmem/internal/memsim"
+)
+
+// Mode selects how the arbiter partitions the fast tier.
+type Mode int
+
+const (
+	// ModeOff disables quotas entirely: tenants contend for the fast
+	// tier with no accounting — the fairness experiment's baseline.
+	ModeOff Mode = iota
+	// ModeStatic partitions the fast tier by tenant weight once, at
+	// construction.
+	ModeStatic
+	// ModeDynamic starts from the static split and periodically moves
+	// quota from the tenant with the highest windowed hit ratio to the
+	// one with the lowest — descending the hit-ratio gradient toward
+	// equalized service.
+	ModeDynamic
+)
+
+// String returns "off", "static", or "dynamic".
+func (m Mode) String() string {
+	switch m {
+	case ModeStatic:
+		return "static"
+	case ModeDynamic:
+		return "dynamic"
+	default:
+		return "off"
+	}
+}
+
+// ArbiterConfig parameterizes the fast-tier arbiter.
+type ArbiterConfig struct {
+	// Mode selects the quota policy (default ModeOff).
+	Mode Mode
+	// Admission enables TierBPF-style migration admission control:
+	// each control period every tenant gets a promotion budget
+	// proportional to its weight, carved from the shared migration
+	// bandwidth; promotions past the budget are denied with
+	// ErrAdmissionDenied. Demotions are never denied — reclaim must
+	// not block.
+	Admission bool
+	// BandwidthPagesPerPeriod is the shared per-period promotion
+	// budget split between tenants by weight; 0 derives fastCap/8+1.
+	BandwidthPagesPerPeriod int
+	// RebalancePeriods is how many control periods elapse between
+	// dynamic rebalances; 0 uses 8.
+	RebalancePeriods int
+	// QuotaStepFrac is the quota moved per rebalance as a fraction of
+	// fast-tier capacity; 0 uses 1/64.
+	QuotaStepFrac float64
+	// MinQuotaFrac floors every tenant's quota at this fraction of its
+	// static share, so dynamic mode can never starve a tenant; 0 uses
+	// 0.25.
+	MinQuotaFrac float64
+	// DeadbandHitRatio suppresses rebalances when the windowed
+	// hit-ratio spread is below this; 0 uses 0.05.
+	DeadbandHitRatio float64
+}
+
+func (c *ArbiterConfig) defaults(fastCap int) {
+	if c.BandwidthPagesPerPeriod == 0 {
+		c.BandwidthPagesPerPeriod = fastCap/8 + 1
+	}
+	if c.RebalancePeriods == 0 {
+		c.RebalancePeriods = 8
+	}
+	if c.QuotaStepFrac == 0 {
+		c.QuotaStepFrac = 1.0 / 64
+	}
+	if c.MinQuotaFrac == 0 {
+		c.MinQuotaFrac = 0.25
+	}
+	if c.DeadbandHitRatio == 0 {
+		c.DeadbandHitRatio = 0.05
+	}
+}
+
+// ErrAdmissionDenied is returned by a TenantView's MovePage when the
+// arbiter's per-period promotion budget for the tenant is exhausted.
+// It wraps memsim.ErrTierFull so policies treat a denial like a full
+// tier: stop promoting this period and try again next period.
+var ErrAdmissionDenied = fmt.Errorf("tenancy: promotion denied by admission control: %w", memsim.ErrTierFull)
+
+// Arbiter partitions the fast tier between tenants and meters their
+// promotion traffic. All methods must be called from the single
+// control-loop thread (or under the runtime's lock).
+type Arbiter struct {
+	cfg     ArbiterConfig
+	m       *memsim.Machine
+	weights []int
+	sumW    int
+	// staticQuota is the weight-proportional split of the fast tier;
+	// quota is the live assignment (equal to staticQuota until dynamic
+	// mode moves shares around). Zero-valued in ModeOff.
+	staticQuota []int
+	quota       []int
+	budget      []int
+	denials     []uint64
+	rebalances  uint64
+	periods     int
+	// Windowed hit-ratio state for dynamic mode and reporting.
+	prevFast, prevSlow []uint64
+	window             []float64
+}
+
+func newArbiter(m *memsim.Machine, weights []int, cfg ArbiterConfig) *Arbiter {
+	fastCap := m.CapacityPages(memsim.Fast)
+	cfg.defaults(fastCap)
+	n := len(weights)
+	a := &Arbiter{
+		cfg:         cfg,
+		m:           m,
+		weights:     weights,
+		staticQuota: make([]int, n),
+		quota:       make([]int, n),
+		budget:      make([]int, n),
+		denials:     make([]uint64, n),
+		prevFast:    make([]uint64, n),
+		prevSlow:    make([]uint64, n),
+		window:      make([]float64, n),
+	}
+	for _, w := range weights {
+		a.sumW += w
+	}
+	if cfg.Mode != ModeOff {
+		// Weighted shares with the integer-division remainder dealt out
+		// round-robin so the quotas sum exactly to capacity (a floor
+		// split would strand pages no tenant may use).
+		assigned := 0
+		for i, w := range weights {
+			a.staticQuota[i] = fastCap * w / a.sumW
+			if a.staticQuota[i] < 1 {
+				a.staticQuota[i] = 1
+			}
+			assigned += a.staticQuota[i]
+		}
+		for i := 0; assigned < fastCap; i = (i + 1) % n {
+			a.staticQuota[i]++
+			assigned++
+		}
+		for i := range a.quota {
+			a.quota[i] = a.staticQuota[i]
+			m.SetFastQuota(memsim.TenantID(i), a.quota[i])
+		}
+	}
+	a.refillBudgets()
+	return a
+}
+
+func (a *Arbiter) refillBudgets() {
+	for i, w := range a.weights {
+		b := a.cfg.BandwidthPagesPerPeriod * w / a.sumW
+		if b < 1 {
+			b = 1
+		}
+		a.budget[i] = b
+	}
+}
+
+// beginPeriod refills admission budgets and runs a dynamic rebalance
+// when one is due.
+func (a *Arbiter) beginPeriod() {
+	a.periods++
+	a.refillBudgets()
+	if a.cfg.Mode == ModeDynamic && a.periods%a.cfg.RebalancePeriods == 0 {
+		a.rebalance()
+	}
+}
+
+// admitPromotion consumes one unit of the tenant's promotion budget,
+// or denies the promotion when it is spent.
+func (a *Arbiter) admitPromotion(id memsim.TenantID) error {
+	if !a.cfg.Admission {
+		return nil
+	}
+	if a.budget[id] <= 0 {
+		a.denials[id]++
+		return ErrAdmissionDenied
+	}
+	a.budget[id]--
+	return nil
+}
+
+// rebalance moves one quota step from the tenant with the highest
+// windowed hit ratio to the one with the lowest. Ties break toward
+// the lowest tenant index, deterministically. Tenants with no window
+// traffic are skipped (an idle tenant's ratio says nothing).
+func (a *Arbiter) rebalance() {
+	donor, receiver := -1, -1
+	for i := range a.weights {
+		c := a.m.TenantCounters(memsim.TenantID(i))
+		df := c.FastAccesses - a.prevFast[i]
+		ds := c.SlowAccesses - a.prevSlow[i]
+		a.prevFast[i], a.prevSlow[i] = c.FastAccesses, c.SlowAccesses
+		if df+ds == 0 {
+			a.window[i] = -1
+			continue
+		}
+		a.window[i] = float64(df) / float64(df+ds)
+		if donor < 0 || a.window[i] > a.window[donor] {
+			donor = i
+		}
+		if receiver < 0 || a.window[i] < a.window[receiver] {
+			receiver = i
+		}
+	}
+	if donor < 0 || receiver < 0 || donor == receiver {
+		return
+	}
+	if a.window[donor]-a.window[receiver] < a.cfg.DeadbandHitRatio {
+		return
+	}
+	step := int(a.cfg.QuotaStepFrac * float64(a.m.CapacityPages(memsim.Fast)))
+	if step < 1 {
+		step = 1
+	}
+	floor := int(a.cfg.MinQuotaFrac * float64(a.staticQuota[donor]))
+	if floor < 1 {
+		floor = 1
+	}
+	if a.quota[donor]-step < floor {
+		step = a.quota[donor] - floor
+	}
+	if step <= 0 {
+		return
+	}
+	a.quota[donor] -= step
+	a.quota[receiver] += step
+	a.m.SetFastQuota(memsim.TenantID(donor), a.quota[donor])
+	a.m.SetFastQuota(memsim.TenantID(receiver), a.quota[receiver])
+	a.rebalances++
+}
+
+// Mode returns the arbiter's quota mode.
+func (a *Arbiter) Mode() Mode { return a.cfg.Mode }
+
+// AdmissionEnabled reports whether admission control is on.
+func (a *Arbiter) AdmissionEnabled() bool { return a.cfg.Admission }
+
+// Quota returns tenant i's current fast-tier quota in pages (0 in
+// ModeOff: unlimited).
+func (a *Arbiter) Quota(i int) int { return a.quota[i] }
+
+// Denials returns how many promotions of tenant i admission control
+// has denied.
+func (a *Arbiter) Denials(i int) uint64 { return a.denials[i] }
+
+// Rebalances returns how many dynamic quota rebalances have executed.
+func (a *Arbiter) Rebalances() uint64 { return a.rebalances }
+
+// WindowHitRatio returns tenant i's hit ratio over the last rebalance
+// window, or -1 when the tenant had no traffic (or none has elapsed).
+func (a *Arbiter) WindowHitRatio(i int) float64 { return a.window[i] }

@@ -1,0 +1,49 @@
+package tenancy
+
+import "artmem/internal/memsim"
+
+// demux is the single machine-level hook set that fans signal streams
+// out to the tenants. The machine sees one sampler, one fault handler,
+// and one alloc hook; the demux routes every event to the handler
+// registered by the owning tenant's policy — the analogue of the
+// kernel delivering PEBS records and hint faults to the memcg that
+// owns the page. Tenants with no registered handler drop their events
+// (a tenant running a fault-driven policy has no sampler, and vice
+// versa).
+type demux struct {
+	m        *memsim.Machine
+	samplers []memsim.Sampler
+	faults   []memsim.FaultHandler
+	allocs   []func(memsim.PageID, memsim.TierID)
+}
+
+func newDemux(m *memsim.Machine, n int) *demux {
+	return &demux{
+		m:        m,
+		samplers: make([]memsim.Sampler, n),
+		faults:   make([]memsim.FaultHandler, n),
+		allocs:   make([]func(memsim.PageID, memsim.TierID), n),
+	}
+}
+
+// OnMiss implements memsim.Sampler: route by page owner.
+func (d *demux) OnMiss(p memsim.PageID, t memsim.TierID, write bool, now int64) {
+	if s := d.samplers[d.m.OwnerOf(p)]; s != nil {
+		s.OnMiss(p, t, write, now)
+	}
+}
+
+// OnFault implements memsim.FaultHandler: route by page owner.
+func (d *demux) OnFault(p memsim.PageID, t memsim.TierID, write bool, now int64) {
+	if h := d.faults[d.m.OwnerOf(p)]; h != nil {
+		h.OnFault(p, t, write, now)
+	}
+}
+
+// onAlloc is the machine's first-touch hook: the page's owner is the
+// current tenant, set by memsim.allocate just before this fires.
+func (d *demux) onAlloc(p memsim.PageID, t memsim.TierID) {
+	if h := d.allocs[d.m.OwnerOf(p)]; h != nil {
+		h(p, t)
+	}
+}

@@ -1,0 +1,105 @@
+// Package tenancy is the multi-tenant control plane: it turns one
+// memsim.Machine into N memcg-analogue tenants, each with first-touch
+// page ownership, its own RSS accounting, its own signal streams (PEBS
+// samples, NUMA-hint faults, allocation events routed by a demux), and
+// its own tiering policy attached through a tenant-scoped machine view
+// (TenantView, a memsim.Env). A global fast-tier Arbiter partitions
+// DRAM between the tenants via per-tenant page quotas — static
+// weighted shares, or a dynamic mode that reallocates quota along the
+// observed hit-ratio gradient — and applies TierBPF-style migration
+// admission control so one tenant's promotion traffic cannot monopolize
+// the shared migration bandwidth. DESIGN.md §8 documents the model.
+//
+// Nothing in this package is safe for concurrent use; the online
+// runtime (core.MultiSystem) serializes all machine, plane, and view
+// calls under one lock, and the offline runner (harness.RunTenants) is
+// single-threaded by construction.
+package tenancy
+
+import (
+	"fmt"
+
+	"artmem/internal/memsim"
+)
+
+// Tenant describes one tenant of the control plane.
+type Tenant struct {
+	// Name labels the tenant in reports, telemetry, and endpoints.
+	Name string
+	// Weight is the tenant's share of the fast tier and of the
+	// migration bandwidth budget, relative to the other tenants'
+	// weights; 0 means 1.
+	Weight int
+}
+
+// Plane owns the machine-side tenancy wiring: it enables per-tenant
+// accounting on the machine, installs the signal demux, builds the
+// arbiter, and hands out tenant views for policies to attach to.
+type Plane struct {
+	m       *memsim.Machine
+	tenants []Tenant
+	arb     *Arbiter
+	dx      *demux
+	views   []*TenantView
+}
+
+// NewPlane wires tenants onto a fresh machine (no pages allocated yet;
+// memsim panics otherwise) and partitions the fast tier per acfg. The
+// plane installs the machine's sampler, fault-handler, and alloc
+// hooks; per-tenant policies must install theirs through the views,
+// not on the machine directly.
+func NewPlane(m *memsim.Machine, tenants []Tenant, acfg ArbiterConfig) *Plane {
+	if len(tenants) == 0 {
+		panic("tenancy: NewPlane needs at least one tenant")
+	}
+	ts := make([]Tenant, len(tenants))
+	copy(ts, tenants)
+	weights := make([]int, len(ts))
+	for i := range ts {
+		if ts[i].Weight <= 0 {
+			ts[i].Weight = 1
+		}
+		if ts[i].Name == "" {
+			ts[i].Name = fmt.Sprintf("tenant%d", i)
+		}
+		weights[i] = ts[i].Weight
+	}
+	m.EnableTenants(len(ts))
+	dx := newDemux(m, len(ts))
+	m.SetSampler(dx)
+	m.SetFaultHandler(dx)
+	m.SetAllocHook(dx.onAlloc)
+	p := &Plane{
+		m:       m,
+		tenants: ts,
+		arb:     newArbiter(m, weights, acfg),
+		dx:      dx,
+	}
+	p.views = make([]*TenantView, len(ts))
+	for i := range p.views {
+		p.views[i] = &TenantView{plane: p, m: m, id: memsim.TenantID(i)}
+	}
+	return p
+}
+
+// NumTenants returns the number of tenants.
+func (p *Plane) NumTenants() int { return len(p.tenants) }
+
+// Tenant returns the i-th tenant's descriptor.
+func (p *Plane) Tenant(i int) Tenant { return p.tenants[i] }
+
+// View returns tenant i's machine view, the memsim.Env its policy
+// attaches to.
+func (p *Plane) View(i int) *TenantView { return p.views[i] }
+
+// Arbiter returns the fast-tier arbiter.
+func (p *Plane) Arbiter() *Arbiter { return p.arb }
+
+// Machine returns the underlying machine.
+func (p *Plane) Machine() *memsim.Machine { return p.m }
+
+// BeginPeriod starts one control period: it refills the arbiter's
+// per-tenant migration admission budgets and, in dynamic mode, runs a
+// quota rebalance when due. The control loop calls it once per
+// migration period, before ticking the tenant policies.
+func (p *Plane) BeginPeriod() { p.arb.beginPeriod() }

@@ -4,7 +4,10 @@
 # Runs, in order:
 #   1. go vet          static analysis over every package
 #   2. go build        tier-1 compile check
-#   3. go test         tier-1 test suite
+#   3. go test         tier-1 test suite, with -shuffle=on so any
+#                      test-order dependence (shared-state fixtures,
+#                      package-level caches) fails loudly; the seed is
+#                      printed on failure for replay via -shuffle=N
 #   4. go test -race   the suite under the race detector, which
 #                      exercises the online System's sampling/migration/
 #                      watchdog goroutines and the chaos suite for data
@@ -23,8 +26,8 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test ./..."
-go test ./...
+echo "== go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
 echo "== go test -race -short ./..."
 go test -race -short ./...
