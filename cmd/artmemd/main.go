@@ -67,6 +67,7 @@ func main() {
 		pagetrace = flag.Int("pagetrace", 0, "enable page-lifecycle tracing at 1-in-N page sampling (served at /pagetrace; 0 = off)")
 		tenants   = flag.String("tenants", "", "comma-separated workload list for multi-tenant mode (one tenant + RL agent per workload; serves /tenants)")
 		arbiter   = flag.String("arbiter", "dynamic", "multi-tenant fast-tier arbiter mode: off, static, or dynamic (quotas + admission control)")
+		capacity  = flag.Int("capacity", 0, "multi-tenant slot capacity; 0 = number of listed tenants (extra slots admit runtime POST /register)")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -83,7 +84,7 @@ func main() {
 		fatal(fmt.Errorf("bad -ratio %q: %v", *ratio, err))
 	}
 	if *tenants != "" {
-		multiMain(*tenants, *arbiter, prof, fast, slow, *listen, *drain, build)
+		multiMain(*tenants, *arbiter, prof, fast, slow, *capacity, *listen, *drain, build)
 		return
 	}
 	spec, err := workloads.ByName(*name)

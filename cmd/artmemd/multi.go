@@ -2,12 +2,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -20,9 +24,14 @@ import (
 
 // multiMain is artmemd's multi-tenant mode: one tenant per listed
 // workload on a shared machine, each with its own RL agent, under the
-// fast-tier arbiter. The control plane (including /tenants) is served
-// on the same listen address the single-tenant daemon uses.
-func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow int,
+// fast-tier arbiter. The machine is sized as `capacity` equal slot
+// regions (each big enough for the largest listed workload), so tenants
+// registered at runtime through POST /register get their own address
+// region and replay alongside the initial set; POST /deregister retires
+// a tenant through the plane's transactional reclamation. The control
+// plane (including /tenants) is served on the same listen address the
+// single-tenant daemon uses.
+func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow, capacity int,
 	listen string, drain time.Duration, build telemetry.BuildInfo) {
 	var mode tenancy.Mode
 	switch arbMode {
@@ -38,9 +47,8 @@ func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow in
 
 	names := strings.Split(tenantList, ",")
 	specs := make([]workloads.Spec, len(names))
-	offsets := make([]uint64, len(names))
 	tenants := make([]core.TenantConfig, len(names))
-	var foot int64
+	var slotBytes int64
 	for i, name := range names {
 		name = strings.TrimSpace(name)
 		names[i] = name
@@ -50,10 +58,12 @@ func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow in
 		}
 		specs[i] = spec
 		probe := spec.New(prof)
-		offsets[i] = uint64(foot)
-		foot += probe.FootprintBytes()
-		weight := int(probe.FootprintBytes() / prof.PageSize())
+		foot := probe.FootprintBytes()
 		probe.Close()
+		if foot > slotBytes {
+			slotBytes = foot
+		}
+		weight := int(foot / prof.PageSize())
 		if weight < 1 {
 			weight = 1
 		}
@@ -63,11 +73,19 @@ func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow in
 			Policy: core.Config{Seed: prof.Seed + uint64(i)},
 		}
 	}
+	if capacity < len(names) {
+		capacity = len(names)
+	}
+	if slotBytes < prof.PageSize() {
+		slotBytes = prof.PageSize()
+	}
 
+	foot := slotBytes * int64(capacity)
 	mcfg := memsim.DefaultConfig(foot, foot*int64(fast)/int64(fast+slow), prof.PageSize())
 	sys := core.NewMultiSystem(core.MultiSystemConfig{
 		Machine:           mcfg,
 		Tenants:           tenants,
+		Capacity:          capacity,
 		Arbiter:           tenancy.ArbiterConfig{Mode: mode, Admission: mode != tenancy.ModeOff},
 		SamplingInterval:  time.Millisecond,
 		MigrationInterval: 10 * time.Millisecond,
@@ -79,8 +97,17 @@ func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow in
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
+	rep := &replaySet{sys: sys, prof: prof, slotBytes: slotBytes}
+	for i := range names {
+		rep.entries = append(rep.entries, &replayEntry{
+			slot: i, name: names[i], spec: specs[i], w: specs[i].New(prof),
+		})
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", sys.ControlHandler())
+	mux.HandleFunc("/register", rep.handleRegister)
+	mux.HandleFunc("/deregister", rep.handleDeregister)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -94,27 +121,24 @@ func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow in
 	})
 
 	fmt.Printf("artmemd: build %s\n", build)
-	fmt.Printf("artmemd: %d tenants (%s), arbiter %s, admission=%v\n",
-		len(names), strings.Join(names, ","), mode, mode != tenancy.ModeOff)
+	fmt.Printf("artmemd: %d/%d tenant slots filled (%s), arbiter %s, admission=%v\n",
+		len(names), capacity, strings.Join(names, ","), mode, mode != tenancy.ModeOff)
 	fmt.Printf("artmemd: serving control plane on http://%s (/tenants, /stats, /metrics, /metrics.json, /trace)\n", listen)
-	fmt.Printf("artmemd: replaying %d MB total footprint at %d:%d in a loop; SIGINT/SIGTERM to stop\n",
-		foot>>20, fast, slow)
+	fmt.Printf("artmemd: tenant lifecycle at POST /register?workload=NAME[&name=..&weight=..&class=latency] and POST /deregister?slot=N[&handoff=M][&crash=1]\n")
+	fmt.Printf("artmemd: replaying %d MB machine (%d slots x %d MB) at %d:%d in a loop; SIGINT/SIGTERM to stop\n",
+		foot>>20, capacity, slotBytes>>20, fast, slow)
 
-	replays := 0
 loop:
 	for {
-		if !replayTenants(sys, specs, offsets, prof, stop) {
+		select {
+		case <-stop:
 			break loop
+		default:
 		}
-		replays++
-		rep := sys.TenantsReport()
-		parts := make([]string, len(rep.Tenants))
-		for i, t := range rep.Tenants {
-			parts[i] = fmt.Sprintf("%s ratio=%.3f fast=%d denied=%d",
-				t.Name, t.HitRatio, t.FastPages, t.AdmissionDenials)
+		if !rep.step() {
+			// No resident tenants: wait for a registration or a signal.
+			time.Sleep(10 * time.Millisecond)
 		}
-		fmt.Printf("replay %d done: %s, rebalances=%d\n",
-			replays, strings.Join(parts, "; "), rep.Rebalances)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
@@ -126,46 +150,184 @@ loop:
 	fmt.Println("artmemd: stopped")
 }
 
-// replayTenants runs one interleaved pass of every tenant's workload,
-// returning false when a stop signal arrived. Panics are recovered as
-// in the single-tenant replay.
-func replayTenants(sys *core.MultiSystem, specs []workloads.Spec, offsets []uint64,
-	prof workloads.Profile, stop <-chan os.Signal) (again bool) {
+// replayEntry is one resident tenant's replay state.
+type replayEntry struct {
+	slot    int
+	name    string
+	spec    workloads.Spec
+	w       workloads.Workload
+	replays int
+}
+
+// replaySet round-robins batches across the resident tenants' workloads
+// and applies HTTP lifecycle requests between batches. The mutex spans
+// each AccessBatch, so registration and deregistration never race a
+// departing tenant's in-flight accesses.
+type replaySet struct {
+	mu        sync.Mutex
+	sys       *core.MultiSystem
+	prof      workloads.Profile
+	slotBytes int64
+	entries   []*replayEntry
+	turn      int
+	regSeq    uint64
+}
+
+// step replays one batch of the next resident tenant, looping exhausted
+// workloads in place. Returns false when no tenant is resident. Panics
+// are recovered as in the single-tenant replay.
+func (rs *replaySet) step() (progressed bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			fmt.Fprintf(os.Stderr, "artmemd: replay panicked (recovered): %v\n", r)
-			again = true
+			progressed = true
 		}
 	}()
-	loads := make([]workloads.Workload, len(specs))
-	for i, s := range specs {
-		loads[i] = s.New(prof)
-		defer loads[i].Close()
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.entries) == 0 {
+		return false
 	}
-	done := make([]bool, len(loads))
-	live := len(loads)
-	for turn := 0; live > 0; turn = (turn + 1) % len(loads) {
-		if done[turn] {
-			continue
-		}
-		b, ok := loads[turn].Next()
-		if !ok {
-			done[turn] = true
-			live--
-			continue
-		}
-		addrs := make([]uint64, len(b))
-		writes := make([]bool, len(b))
-		for i, a := range b {
-			addrs[i] = a.Addr + offsets[turn]
-			writes[i] = a.Write
-		}
-		sys.AccessBatch(turn, addrs, writes)
-		select {
-		case <-stop:
-			return false
-		default:
-		}
+	rs.turn %= len(rs.entries)
+	e := rs.entries[rs.turn]
+	rs.turn++
+	b, ok := e.w.Next()
+	if !ok {
+		e.w.Close()
+		e.w = e.spec.New(rs.prof)
+		e.replays++
+		tc := rs.sys.TenantCounters(e.slot)
+		fmt.Printf("tenant %s (slot %d) replay %d done: ratio=%.3f promo=%d\n",
+			e.name, e.slot, e.replays, tc.DRAMRatio(), tc.Promotions)
+		return true
 	}
+	off := uint64(e.slot) * uint64(rs.slotBytes)
+	addrs := make([]uint64, len(b))
+	writes := make([]bool, len(b))
+	for i, a := range b {
+		addrs[i] = a.Addr + off
+		writes[i] = a.Write
+	}
+	rs.sys.AccessBatch(e.slot, addrs, writes)
 	return true
+}
+
+// handleRegister admits a tenant at runtime: POST /register?workload=
+// NAME[&name=LABEL][&weight=W][&class=latency|batch]. The workload must
+// fit one slot region; admission control (plane full, arrival
+// backpressure) maps to 503 with the error in the body.
+func (rs *replaySet) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	wlName := r.FormValue("workload")
+	spec, err := workloads.ByName(wlName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	name := r.FormValue("name")
+	if name == "" {
+		name = wlName
+	}
+	weight := 0
+	if v := r.FormValue("weight"); v != "" {
+		if weight, err = strconv.Atoi(v); err != nil || weight < 1 {
+			http.Error(w, "bad weight", http.StatusBadRequest)
+			return
+		}
+	}
+	var class tenancy.SLOClass
+	switch r.FormValue("class") {
+	case "", "batch":
+		class = tenancy.ClassBatch
+	case "latency":
+		class = tenancy.ClassLatency
+	default:
+		http.Error(w, "bad class: want latency or batch", http.StatusBadRequest)
+		return
+	}
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	probe := spec.New(rs.prof)
+	foot := probe.FootprintBytes()
+	probe.Close()
+	if foot > rs.slotBytes {
+		http.Error(w, fmt.Sprintf("workload footprint %d exceeds slot region %d", foot, rs.slotBytes),
+			http.StatusBadRequest)
+		return
+	}
+	if weight == 0 {
+		weight = int(foot / rs.prof.PageSize())
+		if weight < 1 {
+			weight = 1
+		}
+	}
+	rs.regSeq++
+	slot, err := rs.sys.RegisterTenant(core.TenantConfig{
+		Name:   name,
+		Weight: weight,
+		Class:  class,
+		Policy: core.Config{Seed: rs.prof.Seed + 1000 + rs.regSeq},
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	rs.entries = append(rs.entries, &replayEntry{
+		slot: slot, name: name, spec: spec, w: spec.New(rs.prof),
+	})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"slot": slot, "name": name, "workload": wlName})
+}
+
+// handleDeregister retires a tenant: POST /deregister?slot=N[&handoff=M]
+// [&crash=1]. An interrupted reclamation still succeeds from the
+// client's view — the slot is left draining and the migration thread
+// retries each period.
+func (rs *replaySet) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	slot, err := strconv.Atoi(r.FormValue("slot"))
+	if err != nil {
+		http.Error(w, "bad slot", http.StatusBadRequest)
+		return
+	}
+	handoff := -1
+	if v := r.FormValue("handoff"); v != "" {
+		if handoff, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad handoff", http.StatusBadRequest)
+			return
+		}
+	}
+	crash := r.FormValue("crash") != ""
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for i, e := range rs.entries {
+		if e.slot == slot {
+			e.w.Close()
+			rs.entries = append(rs.entries[:i], rs.entries[i+1:]...)
+			break
+		}
+	}
+	if crash {
+		err = rs.sys.CrashTenant(slot, handoff)
+	} else {
+		err = rs.sys.DeregisterTenant(slot, handoff)
+	}
+	state := "empty"
+	if errors.Is(err, tenancy.ErrReclaimInterrupted) {
+		state, err = "draining", nil
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"slot": slot, "state": state, "crash": crash})
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"artmem/internal/core"
+	"artmem/internal/memsim"
+	"artmem/internal/tenancy"
+	"artmem/internal/workloads"
+)
+
+// testReplaySet mirrors multiMain's setup at test scale: a 3-slot plane
+// with one resident SSSP tenant, slot regions sized to the probe
+// footprint.
+func testReplaySet(t *testing.T) *replaySet {
+	t.Helper()
+	prof := workloads.Profile{Div: 4096, PatternAccesses: 20_000, AppAccesses: 20_000, Seed: 1}
+	spec, err := workloads.ByName("SSSP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := spec.New(prof)
+	slotBytes := probe.FootprintBytes()
+	probe.Close()
+	if slotBytes < prof.PageSize() {
+		slotBytes = prof.PageSize()
+	}
+	const capacity = 3
+	foot := slotBytes * capacity
+	mcfg := memsim.DefaultConfig(foot, foot/5, prof.PageSize())
+	mcfg.CacheLines = 0
+	sys := core.NewMultiSystem(core.MultiSystemConfig{
+		Machine:           mcfg,
+		Tenants:           []core.TenantConfig{{Name: "SSSP", Weight: 1, Policy: core.Config{Seed: 1}}},
+		Capacity:          capacity,
+		Arbiter:           tenancy.ArbiterConfig{Mode: tenancy.ModeStatic, Admission: true},
+		SamplingInterval:  time.Millisecond,
+		MigrationInterval: 10 * time.Millisecond,
+	})
+	rs := &replaySet{sys: sys, prof: prof, slotBytes: slotBytes}
+	rs.entries = append(rs.entries, &replayEntry{slot: 0, name: "SSSP", spec: spec, w: spec.New(prof)})
+	return rs
+}
+
+func post(t *testing.T, h http.HandlerFunc, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h(w, httptest.NewRequest(http.MethodPost, url, nil))
+	return w
+}
+
+// TestReplaySetLifecycle drives the daemon's runtime tenant lifecycle:
+// register fills free slots and a full plane maps to 503, deregister
+// and crash reclaim them, and the replay loop keeps stepping across
+// membership changes until the plane is empty.
+func TestReplaySetLifecycle(t *testing.T) {
+	rs := testReplaySet(t)
+	for i := 0; i < 5; i++ {
+		if !rs.step() {
+			t.Fatal("step with a resident tenant reported no progress")
+		}
+	}
+
+	// Method and parameter validation.
+	w := httptest.NewRecorder()
+	rs.handleRegister(w, httptest.NewRequest(http.MethodGet, "/register?workload=SSSP", nil))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /register = %d, want 405", w.Code)
+	}
+	if w := post(t, rs.handleRegister, "/register?workload=nope"); w.Code != http.StatusBadRequest {
+		t.Errorf("unknown workload = %d, want 400", w.Code)
+	}
+	if w := post(t, rs.handleRegister, "/register?workload=SSSP&class=gold"); w.Code != http.StatusBadRequest {
+		t.Errorf("bad class = %d, want 400", w.Code)
+	}
+	if w := post(t, rs.handleDeregister, "/deregister?slot=zero"); w.Code != http.StatusBadRequest {
+		t.Errorf("bad slot = %d, want 400", w.Code)
+	}
+
+	// Fill the plane, then overflow: admission control maps to 503.
+	var reg struct {
+		Slot int    `json:"slot"`
+		Name string `json:"name"`
+	}
+	w = post(t, rs.handleRegister, "/register?workload=SSSP&name=late&class=latency")
+	if w.Code != http.StatusOK {
+		t.Fatalf("register = %d: %s", w.Code, w.Body)
+	}
+	if json.Unmarshal(w.Body.Bytes(), &reg); reg.Slot != 1 || reg.Name != "late" {
+		t.Fatalf("register reply = %+v", reg)
+	}
+	if w := post(t, rs.handleRegister, "/register?workload=SSSP"); w.Code != http.StatusOK {
+		t.Fatalf("third register = %d: %s", w.Code, w.Body)
+	}
+	if w := post(t, rs.handleRegister, "/register?workload=SSSP"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("register on full plane = %d, want 503", w.Code)
+	}
+	rep := rs.sys.TenantsReport()
+	if rep.ActiveTenants != 3 {
+		t.Fatalf("active tenants = %d, want 3", rep.ActiveTenants)
+	}
+	if rep.Tenants[1].SLOClass != "latency" {
+		t.Errorf("slot 1 class = %q, want latency", rep.Tenants[1].SLOClass)
+	}
+	for i := 0; i < 7; i++ {
+		rs.step() // all three tenants replay
+	}
+
+	// Graceful deregister, crash with handoff, then drain the original.
+	if w := post(t, rs.handleDeregister, "/deregister?slot=1"); w.Code != http.StatusOK {
+		t.Fatalf("deregister = %d: %s", w.Code, w.Body)
+	}
+	if w := post(t, rs.handleDeregister, "/deregister?slot=2&crash=1&handoff=0"); w.Code != http.StatusOK {
+		t.Fatalf("crash = %d: %s", w.Code, w.Body)
+	}
+	if w := post(t, rs.handleDeregister, "/deregister?slot=2"); w.Code != http.StatusConflict {
+		t.Errorf("deregister of empty slot = %d, want 409", w.Code)
+	}
+	if !rs.step() {
+		t.Fatal("step lost the surviving tenant")
+	}
+	if w := post(t, rs.handleDeregister, "/deregister?slot=0"); w.Code != http.StatusOK {
+		t.Fatalf("final deregister = %d: %s", w.Code, w.Body)
+	}
+	if rs.step() {
+		t.Error("step on an empty plane reported progress")
+	}
+	rep = rs.sys.TenantsReport()
+	// Crashes count once in Deregistrations too (on reclaim commit).
+	if rep.ActiveTenants != 0 || rep.Crashes != 1 || rep.Deregistrations != 3 {
+		t.Errorf("final ledger: %+v", rep)
+	}
+	if err := rs.sys.Machine().CheckInvariants(); err != nil {
+		t.Errorf("invariants after lifecycle churn: %v", err)
+	}
+}

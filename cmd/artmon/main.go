@@ -225,26 +225,45 @@ func renderFrame(cur, prev *sample, base string) string {
 	return b.String()
 }
 
-// renderTenants draws the multi-tenant section: arbiter posture plus
-// one row per tenant with its fast-tier occupancy against quota, hit
-// ratio, and admission-control pressure.
+// renderTenants draws the multi-tenant section: arbiter posture, slot
+// occupancy and the lifecycle ledger, plus one row per tenant with its
+// SLO class, fast-tier occupancy against quota, hit ratio, and
+// admission-control pressure. Daemons predating the lifecycle plane
+// serve /tenants without capacity or class fields; those unmarshal to
+// zero values and the extra columns degrade to placeholders.
 func renderTenants(rep *core.TenantsReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "tenants (arbiter %s, admission %v, rebalances %d):\n",
-		rep.ArbiterMode, rep.AdmissionControl, rep.Rebalances)
-	fmt.Fprintf(&b, "  %-10s %9s %7s %10s %8s %8s %6s\n",
-		"tenant", "hit ratio", "fast", "quota", "promo", "denied", "state")
+	occupancy := ""
+	if rep.Capacity > 0 {
+		occupancy = fmt.Sprintf("%d/%d active, ", rep.ActiveTenants, rep.Capacity)
+	}
+	fmt.Fprintf(&b, "tenants (%sarbiter %s, admission %v, rebalances %d):\n",
+		occupancy, rep.ArbiterMode, rep.AdmissionControl, rep.Rebalances)
+	if rep.Capacity > 0 {
+		fmt.Fprintf(&b, "  lifecycle: regs %d  deregs %d  crashes %d  rollbacks %d  throttled %d\n",
+			rep.Registrations, rep.Deregistrations, rep.Crashes,
+			rep.ReclaimRollbacks, rep.Throttled)
+	}
+	fmt.Fprintf(&b, "  %-10s %-8s %9s %7s %10s %8s %8s %6s\n",
+		"tenant", "class", "hit ratio", "fast", "quota", "promo", "denied", "state")
 	for _, t := range rep.Tenants {
+		class := t.SLOClass
+		if class == "" {
+			class = "-"
+		}
 		quota := "-"
 		if t.QuotaPages > 0 {
 			quota = fmt.Sprintf("%d", t.QuotaPages)
 		}
 		state := "ok"
-		if t.Degraded {
+		switch {
+		case t.Degraded:
 			state = "DEGR"
+		case t.State == "draining":
+			state = "drain"
 		}
-		fmt.Fprintf(&b, "  %-10s %9.3f %7d %10s %8d %8d %6s\n",
-			t.Name, t.HitRatio, t.FastPages, quota, t.Promotions,
+		fmt.Fprintf(&b, "  %-10s %-8s %9.3f %7d %10s %8d %8d %6s\n",
+			t.Name, class, t.HitRatio, t.FastPages, quota, t.Promotions,
 			t.AdmissionDenials, state)
 	}
 	b.WriteByte('\n')

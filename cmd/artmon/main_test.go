@@ -107,8 +107,9 @@ func TestPollAndRenderAgainstMultiSystem(t *testing.T) {
 	}
 	frame := renderFrame(cur, nil, srv.URL)
 	for _, want := range []string{
-		"tenants (arbiter static, admission true",
-		"alpha", "beta", "hit ratio", "quota",
+		"tenants (2/2 active, arbiter static, admission true",
+		"lifecycle: regs 2  deregs 0  crashes 0",
+		"alpha", "beta", "class", "hit ratio", "quota",
 	} {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q:\n%s", want, frame)
@@ -121,7 +122,10 @@ func TestPollAndRenderAgainstMultiSystem(t *testing.T) {
 }
 
 // TestRenderTenants pins the per-tenant row format against a hand-built
-// report: unlimited quotas print "-", degraded agents flag DEGR.
+// report that mimics a daemon predating the lifecycle plane: no
+// capacity, no classes. The section must degrade — plain header, no
+// lifecycle ledger, "-" class cells — while unlimited quotas print "-"
+// and degraded agents flag DEGR.
 func TestRenderTenants(t *testing.T) {
 	out := renderTenants(&core.TenantsReport{
 		ArbiterMode: "off",
@@ -139,12 +143,45 @@ func TestRenderTenants(t *testing.T) {
 			t.Errorf("renderTenants missing %q:\n%s", want, out)
 		}
 	}
+	if strings.Contains(out, "active,") || strings.Contains(out, "lifecycle:") {
+		t.Errorf("old-daemon report rendered lifecycle fields:\n%s", out)
+	}
 	lines := strings.Split(out, "\n")
 	if !strings.Contains(lines[2], " - ") {
 		t.Errorf("unlimited quota not rendered as '-': %q", lines[2])
 	}
 	if !strings.Contains(lines[3], " 7 ") && !strings.HasSuffix(strings.TrimRight(lines[3], " "), "DEGR") {
 		t.Errorf("row misrendered: %q", lines[3])
+	}
+}
+
+// TestRenderTenantsLifecycle pins the lifecycle-aware section: slot
+// occupancy in the header, the ledger line, SLO class cells, and the
+// draining state marker.
+func TestRenderTenantsLifecycle(t *testing.T) {
+	out := renderTenants(&core.TenantsReport{
+		ArbiterMode:      "static",
+		AdmissionControl: true,
+		Capacity:         8,
+		ActiveTenants:    2,
+		Registrations:    41,
+		Deregistrations:  30,
+		Crashes:          6,
+		ReclaimRollbacks: 3,
+		Throttled:        12,
+		Tenants: []core.TenantStatus{
+			{Name: "svc", SLOClass: "latency", State: "active", HitRatio: 0.9, QuotaPages: 12},
+			{Name: "job", SLOClass: "batch", State: "draining", HitRatio: 0.4, QuotaPages: 4},
+		},
+	})
+	for _, want := range []string{
+		"tenants (2/8 active, arbiter static, admission true",
+		"lifecycle: regs 41  deregs 30  crashes 6  rollbacks 3  throttled 12",
+		"latency", "batch", "drain",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderTenants missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -32,29 +32,47 @@ func (s *MultiSystem) ControlHandler() http.Handler {
 		s.mu.Lock()
 		c := s.m.Counters()
 		now := s.m.Now()
+		active := s.plane.ActiveTenants()
+		lc := s.plane.Stats()
 		s.mu.Unlock()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(struct {
-			VirtualNs     int64   `json:"virtual_ns"`
-			FastAccesses  uint64  `json:"fast_accesses"`
-			SlowAccesses  uint64  `json:"slow_accesses"`
-			CacheHits     uint64  `json:"cache_hits"`
-			DRAMRatio     float64 `json:"dram_ratio"`
-			Migrations    uint64  `json:"migrations"`
-			Promotions    uint64  `json:"promotions"`
-			Demotions     uint64  `json:"demotions"`
-			MigratedBytes uint64  `json:"migrated_bytes"`
+		payload := struct {
+			VirtualNs        int64   `json:"virtual_ns"`
+			FastAccesses     uint64  `json:"fast_accesses"`
+			SlowAccesses     uint64  `json:"slow_accesses"`
+			CacheHits        uint64  `json:"cache_hits"`
+			DRAMRatio        float64 `json:"dram_ratio"`
+			Migrations       uint64  `json:"migrations"`
+			Promotions       uint64  `json:"promotions"`
+			Demotions        uint64  `json:"demotions"`
+			MigratedBytes    uint64  `json:"migrated_bytes"`
+			ActiveTenants    int     `json:"active_tenants"`
+			Registrations    uint64  `json:"registrations"`
+			Deregistrations  uint64  `json:"deregistrations"`
+			Crashes          uint64  `json:"crashes"`
+			ReclaimRollbacks uint64  `json:"reclaim_rollbacks"`
+			Faults           any     `json:"faults,omitempty"`
 		}{
-			VirtualNs:     now,
-			FastAccesses:  c.FastAccesses,
-			SlowAccesses:  c.SlowAccesses,
-			CacheHits:     c.CacheHits,
-			DRAMRatio:     c.DRAMRatio(),
-			Migrations:    c.Migrations,
-			Promotions:    c.Promotions,
-			Demotions:     c.Demotions,
-			MigratedBytes: c.MigratedBytes,
-		})
+			VirtualNs:        now,
+			FastAccesses:     c.FastAccesses,
+			SlowAccesses:     c.SlowAccesses,
+			CacheHits:        c.CacheHits,
+			DRAMRatio:        c.DRAMRatio(),
+			Migrations:       c.Migrations,
+			Promotions:       c.Promotions,
+			Demotions:        c.Demotions,
+			MigratedBytes:    c.MigratedBytes,
+			ActiveTenants:    active,
+			Registrations:    lc.Registrations,
+			Deregistrations:  lc.Deregistrations,
+			Crashes:          lc.Crashes,
+			ReclaimRollbacks: lc.ReclaimRollbacks,
+		}
+		if s.injector != nil {
+			st := s.injector.Stats()
+			payload.Faults = &st
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(payload)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		// The registry's pull closures lock s.mu themselves; this handler
@@ -85,8 +103,15 @@ func (s *MultiSystem) ControlHandler() http.Handler {
 			}
 			n = v
 		}
+		s.mu.Lock()
+		a := s.agents[tenant]
+		s.mu.Unlock()
+		if a == nil {
+			http.Error(w, "tenant slot has no agent", http.StatusNotFound)
+			return
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		s.agents[tenant].Telemetry().Trace.WriteJSONL(w, n)
+		a.Telemetry().Trace.WriteJSONL(w, n)
 	})
 	return mux
 }

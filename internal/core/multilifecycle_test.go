@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"artmem/internal/memsim"
+	"artmem/internal/tenancy"
+)
+
+// dynamicMultiConfig is testMultiConfig with spare slots: one initial
+// tenant, capacity four.
+func dynamicMultiConfig() MultiSystemConfig {
+	mcfg := memsim.DefaultConfig(128*64*1024, 32*64*1024, 64*1024)
+	mcfg.CacheLines = 0
+	return MultiSystemConfig{
+		Machine: mcfg,
+		Tenants: []TenantConfig{
+			{Name: "alpha", Weight: 1, Policy: Config{SamplePeriod: 1, Seed: 1}},
+		},
+		Capacity:          4,
+		Arbiter:           tenancy.ArbiterConfig{Mode: tenancy.ModeStatic, Admission: true},
+		SamplingInterval:  500 * time.Microsecond,
+		MigrationInterval: time.Millisecond,
+	}
+}
+
+func TestMultiSystemTenantChurn(t *testing.T) {
+	s := NewMultiSystem(dynamicMultiConfig())
+	ps := uint64(64 * 1024)
+
+	slot, err := s.RegisterTenant(TenantConfig{
+		Name: "burst", Class: tenancy.ClassLatency,
+		Policy: Config{SamplePeriod: 1, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 1 {
+		t.Fatalf("registered into slot %d, want 1", slot)
+	}
+	for i := 0; i < 20; i++ {
+		s.Access(slot, (64+uint64(i))*ps, false)
+		s.Access(0, uint64(i)*ps, false)
+	}
+	rep := s.TenantsReport()
+	if rep.ActiveTenants != 2 || rep.Capacity != 4 {
+		t.Fatalf("active/capacity = %d/%d, want 2/4", rep.ActiveTenants, rep.Capacity)
+	}
+	if got := rep.Tenants[1].SLOClass; got != "latency" {
+		t.Fatalf("slo_class = %q, want latency", got)
+	}
+
+	// Graceful departure drains the pages, frees the slot, and leaves
+	// the machine's accounting intact.
+	if err := s.DeregisterTenant(slot, -1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Agent(slot) != nil {
+		t.Fatal("departed slot still has an agent")
+	}
+	if got := s.TenantCounters(slot); got != (memsim.TenantCounters{}) {
+		t.Fatalf("departed slot counters = %+v, want zero", got)
+	}
+	if err := s.Machine().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rep = s.TenantsReport()
+	if rep.ActiveTenants != 1 || len(rep.Tenants) != 1 {
+		t.Fatalf("after deregister: active = %d, rows = %d, want 1/1",
+			rep.ActiveTenants, len(rep.Tenants))
+	}
+
+	// Deregistering twice is an error, not a panic.
+	if err := s.DeregisterTenant(slot, -1); err == nil {
+		t.Fatal("double deregister succeeded")
+	}
+	if err := s.DeregisterTenant(99, -1); err == nil {
+		t.Fatal("deregister of bogus slot succeeded")
+	}
+}
+
+func TestMultiSystemCheckpointWarmStart(t *testing.T) {
+	s := NewMultiSystem(dynamicMultiConfig())
+	ps := uint64(64 * 1024)
+	slot, err := s.RegisterTenant(TenantConfig{
+		Name: "worker", Policy: Config{SamplePeriod: 1, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive enough decision periods for the Q-tables to move off the
+	// prior, without the background threads (deterministic).
+	a := s.Agent(slot)
+	for i := 0; i < 2000; i++ {
+		s.Access(slot, (64+uint64(i%24))*ps, false)
+	}
+	s.mu.Lock()
+	for i := 0; i < 10; i++ {
+		a.PumpSamples()
+		a.Tick(s.m.Now())
+	}
+	trained := flattenQ(a)
+	s.mu.Unlock()
+
+	if err := s.DeregisterTenant(slot, -1); err != nil {
+		t.Fatal(err)
+	}
+	// Same name returns warm: the fresh agent's Q values match the
+	// checkpoint, not the uniform prior.
+	slot2, err := s.RegisterTenant(TenantConfig{
+		Name: "worker", Policy: Config{SamplePeriod: 1, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm := flattenQ(s.Agent(slot2)); !equalQ(warm, trained) {
+		t.Error("re-registered tenant did not warm-start from its checkpoint")
+	}
+
+	// A crash loses the learned state: no checkpoint update.
+	s.mu.Lock()
+	for i := 0; i < 10; i++ {
+		s.Agent(slot2).PumpSamples()
+		s.Agent(slot2).Tick(s.m.Now())
+	}
+	s.mu.Unlock()
+	if err := s.CrashTenant(slot2, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Plane().Stats().Crashes; got != 1 {
+		t.Fatalf("crashes = %d, want 1", got)
+	}
+	slot3, err := s.RegisterTenant(TenantConfig{
+		Name: "worker", Policy: Config{SamplePeriod: 1, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := flattenQ(s.Agent(slot3)); !equalQ(after, trained) {
+		t.Error("crash rolled the checkpoint forward; want the last graceful checkpoint")
+	}
+}
+
+// flattenQ reads the agent's migration Q-table into one flat slice.
+func flattenQ(a *ArtMem) []float64 {
+	cfg := a.qMig.Config()
+	out := make([]float64, 0, cfg.States*cfg.Actions)
+	for st := 0; st < cfg.States; st++ {
+		for ac := 0; ac < cfg.Actions; ac++ {
+			out = append(out, a.qMig.Q(st, ac))
+		}
+	}
+	return out
+}
+
+func equalQ(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMultiSystemRegisterBackpressure(t *testing.T) {
+	cfg := dynamicMultiConfig()
+	cfg.Arbiter.MaxArrivalsPerPeriod = 1
+	s := NewMultiSystem(cfg)
+	// Construction consumed one of the initial tokens; the plane starts
+	// with capacity tokens, so three more registrations pass, then the
+	// plane is full.
+	for i := 0; i < 3; i++ {
+		if _, err := s.RegisterTenant(TenantConfig{Policy: Config{SamplePeriod: 1}}); err != nil {
+			t.Fatalf("registration %d: %v", i, err)
+		}
+	}
+	if _, err := s.RegisterTenant(TenantConfig{}); !errors.Is(err, tenancy.ErrPlaneFull) {
+		t.Fatalf("full plane = %v, want ErrPlaneFull", err)
+	}
+	s.DeregisterTenant(3, -1)
+	// After a period begins, arrivals are throttled to one.
+	s.mu.Lock()
+	s.plane.BeginPeriod()
+	s.mu.Unlock()
+	if _, err := s.RegisterTenant(TenantConfig{Policy: Config{SamplePeriod: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	s.DeregisterTenant(3, -1)
+	if _, err := s.RegisterTenant(TenantConfig{}); !errors.Is(err, tenancy.ErrRegistrationThrottled) {
+		t.Fatalf("second arrival in period = %v, want throttled", err)
+	}
+}

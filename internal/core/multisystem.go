@@ -26,10 +26,21 @@ import (
 // shared set carries the machine-level series plus tenant-labelled
 // aggregates and is what ControlHandler serves.
 type MultiSystem struct {
-	mu     sync.Mutex
-	m      *memsim.Machine
-	plane  *tenancy.Plane
+	mu    sync.Mutex
+	m     *memsim.Machine
+	plane *tenancy.Plane
+	// agents is indexed by plane slot; nil for empty or draining
+	// slots. Tenants cycle through slots via RegisterTenant /
+	// DeregisterTenant.
 	agents []*ArtMem
+	// policies remembers each occupied slot's policy config so reports
+	// and restarts know what is running there.
+	policies []Config
+	// checkpoints preserves a gracefully departed tenant's learned
+	// Q-tables, keyed by tenant name, so a re-registration warm-starts
+	// instead of relearning from scratch. Crashes do not checkpoint —
+	// a crashed tenant's in-memory state is lost, as in production.
+	checkpoints map[string]agentCheckpoint
 
 	injector *faultinject.Injector
 
@@ -42,7 +53,8 @@ type MultiSystem struct {
 
 	started bool
 
-	tel *telemetry.Set
+	tel           *telemetry.Set
+	traceCapacity int
 
 	// Liveness accounting, as in System: heartbeats advance once per
 	// completed worker iteration across all tenants.
@@ -61,6 +73,9 @@ type TenantConfig struct {
 	// Weight is the tenant's fast-tier and migration-bandwidth share;
 	// 0 means 1.
 	Weight int
+	// Class is the tenant's SLO class: latency-SLO tenants preempt
+	// batch promotion bandwidth under admission control.
+	Class tenancy.SLOClass
 	// Policy configures the tenant's ArtMem agent.
 	Policy Config
 }
@@ -69,8 +84,13 @@ type TenantConfig struct {
 type MultiSystemConfig struct {
 	// Machine configures the shared simulated tiered memory.
 	Machine memsim.Config
-	// Tenants configures the tenants; at least one is required.
+	// Tenants configures the initial tenants. May be empty when
+	// Capacity > 0 (tenants then arrive via RegisterTenant).
 	Tenants []TenantConfig
+	// Capacity fixes the tenant slot count — the maximum number of
+	// concurrent tenants over the system's lifetime. 0 uses
+	// len(Tenants) (a fixed-membership system).
+	Capacity int
 	// Arbiter configures fast-tier partitioning and migration admission
 	// control (zero value: arbitration off, no admission control).
 	Arbiter tenancy.ArbiterConfig
@@ -95,8 +115,14 @@ type MultiSystemConfig struct {
 // NewMultiSystem builds a multi-tenant online system. Call Start to
 // launch the background threads and Stop to halt them.
 func NewMultiSystem(cfg MultiSystemConfig) *MultiSystem {
-	if len(cfg.Tenants) == 0 {
-		panic("core: MultiSystemConfig needs at least one tenant")
+	if len(cfg.Tenants) == 0 && cfg.Capacity == 0 {
+		panic("core: MultiSystemConfig needs at least one tenant or a capacity")
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = len(cfg.Tenants)
+	}
+	if len(cfg.Tenants) > cfg.Capacity {
+		panic("core: more initial tenants than capacity")
 	}
 	if cfg.SamplingInterval == 0 {
 		cfg.SamplingInterval = 2 * time.Millisecond
@@ -113,11 +139,7 @@ func NewMultiSystem(cfg MultiSystemConfig) *MultiSystem {
 		inj = faultinject.New(*cfg.Faults)
 		m.SetFaultInjector(inj)
 	}
-	tenants := make([]tenancy.Tenant, len(cfg.Tenants))
-	for i, t := range cfg.Tenants {
-		tenants[i] = tenancy.Tenant{Name: t.Name, Weight: t.Weight}
-	}
-	plane := tenancy.NewPlane(m, tenants, cfg.Arbiter)
+	plane := tenancy.NewDynamicPlane(m, cfg.Capacity, cfg.Arbiter)
 	tel := cfg.Telemetry
 	if tel == nil {
 		tel = &telemetry.Set{
@@ -125,26 +147,24 @@ func NewMultiSystem(cfg MultiSystemConfig) *MultiSystem {
 			Trace:    telemetry.NewTrace(cfg.TraceCapacity),
 		}
 	}
-	agents := make([]*ArtMem, len(cfg.Tenants))
-	for i, t := range cfg.Tenants {
-		pol := New(t.Policy)
-		pol.SetTelemetry(&telemetry.Set{
-			Registry: telemetry.NewRegistry(),
-			Trace:    telemetry.NewTrace(cfg.TraceCapacity),
-		})
-		pol.AttachEnv(plane.View(i))
-		agents[i] = pol
-	}
 	s := &MultiSystem{
 		m:                 m,
 		plane:             plane,
-		agents:            agents,
+		agents:            make([]*ArtMem, cfg.Capacity),
+		policies:          make([]Config, cfg.Capacity),
+		checkpoints:       make(map[string]agentCheckpoint),
 		injector:          inj,
 		samplingInterval:  cfg.SamplingInterval,
 		migrationInterval: cfg.MigrationInterval,
 		watchdogInterval:  cfg.WatchdogInterval,
 		stop:              make(chan struct{}),
 		tel:               tel,
+		traceCapacity:     cfg.TraceCapacity,
+	}
+	for _, t := range cfg.Tenants {
+		if _, err := s.registerLocked(t); err != nil {
+			panic("core: initial tenant registration failed: " + err.Error())
+		}
 	}
 	reg := tel.Registry
 	s.sampleBeats = reg.Counter("artmem_sampling_beats_total",
@@ -163,7 +183,13 @@ func NewMultiSystem(cfg MultiSystemConfig) *MultiSystem {
 
 // registerMultiMetrics instruments the shared registry: the machine
 // series every daemon exposes (byte-identical names to System's), plus
-// tenant-labelled aggregates and the arbiter's activity.
+// tenant-labelled aggregates and the arbiter's and lifecycle's
+// activity. Per-tenant labelled series are registered for the
+// construction-time tenants only — the registry's label sets are fixed
+// at registration, so tenants that churn through recycled slots later
+// are observable via /tenants (which reports live membership), not via
+// new metric series. A recycled slot's series go quiet (nil-agent
+// guard) rather than mislabel another tenant's numbers.
 func (s *MultiSystem) registerMultiMetrics() {
 	l := lockedRegistrar{&s.mu, s.tel.Registry}
 	registerMachineMetrics(l, s.m)
@@ -172,20 +198,55 @@ func (s *MultiSystem) registerMultiMetrics() {
 	l.counter("artmem_arbiter_rebalances_total",
 		"Dynamic fast-tier quota rebalances the arbiter executed.",
 		func() uint64 { return arb.Rebalances() })
-	for i := range s.agents {
+	l.gauge("artmem_tenants_active",
+		"Tenant slots currently in the active lifecycle state.",
+		func() float64 { return float64(s.plane.ActiveTenants()) })
+	l.counter("artmem_tenant_registrations_total",
+		"Tenants admitted over the system's lifetime.",
+		func() uint64 { return s.plane.Stats().Registrations })
+	l.counter("artmem_tenant_deregistrations_total",
+		"Tenant reclamations committed (graceful and crash).",
+		func() uint64 { return s.plane.Stats().Deregistrations })
+	l.counter("artmem_tenant_crashes_total",
+		"Tenants force-deregistered by a crash.",
+		func() uint64 { return s.plane.Stats().Crashes })
+	l.counter("artmem_tenant_reclaim_rollbacks_total",
+		"Reclamation transactions interrupted and rolled back.",
+		func() uint64 { return s.plane.Stats().ReclaimRollbacks })
+	l.counter("artmem_tenant_registrations_throttled_total",
+		"Registrations deferred by arrival backpressure.",
+		func() uint64 { return s.plane.Stats().RegistrationsThrottled })
+	initial := s.plane.ActiveTenants()
+	for i := 0; i < initial; i++ {
 		i := i
 		id := memsim.TenantID(i)
-		agent := s.agents[i]
-		name := telemetry.L("tenant", s.plane.Tenant(i).Name)
+		origName := s.plane.Tenant(i).Name
+		name := telemetry.L("tenant", origName)
+		mine := func() bool { return s.plane.Tenant(i).Name == origName }
 		l.gauge("artmem_tenant_fast_pages",
 			"Fast-tier pages resident per tenant.",
-			func() float64 { return float64(s.m.TenantUsedPages(id, memsim.Fast)) }, name)
+			func() float64 {
+				if !mine() {
+					return 0
+				}
+				return float64(s.m.TenantUsedPages(id, memsim.Fast))
+			}, name)
 		l.gauge("artmem_tenant_slow_pages",
 			"Slow-tier pages resident per tenant.",
-			func() float64 { return float64(s.m.TenantUsedPages(id, memsim.Slow)) }, name)
+			func() float64 {
+				if !mine() {
+					return 0
+				}
+				return float64(s.m.TenantUsedPages(id, memsim.Slow))
+			}, name)
 		l.gauge("artmem_tenant_quota_pages",
 			"Fast-tier quota per tenant (0 = unlimited, arbiter off).",
-			func() float64 { return float64(arb.Quota(i)) }, name)
+			func() float64 {
+				if !mine() {
+					return 0
+				}
+				return float64(arb.Quota(i))
+			}, name)
 		l.counter("artmem_tenant_accesses_total",
 			"Cache-missing accesses per tenant per tier.",
 			func() uint64 { return s.m.TenantCounters(id).FastAccesses },
@@ -208,7 +269,7 @@ func (s *MultiSystem) registerMultiMetrics() {
 		l.gauge("artmem_tenant_degraded",
 			"1 while the tenant's agent runs the heuristic fallback, else 0.",
 			func() float64 {
-				if agent.degraded {
+				if a := s.agents[i]; a != nil && mine() && a.degraded {
 					return 1
 				}
 				return 0
@@ -317,7 +378,7 @@ func (s *MultiSystem) Health() Health {
 	s.mu.Lock()
 	degraded := false
 	for _, a := range s.agents {
-		if a.degraded {
+		if a != nil && a.degraded {
 			degraded = true
 			break
 		}
@@ -337,6 +398,9 @@ func (s *MultiSystem) Health() Health {
 // served per tenant on /tenants (schema-pinned by test).
 type TenantStatus struct {
 	Name             string  `json:"name"`
+	Slot             int     `json:"slot"`
+	State            string  `json:"state"`
+	SLOClass         string  `json:"slo_class"`
 	Weight           int     `json:"weight"`
 	QuotaPages       int     `json:"quota_pages"`
 	FastPages        int     `json:"fast_pages"`
@@ -347,18 +411,27 @@ type TenantStatus struct {
 	Promotions       uint64  `json:"promotions"`
 	Demotions        uint64  `json:"demotions"`
 	AdmissionDenials uint64  `json:"admission_denials"`
+	Preemptions      uint64  `json:"preemptions"`
 	Decisions        uint64  `json:"decisions"`
 	Threshold        uint32  `json:"threshold"`
 	Degraded         bool    `json:"degraded"`
 }
 
-// TenantsReport is the full /tenants payload: arbiter posture plus one
-// TenantStatus per tenant, in tenant order.
+// TenantsReport is the full /tenants payload: arbiter posture, the
+// plane's lifecycle totals, plus one TenantStatus per occupied slot
+// (active and draining), in slot order.
 type TenantsReport struct {
 	ArbiterMode       string         `json:"arbiter_mode"`
 	AdmissionControl  bool           `json:"admission_control"`
 	FastCapacityPages int            `json:"fast_capacity_pages"`
+	Capacity          int            `json:"capacity"`
+	ActiveTenants     int            `json:"active_tenants"`
 	Rebalances        uint64         `json:"rebalances"`
+	Registrations     uint64         `json:"registrations"`
+	Deregistrations   uint64         `json:"deregistrations"`
+	Crashes           uint64         `json:"crashes"`
+	ReclaimRollbacks  uint64         `json:"reclaim_rollbacks"`
+	Throttled         uint64         `json:"registrations_throttled"`
 	Tenants           []TenantStatus `json:"tenants"`
 }
 
@@ -369,19 +442,32 @@ func (s *MultiSystem) TenantsReport() TenantsReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	arb := s.plane.Arbiter()
+	st := s.plane.Stats()
 	rep := TenantsReport{
 		ArbiterMode:       arb.Mode().String(),
 		AdmissionControl:  arb.AdmissionEnabled(),
 		FastCapacityPages: s.m.CapacityPages(memsim.Fast),
+		Capacity:          s.plane.Capacity(),
+		ActiveTenants:     s.plane.ActiveTenants(),
 		Rebalances:        arb.Rebalances(),
-		Tenants:           make([]TenantStatus, len(s.agents)),
+		Registrations:     st.Registrations,
+		Deregistrations:   st.Deregistrations,
+		Crashes:           st.Crashes,
+		ReclaimRollbacks:  st.ReclaimRollbacks,
+		Throttled:         st.RegistrationsThrottled,
 	}
 	for i, a := range s.agents {
+		if s.plane.State(i) == tenancy.StateEmpty {
+			continue
+		}
 		id := memsim.TenantID(i)
 		tc := s.m.TenantCounters(id)
 		t := s.plane.Tenant(i)
-		rep.Tenants[i] = TenantStatus{
+		row := TenantStatus{
 			Name:             t.Name,
+			Slot:             i,
+			State:            s.plane.State(i).String(),
+			SLOClass:         t.Class.String(),
 			Weight:           t.Weight,
 			QuotaPages:       arb.Quota(i),
 			FastPages:        s.m.TenantUsedPages(id, memsim.Fast),
@@ -392,10 +478,14 @@ func (s *MultiSystem) TenantsReport() TenantsReport {
 			Promotions:       tc.Promotions,
 			Demotions:        tc.Demotions,
 			AdmissionDenials: arb.Denials(i),
-			Decisions:        a.Decisions(),
-			Threshold:        a.threshold,
-			Degraded:         a.degraded,
+			Preemptions:      arb.Preemptions(i),
 		}
+		if a != nil {
+			row.Decisions = a.Decisions()
+			row.Threshold = a.threshold
+			row.Degraded = a.degraded
+		}
+		rep.Tenants = append(rep.Tenants, row)
 	}
 	return rep
 }
@@ -427,7 +517,9 @@ func (s *MultiSystem) samplingThread() {
 		case <-tick.C:
 			s.runProtected(s.sampleBeats, func() {
 				for _, a := range s.agents {
-					a.PumpSamples()
+					if a != nil {
+						a.PumpSamples()
+					}
 				}
 			})
 		}
@@ -448,9 +540,14 @@ func (s *MultiSystem) migrationThread() {
 		case <-tick.C:
 			s.runProtected(s.migrateBeats, func() {
 				s.plane.BeginPeriod()
+				// Interrupted departures retry once per period so a
+				// draining slot eventually empties.
+				s.plane.RetryDrains()
 				now := s.m.Now()
 				for _, a := range s.agents {
-					a.Tick(now)
+					if a != nil {
+						a.Tick(now)
+					}
 				}
 			})
 		}

@@ -148,7 +148,9 @@ func TestTenantsEndpointSchemaPinned(t *testing.T) {
 	}
 	wantTop := []string{
 		"arbiter_mode", "admission_control", "fast_capacity_pages",
-		"rebalances", "tenants",
+		"capacity", "active_tenants", "rebalances", "registrations",
+		"deregistrations", "crashes", "reclaim_rollbacks",
+		"registrations_throttled", "tenants",
 	}
 	sort.Strings(wantTop)
 	keys := make([]string, 0, len(obj))
@@ -168,10 +170,10 @@ func TestTenantsEndpointSchemaPinned(t *testing.T) {
 		t.Fatalf("%d tenant rows, want 2", len(rows))
 	}
 	wantRow := []string{
-		"name", "weight", "quota_pages", "fast_pages", "slow_pages",
-		"fast_accesses", "slow_accesses", "hit_ratio", "promotions",
-		"demotions", "admission_denials", "decisions", "threshold",
-		"degraded",
+		"name", "slot", "state", "slo_class", "weight", "quota_pages",
+		"fast_pages", "slow_pages", "fast_accesses", "slow_accesses",
+		"hit_ratio", "promotions", "demotions", "admission_denials",
+		"preemptions", "decisions", "threshold", "degraded",
 	}
 	sort.Strings(wantRow)
 	for i, row := range rows {

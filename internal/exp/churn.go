@@ -1,0 +1,260 @@
+package exp
+
+import (
+	"fmt"
+
+	"artmem/internal/core"
+	"artmem/internal/faultinject"
+	"artmem/internal/harness"
+	"artmem/internal/policies"
+	"artmem/internal/sched"
+	"artmem/internal/tenancy"
+	"artmem/internal/textplot"
+	"artmem/internal/workloads"
+)
+
+// Churn-study geometry. The plane is deliberately much smaller than the
+// client population — the point is lifecycle pressure, not co-residency
+// — and the page size is fixed at 4KB so cell identity does not depend
+// on the profile's scaled huge page.
+const (
+	churnCapacity  = 8
+	churnSlotPages = 32
+	churnPageSize  = 4096
+	// churnClientPages is each client's footprint; it must fit a slot.
+	churnClientPages = 24
+	// churnTickNs is the per-client policy interval: clients live on the
+	// order of 100k virtual ns, so the default 10ms tick would never
+	// fire during a client's residency.
+	churnTickNs = 20_000
+	// churnPeriodNs is the control period (arrivals, crash rolls, budget
+	// refills, drain retries).
+	churnPeriodNs = 100_000
+)
+
+// churnScales is the tenant-count sweep: the paper-scale study runs 100
+// and 1000 tenants through the 8-slot plane; quick mode trims the
+// queue, not the mechanism.
+func churnScales(o Options) []int {
+	if o.Quick {
+		return []int{40, 120}
+	}
+	return []int{100, 1000}
+}
+
+// churnAccesses is the per-client trace length, scaled from the profile
+// with a floor that keeps each client resident for a few control
+// periods.
+func churnAccesses(o Options) int64 {
+	a := o.Profile.AppAccesses / 800
+	if a < 2_000 {
+		a = 2_000
+	}
+	return a
+}
+
+// churnArbiterCfg is the arbiter posture of the churn study: static
+// weighted quotas with admission control, a promotion budget scarce
+// enough (one page per slot per period) that SLO preemption matters,
+// registration backpressure of two arrivals per period, and a 3x
+// latency-class quota boost so latency tenants' hot sets land in the
+// fast tier at first touch.
+func churnArbiterCfg() tenancy.ArbiterConfig {
+	return tenancy.ArbiterConfig{
+		Mode:                    tenancy.ModeStatic,
+		Admission:               true,
+		BandwidthPagesPerPeriod: churnCapacity,
+		MaxArrivalsPerPeriod:    2,
+		LatencyQuotaBoost:       3,
+	}
+}
+
+// churnFaultCfg is the deterministic chaos schedule: injected tenant
+// crashes, per-page reclamation interrupts, and arrival bursts, all on
+// per-class RNG streams derived from the profile seed.
+func churnFaultCfg(o Options) *faultinject.Config {
+	return &faultinject.Config{
+		Seed:                 o.Profile.Seed ^ 0x5ca1ab1e,
+		TenantCrashProb:      0.03,
+		ReclaimInterruptProb: 0.02,
+		ArrivalBurstProb:     0.2,
+		ArrivalBurstMax:      3,
+	}
+}
+
+// churnSpecFor builds the deterministic client queue for one cell:
+// every fourth client is a fresh ArtMem agent (the rest MEMTIS), every
+// third is latency-class when slo is set, and a shifting-hotspot
+// antagonist holds slot 0 for the whole run. Workloads are single-use,
+// so every run builds a fresh spec.
+func churnSpecFor(o Options, clients int, slo bool) harness.ChurnSpec {
+	spec := harness.ChurnSpec{
+		Capacity:  churnCapacity,
+		SlotBytes: churnSlotPages * churnPageSize,
+		PeriodNs:  churnPeriodNs,
+	}
+	accs := churnAccesses(o)
+	for i := 0; i < clients; i++ {
+		var pol policies.EnvPolicy
+		if i%4 == 0 {
+			pol = core.New(core.Config{
+				Seed:         o.Profile.Seed + uint64(i) + 1,
+				SamplePeriod: 4,
+				TickInterval: churnTickNs,
+			})
+		} else {
+			pol = policies.NewMEMTIS(policies.MEMTISConfig{TickInterval: churnTickNs})
+		}
+		class := tenancy.ClassBatch
+		if slo && i%3 == 0 {
+			class = tenancy.ClassLatency
+		}
+		name := fmt.Sprintf("client%d", i)
+		spec.Clients = append(spec.Clients, harness.ChurnClient{
+			Name:     name,
+			Class:    class,
+			Workload: workloads.NewChurnClient(name, churnClientPages*churnPageSize, accs, o.Profile.Seed+uint64(i)+7),
+			Policy:   pol,
+		})
+	}
+	spec.Antagonist = &harness.ChurnClient{
+		Name:     "antagonist",
+		Weight:   2,
+		Workload: workloads.NewChurnAntagonist(churnSlotPages*churnPageSize, int64(clients)*accs/4, o.Profile.Seed+3),
+		Policy:   policies.NewMEMTIS(policies.MEMTISConfig{TickInterval: churnTickNs}),
+	}
+	return spec
+}
+
+// churnKey canonically identifies one churn cell for the run cache: the
+// client count and class posture plus every constant that shapes the
+// spec (geometry, trace length, policy mix, tick and period, arbiter).
+func churnKey(o Options, clients int, slo bool, cfg harness.Config) string {
+	extra := fmt.Sprintf(
+		"churn|clients=%d|slo=%v|cap=%d|slotpages=%d|clientpages=%d|accs=%d|tick=%d|period=%d|mix=artmem/4+memtis|arb=%+v",
+		clients, slo, churnCapacity, churnSlotPages, churnClientPages,
+		churnAccesses(o), churnTickNs, churnPeriodNs, churnArbiterCfg())
+	return sched.Key("churn", o.Profile, "mixed", cfg, extra)
+}
+
+// churnClassRow sums per-class admission outcomes over the client rows
+// of one churn result (row 0 is the antagonist, excluded).
+func churnClassRow(res harness.Result, class string) (clients int, preempt, denied uint64) {
+	for _, tr := range res.Tenants[1:] {
+		if tr.Accesses == 0 || tr.Class != class {
+			continue
+		}
+		clients++
+		preempt += tr.Preemptions
+		denied += tr.AdmissionDenials
+	}
+	return
+}
+
+// Churn runs the tenant-lifecycle study: 100 and 1000 short-lived
+// tenants cycle through an 8-slot plane under injected crashes,
+// reclamation interrupts, and arrival bursts, with a permanent
+// antagonist pressuring the fast tier throughout. Each scale runs
+// twice: once with every third client in the latency SLO class (whose
+// promotion budget may preempt the pooled batch budget) and once with
+// every client in the batch class.
+//
+// The study reports per-class tail latency (mean reconstructed p99
+// access cost) and Jain's fairness index over per-client hit ratios,
+// plus the lifecycle ledger: completions, crashes, throttled
+// registrations, reclamation rollbacks, and drained/handed-off pages.
+// Invariants (machine page accounting, per-tenant RSS sum, arbiter
+// quota sum) are re-checked after every lifecycle event; a violation
+// fails the run's table.
+func Churn() Experiment {
+	return Experiment{
+		ID:    "churn",
+		Title: "Tenant churn: lifecycle, SLO classes, and overload-safe arbitration",
+		Paper: "ArtMem deploys per-memcg agents as cgroups come and go; the control plane must keep accounting exact and latency tenants ahead of batch under churn",
+		Run: func(o Options) []textplot.Table {
+			cfg := harness.Config{
+				PageSize:        churnPageSize,
+				Ratio:           harness.Ratio{Fast: 1, Slow: 4},
+				Faults:          churnFaultCfg(o),
+				CheckInvariants: true,
+			}
+			postures := []struct {
+				label string
+				slo   bool
+			}{
+				{"slo-classes", true},
+				{"all-batch", false},
+			}
+			scales := churnScales(o)
+			g := o.newGrid()
+			idx := make([][]int, len(scales))
+			for si, n := range scales {
+				idx[si] = make([]int, len(postures))
+				for pi, p := range postures {
+					n, p := n, p
+					idx[si][pi] = g.addCell(churnKey(o, n, p.slo, cfg), func() harness.Result {
+						res := harness.RunChurn(churnSpecFor(o, n, p.slo), churnArbiterCfg(), cfg)
+						c := res.Churn
+						o.logf("  churn/%d/%s: done=%d crash=%d throttled=%d rollbacks=%d",
+							n, p.label, c.Completed, c.Crashed, c.Throttled, c.ReclaimRollbacks)
+						return res
+					})
+				}
+			}
+			res := g.run()
+
+			classes := textplot.Table{
+				Title: "per-class outcomes under churn (8-slot plane, 1:4 DRAM:PM, antagonist resident)",
+				Header: []string{"tenants", "posture", "class", "clients",
+					"mean p99 ns", "jain(hit)", "preempt", "denied"},
+				Note: "p99 is the mean reconstructed 99th-percentile access cost per client; preempt counts batch-pool budget latency tenants preempted",
+			}
+			for si, n := range scales {
+				for pi, p := range postures {
+					r := res[idx[si][pi]]
+					rows := []struct {
+						class string
+						p99   float64
+						jain  float64
+					}{
+						{"latency", r.Churn.LatencyP99Ns, r.Churn.JainLatency},
+						{"batch", r.Churn.BatchP99Ns, r.Churn.JainBatch},
+					}
+					for _, row := range rows {
+						cnt, preempt, denied := churnClassRow(r, row.class)
+						if cnt == 0 {
+							continue // all-batch posture has no latency rows
+						}
+						classes.AddRow(fmt.Sprintf("%d", n), p.label, row.class,
+							fmt.Sprintf("%d", cnt), row.p99, row.jain,
+							fmt.Sprintf("%d", preempt), fmt.Sprintf("%d", denied))
+					}
+				}
+			}
+
+			ledger := textplot.Table{
+				Title: "lifecycle ledger (invariants re-checked after every event)",
+				Header: []string{"tenants", "posture", "done", "crashed", "regs",
+					"throttled", "rollbacks", "drained", "handoff", "unresolved", "peak", "invariants"},
+				Note: "throttled counts registrations deferred by arrival backpressure; rollbacks are reclamation transactions undone by injected interrupts",
+			}
+			for si, n := range scales {
+				for pi, p := range postures {
+					r := res[idx[si][pi]]
+					c := r.Churn
+					inv := "ok"
+					if r.InvariantErr != nil {
+						inv = r.InvariantErr.Error()
+					}
+					ledger.AddRow(fmt.Sprintf("%d", n), p.label,
+						fmt.Sprintf("%d", c.Completed), fmt.Sprintf("%d", c.Crashed),
+						fmt.Sprintf("%d", c.Registrations), fmt.Sprintf("%d", c.Throttled),
+						fmt.Sprintf("%d", c.ReclaimRollbacks), fmt.Sprintf("%d", c.PagesDrained),
+						fmt.Sprintf("%d", c.PagesHandedOff), fmt.Sprintf("%d", c.UnresolvedDrains),
+						fmt.Sprintf("%d", c.PeakActive), inv)
+				}
+			}
+			return []textplot.Table{classes, ledger}
+		},
+	}
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"testing"
+
+	"artmem/internal/harness"
+)
+
+// churnRun executes one churn cell directly (no grid) at quick scale.
+func churnRunDirect(t *testing.T, o Options, clients int, slo bool) harness.Result {
+	t.Helper()
+	res := harness.RunChurn(churnSpecFor(o, clients, slo), churnArbiterCfg(), harness.Config{
+		PageSize:        churnPageSize,
+		Ratio:           harness.Ratio{Fast: 1, Slow: 4},
+		Faults:          churnFaultCfg(o),
+		CheckInvariants: true,
+	})
+	if res.InvariantErr != nil {
+		t.Fatalf("invariant violated (clients=%d slo=%v): %v", clients, slo, res.InvariantErr)
+	}
+	return res
+}
+
+// churnCohortAggregates recomputes mean p99 and Jain over the hit
+// ratios of the clients at queue positions i%3==0 — the cohort that is
+// latency-class under the SLO posture — whatever class the run assigned
+// them. Row 0 is the antagonist; client i is row i+1.
+func churnCohortAggregates(res harness.Result) (p99 float64, jain float64) {
+	var p99s, hits []float64
+	for i, tr := range res.Tenants[1:] {
+		if i%3 != 0 || tr.Accesses == 0 {
+			continue
+		}
+		p99s = append(p99s, tr.P99Ns)
+		hits = append(hits, tr.HitRatio)
+	}
+	var sum float64
+	for _, v := range p99s {
+		sum += v
+	}
+	if len(p99s) > 0 {
+		p99 = sum / float64(len(p99s))
+	}
+	return p99, harness.JainIndex(hits)
+}
+
+// TestChurnShapeSLOBeatsFlat is the experiment's acceptance criterion:
+// the latency-SLO cohort's mean p99 and Jain index must be strictly
+// better with SLO arbitration than the identical cohort achieves when
+// every client is batch-class — preempting the pooled batch promotion
+// budget has to buy the latency tenants real tail latency.
+func TestChurnShapeSLOBeatsFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn shape runs take a while")
+	}
+	o := QuickOptions()
+	const clients = 60
+	withSLO := churnRunDirect(t, o, clients, true)
+	flat := churnRunDirect(t, o, clients, false)
+
+	sloP99 := withSLO.Churn.LatencyP99Ns
+	sloJain := withSLO.Churn.JainLatency
+	flatP99, flatJain := churnCohortAggregates(flat)
+	if sloP99 >= flatP99 {
+		t.Errorf("latency cohort p99 %.1f not strictly better than flat %.1f", sloP99, flatP99)
+	}
+	if sloJain <= flatJain {
+		t.Errorf("latency cohort jain %.4f not strictly better than flat %.4f", sloJain, flatJain)
+	}
+	var preempts uint64
+	for _, tr := range withSLO.Tenants[1:] {
+		if tr.Class == "latency" {
+			preempts += tr.Preemptions
+		}
+	}
+	if preempts == 0 {
+		t.Error("latency clients never preempted the batch pool")
+	}
+}
+
+// TestChurnCompletesAtScale runs the full experiment — 100 and 1000
+// tenants, both postures — end to end through the grid and checks the
+// lifecycle ledger balances at every cell: every client completed,
+// crashed, or was reported unadmitted, nothing wedged, and no
+// invariant violation surfaced in the rendered table.
+func TestChurnCompletesAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-tenant churn runs take a while")
+	}
+	o := QuickOptions()
+	o.Quick = false // full scales (100, 1000) at quick trace lengths
+	for _, n := range churnScales(o) {
+		for _, slo := range []bool{true, false} {
+			res := churnRunDirect(t, o, n, slo)
+			c := res.Churn
+			if c.Completed+c.Crashed+c.Unadmitted != n {
+				t.Errorf("clients=%d slo=%v: ledger %d+%d+%d != %d",
+					n, slo, c.Completed, c.Crashed, c.Unadmitted, n)
+			}
+			if c.UnresolvedDrains != 0 || c.Unadmitted != 0 {
+				t.Errorf("clients=%d slo=%v: wedged (unresolved=%d unadmitted=%d)",
+					n, slo, c.UnresolvedDrains, c.Unadmitted)
+			}
+			if c.PeakActive > c.Capacity {
+				t.Errorf("clients=%d slo=%v: peak %d > capacity %d", n, slo, c.PeakActive, c.Capacity)
+			}
+		}
+	}
+}

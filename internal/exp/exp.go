@@ -85,7 +85,7 @@ func All() []Experiment {
 		Fig7(), Fig8(), Fig9(), Fig10(), Fig11(),
 		Fig12(), Fig13(), Fig14(), Fig15(),
 		Fig16a(), Fig16b(), Fig16c(), Fig17(), Overheads(),
-		LiblinearSampling(), PageSize(), Fairness(),
+		LiblinearSampling(), PageSize(), Fairness(), Churn(),
 	}
 }
 

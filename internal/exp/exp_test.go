@@ -13,7 +13,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"table2", "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16a", "fig16b", "fig16c", "fig17", "overheads",
-		"liblinear-sampling", "pagesize", "fairness",
+		"liblinear-sampling", "pagesize", "fairness", "churn",
 	}
 	all := All()
 	if len(all) != len(wantIDs) {

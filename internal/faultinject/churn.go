@@ -1,0 +1,63 @@
+package faultinject
+
+// Churn fault classes: tenant crashes, reclamation interruptions, and
+// registration arrival bursts. These follow the package's per-class RNG
+// stream pattern — each class draws from its own seeded stream, keyed
+// to the virtual clock, so a churn schedule replays bit-for-bit no
+// matter how other fault classes interleave with it. The injector only
+// *decides*; the churn harness (harness.RunChurn, the chaos suite)
+// applies the decisions: it consults CrashTenant once per lifecycle
+// boundary, FailReclaim once per page of a reclamation transaction, and
+// ArrivalBurst once per registration opportunity.
+
+// CrashTenant reports whether a tenant crash fires at virtual time now.
+// The churn harness consults it at lifecycle boundaries and, when it
+// fires, force-deregisters a victim tenant mid-migration-period.
+func (i *Injector) CrashTenant(now int64) bool {
+	if anyActive(i.cfg.TenantCrashWindows, i.cfg.TenantCrashPeriodic, now) {
+		i.stats.TenantCrashes++
+		return true
+	}
+	if i.cfg.TenantCrashProb > 0 && i.rngCrash.Float64() < i.cfg.TenantCrashProb {
+		i.stats.TenantCrashes++
+		return true
+	}
+	return false
+}
+
+// FailReclaim reports whether the current reclamation step should be
+// interrupted. The tenancy plane consults it once per page inside a
+// reclamation transaction; an interruption rolls the whole transaction
+// back (the tenant stays draining and the plane retries later).
+func (i *Injector) FailReclaim(now int64) bool {
+	if anyActive(i.cfg.ReclaimInterruptWindows, i.cfg.ReclaimInterruptPeriodic, now) {
+		i.stats.ReclaimInterrupts++
+		return true
+	}
+	if i.cfg.ReclaimInterruptProb > 0 && i.rngRcl.Float64() < i.cfg.ReclaimInterruptProb {
+		i.stats.ReclaimInterrupts++
+		return true
+	}
+	return false
+}
+
+// ArrivalBurst returns how many extra tenant registrations arrive on
+// top of the scheduled one at virtual time now (0 outside bursts) — a
+// thundering herd of tenants appearing within one control period.
+func (i *Injector) ArrivalBurst(now int64) int {
+	fired := anyActive(i.cfg.ArrivalBurstWindows, i.cfg.ArrivalBurstPeriodic, now)
+	if !fired && i.cfg.ArrivalBurstProb > 0 && i.rngArr.Float64() < i.cfg.ArrivalBurstProb {
+		fired = true
+	}
+	if !fired {
+		return 0
+	}
+	max := i.cfg.ArrivalBurstMax
+	if max < 1 {
+		max = 1
+	}
+	extra := 1 + int(i.rngArr.Uint64n(uint64(max)))
+	i.stats.ArrivalBurstEvents++
+	i.stats.ArrivalBurstExtra += uint64(extra)
+	return extra
+}

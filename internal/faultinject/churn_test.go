@@ -1,0 +1,73 @@
+package faultinject
+
+import "testing"
+
+func TestChurnClassesAreDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:                 7,
+		TenantCrashProb:      0.3,
+		ReclaimInterruptProb: 0.2,
+		ArrivalBurstProb:     0.25,
+		ArrivalBurstMax:      4,
+	}
+	a, b := New(cfg), New(cfg)
+	for now := int64(0); now < 200; now++ {
+		if ga, gb := a.CrashTenant(now), b.CrashTenant(now); ga != gb {
+			t.Fatalf("CrashTenant diverged at %d: %v vs %v", now, ga, gb)
+		}
+		if ga, gb := a.FailReclaim(now), b.FailReclaim(now); ga != gb {
+			t.Fatalf("FailReclaim diverged at %d: %v vs %v", now, ga, gb)
+		}
+		if ga, gb := a.ArrivalBurst(now), b.ArrivalBurst(now); ga != gb {
+			t.Fatalf("ArrivalBurst diverged at %d: %d vs %d", now, ga, gb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if s := a.Stats(); s.TenantCrashes == 0 || s.ReclaimInterrupts == 0 ||
+		s.ArrivalBurstEvents == 0 || s.ArrivalBurstExtra < s.ArrivalBurstEvents {
+		t.Fatalf("expected all churn classes to fire, got %+v", s)
+	}
+}
+
+func TestChurnStreamsAreIndependentOfOtherClasses(t *testing.T) {
+	cfg := Config{Seed: 11, TenantCrashProb: 0.5, MigrationFailProb: 0.5}
+	// Injector a interleaves migration-fault draws; b does not. The
+	// crash stream must be identical either way.
+	a, b := New(cfg), New(cfg)
+	var seqA, seqB []bool
+	for now := int64(0); now < 100; now++ {
+		a.FailMigration(now)
+		seqA = append(seqA, a.CrashTenant(now))
+		seqB = append(seqB, b.CrashTenant(now))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("crash stream shifted by migration draws at step %d", i)
+		}
+	}
+}
+
+func TestChurnWindowsForceFaults(t *testing.T) {
+	cfg := Config{
+		Seed:                    1,
+		TenantCrashWindows:      []Window{{StartNs: 100, EndNs: 200}},
+		ReclaimInterruptWindows: []Window{{StartNs: 100, EndNs: 200}},
+		ArrivalBurstPeriodic:    Periodic{PeriodNs: 100, DurationNs: 10},
+		ArrivalBurstMax:         3,
+	}
+	i := New(cfg)
+	if i.CrashTenant(50) || i.FailReclaim(50) {
+		t.Fatal("faults fired outside window with zero probability")
+	}
+	if !i.CrashTenant(150) || !i.FailReclaim(150) {
+		t.Fatal("window did not force churn faults")
+	}
+	if got := i.ArrivalBurst(50); got != 0 {
+		t.Fatalf("burst outside periodic window = %d, want 0", got)
+	}
+	if got := i.ArrivalBurst(205); got < 1 || got > 3 {
+		t.Fatalf("burst inside periodic window = %d, want 1..3", got)
+	}
+}

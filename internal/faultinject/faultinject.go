@@ -118,6 +118,35 @@ type Config struct {
 	BandwidthDegradeWindows []Window
 	// BandwidthDegradePeriodic is a repeating degradation interval.
 	BandwidthDegradePeriodic Periodic
+
+	// TenantCrashProb is the per-lifecycle-boundary probability that a
+	// tenant crashes (is force-deregistered mid-migration-period).
+	TenantCrashProb float64
+	// TenantCrashWindows are crash storms: a crash fires at every
+	// lifecycle boundary inside the window.
+	TenantCrashWindows []Window
+	// TenantCrashPeriodic is a repeating crash storm.
+	TenantCrashPeriodic Periodic
+
+	// ReclaimInterruptProb is the per-page probability that a tenant
+	// reclamation transaction is interrupted and rolled back.
+	ReclaimInterruptProb float64
+	// ReclaimInterruptWindows are intervals during which every
+	// reclamation step is interrupted (drains cannot complete).
+	ReclaimInterruptWindows []Window
+	// ReclaimInterruptPeriodic is a repeating reclamation outage.
+	ReclaimInterruptPeriodic Periodic
+
+	// ArrivalBurstProb is the per-opportunity probability that a burst
+	// of extra tenant registrations arrives (a thundering herd).
+	ArrivalBurstProb float64
+	// ArrivalBurstMax caps the extra arrivals per burst; < 1 means 1.
+	ArrivalBurstMax int
+	// ArrivalBurstWindows are intervals during which every registration
+	// opportunity bursts.
+	ArrivalBurstWindows []Window
+	// ArrivalBurstPeriodic is a repeating arrival-burst schedule.
+	ArrivalBurstPeriodic Periodic
 }
 
 // Stats counts the faults an Injector has delivered.
@@ -132,6 +161,14 @@ type Stats struct {
 	// DegradedMigrations is the number of migrations that paid the
 	// bandwidth-degradation penalty.
 	DegradedMigrations uint64
+	// TenantCrashes is the number of tenant-crash faults delivered.
+	TenantCrashes uint64
+	// ReclaimInterrupts is the number of reclamation steps interrupted.
+	ReclaimInterrupts uint64
+	// ArrivalBurstEvents counts arrival bursts; ArrivalBurstExtra is
+	// the total extra registrations those bursts injected.
+	ArrivalBurstEvents uint64
+	ArrivalBurstExtra  uint64
 }
 
 // Injector delivers faults according to a Config. It implements
@@ -141,8 +178,11 @@ type Injector struct {
 
 	// Independent streams per fault class keep decisions reproducible
 	// even when call interleavings differ between runs.
-	rngMig *dist.RNG
-	rngSmp *dist.RNG
+	rngMig   *dist.RNG
+	rngSmp   *dist.RNG
+	rngCrash *dist.RNG
+	rngRcl   *dist.RNG
+	rngArr   *dist.RNG
 
 	burstLeft int // remaining forced failures of the current burst
 
@@ -152,9 +192,12 @@ type Injector struct {
 // New returns an Injector for cfg.
 func New(cfg Config) *Injector {
 	return &Injector{
-		cfg:    cfg,
-		rngMig: dist.NewRNG(cfg.Seed ^ 0xfa117a11),
-		rngSmp: dist.NewRNG(cfg.Seed ^ 0x5a3b1edb),
+		cfg:      cfg,
+		rngMig:   dist.NewRNG(cfg.Seed ^ 0xfa117a11),
+		rngSmp:   dist.NewRNG(cfg.Seed ^ 0x5a3b1edb),
+		rngCrash: dist.NewRNG(cfg.Seed ^ 0xc4a5bdea),
+		rngRcl:   dist.NewRNG(cfg.Seed ^ 0x4ec1a132),
+		rngArr:   dist.NewRNG(cfg.Seed ^ 0xa441b075),
 	}
 }
 

@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"artmem/internal/core"
+	"artmem/internal/dist"
+	"artmem/internal/faultinject"
+	"artmem/internal/memsim"
+	"artmem/internal/policies"
+	"artmem/internal/tenancy"
+	"artmem/internal/workloads"
+)
+
+// testChurnSpec builds a fresh churn schedule at test scale: `clients`
+// short-lived skewed clients (every third one latency-class, every
+// fourth an ArtMem agent, the rest MEMTIS) cycling through a 6-slot
+// plane against a shifting-hotspot antagonist. Workloads are
+// single-use, so every run needs a fresh spec.
+func testChurnSpec(clients int) ChurnSpec {
+	const slotPages = 32
+	const pageSize = 4096
+	spec := ChurnSpec{
+		Capacity:  6,
+		SlotBytes: slotPages * pageSize,
+		PeriodNs:  100_000,
+	}
+	// Short policy intervals: a churn client lives ~100k virtual ns, so
+	// the default 10ms tick would never fire during its lifetime.
+	const tick = 20_000
+	for i := 0; i < clients; i++ {
+		var pol policies.EnvPolicy
+		if i%4 == 0 {
+			pol = core.New(core.Config{Seed: uint64(i) + 1, SamplePeriod: 4, TickInterval: tick})
+		} else {
+			pol = policies.NewMEMTIS(policies.MEMTISConfig{TickInterval: tick})
+		}
+		class := tenancy.ClassBatch
+		if i%3 == 0 {
+			class = tenancy.ClassLatency
+		}
+		spec.Clients = append(spec.Clients, ChurnClient{
+			Name:     fmt.Sprintf("client%d", i),
+			Class:    class,
+			Workload: workloads.NewChurnClient(fmt.Sprintf("client%d", i), 24*pageSize, 12_000, uint64(i)+7),
+			Policy:   pol,
+		})
+	}
+	spec.Antagonist = &ChurnClient{
+		Name:     "antagonist",
+		Weight:   2,
+		Workload: workloads.NewChurnAntagonist(slotPages*pageSize, 200_000, 3),
+		Policy:   policies.NewMEMTIS(policies.MEMTISConfig{TickInterval: tick}),
+	}
+	return spec
+}
+
+func churnArbiter() tenancy.ArbiterConfig {
+	return tenancy.ArbiterConfig{
+		Mode:                    tenancy.ModeStatic,
+		Admission:               true,
+		BandwidthPagesPerPeriod: 24,
+		MaxArrivalsPerPeriod:    2,
+	}
+}
+
+func churnFaults() *faultinject.Config {
+	return &faultinject.Config{
+		Seed:                 10,
+		TenantCrashProb:      0.15,
+		ReclaimInterruptProb: 0.02, // per reclaimed page; higher never commits
+		ArrivalBurstProb:     0.2,
+		ArrivalBurstMax:      3,
+	}
+}
+
+// TestChaosChurnLifecycleInvariants is the headline chaos test: tenants
+// arrive in bursts, die mid-period, and have their reclamations
+// interrupted, while the machine's page accounting, the per-tenant RSS
+// sum, and the arbiter's quota sum are re-verified after every
+// lifecycle event.
+func TestChaosChurnLifecycleInvariants(t *testing.T) {
+	res := RunChurn(testChurnSpec(30), churnArbiter(), Config{
+		PageSize:        4096,
+		Ratio:           Ratio{Fast: 1, Slow: 4},
+		Faults:          churnFaults(),
+		CheckInvariants: true,
+	})
+	if res.InvariantErr != nil {
+		t.Fatalf("invariant violated under churn chaos: %v", res.InvariantErr)
+	}
+	c := res.Churn
+	if c == nil {
+		t.Fatal("no churn stats")
+	}
+	if c.Completed+c.Crashed+c.Unadmitted != c.Clients {
+		t.Fatalf("client ledger does not balance: %+v", c)
+	}
+	if c.Crashed == 0 {
+		t.Error("no injected crashes fired; raise TenantCrashProb")
+	}
+	if c.ReclaimRollbacks == 0 {
+		t.Error("no reclamation rollbacks; raise ReclaimInterruptProb")
+	}
+	if res.FaultStats.TenantCrashes == 0 || res.FaultStats.ReclaimInterrupts == 0 {
+		t.Errorf("injector stats did not count churn faults: %+v", res.FaultStats)
+	}
+	if c.UnresolvedDrains != 0 {
+		t.Errorf("%d drains never committed despite probabilistic faults", c.UnresolvedDrains)
+	}
+	if c.PeakActive > c.Capacity {
+		t.Errorf("peak active %d exceeds capacity %d", c.PeakActive, c.Capacity)
+	}
+	// Every admitted client produced a snapshot row with accesses.
+	rows := 0
+	for _, tr := range res.Tenants[1:] { // row 0 is the antagonist
+		if tr.Accesses > 0 {
+			rows++
+		}
+	}
+	if rows != c.Completed+c.Crashed {
+		t.Errorf("%d rows with traffic, want %d", rows, c.Completed+c.Crashed)
+	}
+}
+
+// TestChaosChurnDeterministic pins the purity contract: the same spec
+// identities and fault seed yield a bit-identical Result, which is what
+// lets churn cells memoize and parallelize through the sched grid.
+func TestChaosChurnDeterministic(t *testing.T) {
+	run := func() Result {
+		return RunChurn(testChurnSpec(16), churnArbiter(), Config{
+			PageSize:        4096,
+			Ratio:           Ratio{Fast: 1, Slow: 4},
+			Faults:          churnFaults(),
+			CheckInvariants: true,
+		})
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("churn run is not deterministic:\n a=%+v\n b=%+v", a.Churn, b.Churn)
+	}
+}
+
+// TestChaosChurnPermanentReclaimFault wedges every reclamation
+// transaction forever (a window covering all of time) and checks the
+// run still terminates, with the wedged slots reported as unresolved
+// drains and the accounting intact — rollback after rollback, nothing
+// leaks.
+func TestChaosChurnPermanentReclaimFault(t *testing.T) {
+	res := RunChurn(testChurnSpec(8), churnArbiter(), Config{
+		PageSize: 4096,
+		Ratio:    Ratio{Fast: 1, Slow: 4},
+		Faults: &faultinject.Config{
+			Seed:                    11,
+			ReclaimInterruptWindows: []faultinject.Window{{StartNs: 0, EndNs: 1 << 62}},
+		},
+		CheckInvariants: true,
+	})
+	if res.InvariantErr != nil {
+		t.Fatalf("invariant violated: %v", res.InvariantErr)
+	}
+	if res.Churn.UnresolvedDrains == 0 {
+		t.Error("expected wedged drains under a permanent reclamation fault")
+	}
+	if res.Churn.ReclaimRollbacks == 0 {
+		t.Error("expected rollbacks under a permanent reclamation fault")
+	}
+}
+
+// TestChaosChurnRandomizedPlaneSchedule is the churn-accounting
+// property test, one level below RunChurn: a seeded random schedule of
+// register / touch / deregister / crash / retry events runs directly
+// against a Plane, and after every event the per-tenant RSS must sum to
+// the machine RSS and CheckInvariants must pass.
+func TestChaosChurnRandomizedPlaneSchedule(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const pages, fastPages, cap = 96, 24, 5
+			mcfg := memsim.DefaultConfig(pages*4096, fastPages*4096, 4096)
+			mcfg.CacheLines = 0
+			m := memsim.NewMachine(mcfg)
+			inj := faultinject.New(faultinject.Config{
+				Seed:                 seed,
+				ReclaimInterruptProb: 0.3,
+			})
+			m.SetFaultInjector(inj)
+			p := tenancy.NewDynamicPlane(m, cap, tenancy.ArbiterConfig{
+				Mode: tenancy.ModeStatic, Admission: true, BandwidthPagesPerPeriod: 8,
+			})
+			rng := dist.NewRNG(seed ^ 0xfeed)
+
+			check := func(event string) {
+				t.Helper()
+				if err := m.CheckInvariants(); err != nil {
+					t.Fatalf("after %s: %v", event, err)
+				}
+				sum := 0
+				for i := 0; i < cap; i++ {
+					sum += m.TenantUsedPages(memsim.TenantID(i), memsim.Fast) +
+						m.TenantUsedPages(memsim.TenantID(i), memsim.Slow)
+				}
+				if total := m.UsedPages(memsim.Fast) + m.UsedPages(memsim.Slow); sum != total {
+					t.Fatalf("after %s: tenant RSS sum %d != machine RSS %d", event, sum, total)
+				}
+			}
+
+			reg := 0
+			for step := 0; step < 400; step++ {
+				slot := rng.Intn(cap)
+				switch rng.Intn(6) {
+				case 0, 1: // register into any empty slot
+					if _, err := p.Register(tenancy.Tenant{
+						Name:  fmt.Sprintf("t%d", reg),
+						Class: tenancy.SLOClass(rng.Intn(2)),
+					}); err == nil {
+						reg++
+					}
+					check("register")
+				case 2: // touch pages as an active tenant
+					if p.State(slot) == tenancy.StateActive {
+						m.SetCurrentTenant(memsim.TenantID(slot))
+						base := uint64(slot) * 16
+						for k := 0; k < 4; k++ {
+							m.Access((base+uint64(rng.Intn(16)))*4096, rng.Intn(3) == 0)
+						}
+						check("touch")
+					}
+				case 3: // graceful deregister, drain
+					if p.State(slot) != tenancy.StateEmpty {
+						p.Deregister(slot, -1)
+						check("deregister")
+					}
+				case 4: // crash with handoff to a random other slot
+					if p.State(slot) != tenancy.StateEmpty {
+						p.Crash(slot, rng.Intn(cap))
+						check("crash")
+					}
+				case 5:
+					p.RetryDrains()
+					p.BeginPeriod()
+					check("retry")
+				}
+			}
+			// Clear faults and drain everything: the plane must empty.
+			m.SetFaultInjector(nil)
+			for i := 0; i < cap; i++ {
+				if p.State(i) == tenancy.StateActive {
+					p.Deregister(i, -1)
+				}
+			}
+			if left := p.RetryDrains(); left != 0 {
+				t.Fatalf("%d slots still draining after faults cleared", left)
+			}
+			check("final drain")
+			if got := m.UsedPages(memsim.Fast) + m.UsedPages(memsim.Slow); got != 0 {
+				t.Fatalf("%d pages leaked after all tenants drained", got)
+			}
+		})
+	}
+}
+
+// TestChaosChurnSLOPreemption checks the class asymmetry end to end:
+// with identical clients and seeds, flipping some clients to the
+// latency class must buy them preempted promotion bandwidth (denials
+// shift toward the batch class), not error them.
+func TestChaosChurnSLOPreemption(t *testing.T) {
+	run := func(slo bool) Result {
+		spec := testChurnSpec(18)
+		if !slo {
+			for i := range spec.Clients {
+				spec.Clients[i].Class = tenancy.ClassBatch
+			}
+		}
+		acfg := churnArbiter()
+		acfg.BandwidthPagesPerPeriod = 6 // 1/tenant/period: preemption pressure
+		return RunChurn(spec, acfg, Config{
+			PageSize:        4096,
+			Ratio:           Ratio{Fast: 1, Slow: 4},
+			CheckInvariants: true,
+		})
+	}
+	withSLO, flat := run(true), run(false)
+	if withSLO.InvariantErr != nil || flat.InvariantErr != nil {
+		t.Fatalf("invariants: %v / %v", withSLO.InvariantErr, flat.InvariantErr)
+	}
+	var preempts uint64
+	for _, tr := range withSLO.Tenants {
+		if tr.Class == "latency" {
+			preempts += tr.Preemptions
+		}
+	}
+	if preempts == 0 {
+		t.Error("latency clients never preempted the batch pool")
+	}
+	if withSLO.Churn.LatencyP99Ns > withSLO.Churn.BatchP99Ns {
+		t.Errorf("latency class p99 %.0f worse than batch %.0f under SLO arbitration",
+			withSLO.Churn.LatencyP99Ns, withSLO.Churn.BatchP99Ns)
+	}
+}

@@ -114,6 +114,11 @@ type Result struct {
 	Tenants           []TenantResult
 	ArbiterRebalances uint64
 
+	// Churn holds the lifecycle aggregates of a RunChurn run; nil
+	// otherwise. Lives on Result so churn outcomes flow through the
+	// sched run cache like every other cell output.
+	Churn *ChurnStats
+
 	// MigrationSeries (pages migrated per tick) and RatioSeries
 	// (windowed DRAM access ratio per tick), when collected.
 	MigrationSeries stats.Series

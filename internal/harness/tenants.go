@@ -46,6 +46,17 @@ type TenantResult struct {
 	Promotions       uint64
 	Demotions        uint64
 	AdmissionDenials uint64
+
+	// Churn-run fields (RunChurn); zero-valued for RunTenants rows.
+	// Class is the SLO class name ("batch"/"latency"); Completed is
+	// false when the tenant crashed before finishing its trace; P99Ns is
+	// the tenant's reconstructed 99th-percentile access cost;
+	// Preemptions counts batch-pool budget the tenant preempted.
+	Class       string
+	Completed   bool
+	Crashed     bool
+	P99Ns       float64
+	Preemptions uint64
 }
 
 // Throughput returns the tenant's accesses per microsecond of

@@ -47,6 +47,23 @@ func (c *cacheModel) lookup(line uint64) bool {
 	return false
 }
 
+// evictLines invalidates n consecutive line addresses starting at
+// startLine, leaving unrelated resident lines alone. Used when a page
+// is freed so its contents do not survive into the address range's next
+// owner. O(n) hashes; only the reclamation path calls it.
+func (c *cacheModel) evictLines(startLine uint64, n int64) {
+	if c.tags == nil {
+		return
+	}
+	for i := int64(0); i < n; i++ {
+		line := startLine + uint64(i)
+		slot := (line * 0x9e3779b97f4a7c15) & c.mask
+		if c.tags[slot] == line {
+			c.tags[slot] = ^uint64(0)
+		}
+	}
+}
+
 // flush invalidates the whole cache. Used by tests and by workload phase
 // changes that model context switches.
 func (c *cacheModel) flush() {

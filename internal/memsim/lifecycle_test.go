@@ -1,0 +1,161 @@
+package memsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFreeRestoreRoundTripPreservesInvariants(t *testing.T) {
+	m := NewMachine(testConfig(0))
+	m.EnableTenants(2)
+	m.SetCurrentTenant(0)
+	touch(m, 0, 8)
+	m.SetCurrentTenant(1)
+	touch(m, 20, 8)
+
+	preUsed := [NumTiers]int{m.TenantUsedPages(0, Fast), m.TenantUsedPages(0, Slow)}
+	var freed []struct {
+		p PageID
+		t TierID
+	}
+	for p := PageID(0); p < 8; p++ {
+		tier := m.TierOf(p)
+		if err := m.FreePage(p); err != nil {
+			t.Fatalf("FreePage(%d): %v", p, err)
+		}
+		freed = append(freed, struct {
+			p PageID
+			t TierID
+		}{p, tier})
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("after freeing %d pages: %v", p+1, err)
+		}
+	}
+	if m.TenantUsedPages(0, Fast)+m.TenantUsedPages(0, Slow) != 0 {
+		t.Fatal("tenant 0 still has resident pages after draining")
+	}
+	if got := m.Counters().Freed; got != 8 {
+		t.Fatalf("Freed = %d, want 8", got)
+	}
+	if err := m.FreePage(0); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("double free = %v, want ErrNotAllocated", err)
+	}
+
+	// Roll back: restore in reverse order, invariants at every step.
+	for i := len(freed) - 1; i >= 0; i-- {
+		if err := m.RestorePage(freed[i].p, freed[i].t); err != nil {
+			t.Fatalf("RestorePage(%d): %v", freed[i].p, err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("after restoring page %d: %v", freed[i].p, err)
+		}
+	}
+	if got := [NumTiers]int{m.TenantUsedPages(0, Fast), m.TenantUsedPages(0, Slow)}; got != preUsed {
+		t.Fatalf("tenant 0 RSS after rollback = %v, want %v", got, preUsed)
+	}
+	if got := m.Counters().Freed; got != 0 {
+		t.Fatalf("Freed after full rollback = %d, want 0", got)
+	}
+	if err := m.RestorePage(freed[0].p, freed[0].t); !errors.Is(err, ErrPageAllocated) {
+		t.Fatalf("double restore = %v, want ErrPageAllocated", err)
+	}
+}
+
+func TestTransferPageRechargesOwnership(t *testing.T) {
+	m := NewMachine(testConfig(0))
+	m.EnableTenants(2)
+	m.SetCurrentTenant(0)
+	touch(m, 0, 6)
+	m.SetCurrentTenant(1)
+	touch(m, 30, 4)
+
+	before1 := m.TenantUsedPages(1, Fast) + m.TenantUsedPages(1, Slow)
+	for p := PageID(0); p < 6; p++ {
+		if err := m.TransferPage(p, 1); err != nil {
+			t.Fatalf("TransferPage(%d): %v", p, err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("after transferring page %d: %v", p, err)
+		}
+	}
+	if got := m.TenantUsedPages(0, Fast) + m.TenantUsedPages(0, Slow); got != 0 {
+		t.Fatalf("tenant 0 RSS after handoff = %d, want 0", got)
+	}
+	if got := m.TenantUsedPages(1, Fast) + m.TenantUsedPages(1, Slow); got != before1+6 {
+		t.Fatalf("tenant 1 RSS after handoff = %d, want %d", got, before1+6)
+	}
+	for p := PageID(0); p < 6; p++ {
+		if m.OwnerOf(p) != 1 {
+			t.Fatalf("page %d owner = %d, want 1", p, m.OwnerOf(p))
+		}
+	}
+	// Self-transfer and unallocated pages.
+	if err := m.TransferPage(0, 1); err != nil {
+		t.Fatalf("self transfer: %v", err)
+	}
+	if err := m.TransferPage(PageID(50), 1); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("transfer of unallocated page = %v, want ErrNotAllocated", err)
+	}
+}
+
+func TestResetTenantRefusesUntilDrained(t *testing.T) {
+	m := NewMachine(testConfig(0))
+	m.EnableTenants(2)
+	m.SetFastQuota(1, 5)
+	m.SetCurrentTenant(1)
+	touch(m, 0, 4)
+
+	if err := m.ResetTenant(1); err == nil {
+		t.Fatal("ResetTenant succeeded while tenant owns pages")
+	}
+	for p := PageID(0); p < 4; p++ {
+		if err := m.FreePage(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.ResetTenant(1); err != nil {
+		t.Fatalf("ResetTenant after drain: %v", err)
+	}
+	if c := m.TenantCounters(1); c != (TenantCounters{}) {
+		t.Fatalf("counters after reset = %+v, want zero", c)
+	}
+	if q := m.FastQuota(1); q != 0 {
+		t.Fatalf("quota after reset = %d, want 0", q)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreePageEvictsCacheLines(t *testing.T) {
+	m := NewMachine(testConfig(1024))
+	addr := uint64(0)
+	m.Access(addr, false) // install line
+	pre := m.Counters().CacheHits
+	m.Access(addr, false)
+	if hits := m.Counters().CacheHits - pre; hits != 1 {
+		t.Fatalf("second access hits = %d, want 1 (line resident)", hits)
+	}
+	if err := m.FreePage(m.PageOf(addr)); err != nil {
+		t.Fatal(err)
+	}
+	pre = m.Counters().CacheHits
+	m.Access(addr, false) // re-allocates; line must have been evicted
+	if hits := m.Counters().CacheHits - pre; hits != 0 {
+		t.Fatalf("access after free hit the cache; freed pages must not stay cache-hot")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCostAccessorsMatchLatencyData(t *testing.T) {
+	m := NewMachine(testConfig(0))
+	if m.ReadCostNs(Fast) >= m.ReadCostNs(Slow) {
+		t.Fatalf("fast read cost %v !< slow read cost %v",
+			m.ReadCostNs(Fast), m.ReadCostNs(Slow))
+	}
+	if m.WriteCostNs(Fast) <= 0 || m.WriteCostNs(Slow) <= 0 {
+		t.Fatal("write costs must be positive")
+	}
+}

@@ -60,6 +60,9 @@ type Counters struct {
 	// Allocations counts first-touch page allocations, split by tier.
 	AllocFast uint64
 	AllocSlow uint64
+	// Freed counts pages unallocated by FreePage (tenant reclamation);
+	// a rolled-back free (RestorePage) is not counted.
+	Freed uint64
 }
 
 // DRAMRatio returns the fraction of cache-missing accesses served by the
@@ -612,9 +615,9 @@ func (m *Machine) CheckInvariants() error {
 				TierID(t), m.used[t], m.cap[t])
 		}
 	}
-	if total := m.ctr.AllocFast + m.ctr.AllocSlow; total != uint64(allocated) {
-		return fmt.Errorf("memsim: allocation counters %d != %d allocated pages",
-			total, allocated)
+	if total := m.ctr.AllocFast + m.ctr.AllocSlow - m.ctr.Freed; total != uint64(allocated) {
+		return fmt.Errorf("memsim: allocation counters %d (net of %d freed) != %d allocated pages",
+			total, m.ctr.Freed, allocated)
 	}
 	if m.ts != nil {
 		// Per-tenant RSS: recount (owner, tier) over allocated pages and

@@ -35,6 +35,9 @@ const (
 	// PageKindMigration is a migration attempt outcome: settled,
 	// busy, tier_full, skipped, or rolled_back.
 	PageKindMigration = "migration"
+	// PageKindFree is the page's unallocation during tenant
+	// reclamation (drain); Tier records where it was resident.
+	PageKindFree = "free"
 )
 
 // PageEvent outcomes for verdict and migration events.

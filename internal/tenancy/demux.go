@@ -26,6 +26,14 @@ func newDemux(m *memsim.Machine, n int) *demux {
 	}
 }
 
+// clear drops slot i's registered handlers — a departing tenant's
+// policy must stop receiving signals the moment it leaves the plane.
+func (d *demux) clear(i int) {
+	d.samplers[i] = nil
+	d.faults[i] = nil
+	d.allocs[i] = nil
+}
+
 // OnMiss implements memsim.Sampler: route by page owner.
 func (d *demux) OnMiss(p memsim.PageID, t memsim.TierID, write bool, now int64) {
 	if s := d.samplers[d.m.OwnerOf(p)]; s != nil {

@@ -1,0 +1,322 @@
+package tenancy
+
+import (
+	"errors"
+	"fmt"
+
+	"artmem/internal/memsim"
+)
+
+// SLOClass is a tenant's service-level class. The arbiter's admission
+// control treats the classes asymmetrically: latency tenants may
+// preempt the batch tenants' pooled promotion budget, batch tenants
+// degrade gracefully (denied promotions this period) when preempted.
+type SLOClass int
+
+const (
+	// ClassBatch is the default, best-effort class: throughput-
+	// oriented tenants whose promotions yield to latency tenants under
+	// bandwidth pressure.
+	ClassBatch SLOClass = iota
+	// ClassLatency marks a latency-SLO tenant: its promotions are
+	// admitted from its own budget first and from the batch pool when
+	// that runs out.
+	ClassLatency
+)
+
+// String returns "batch" or "latency".
+func (c SLOClass) String() string {
+	if c == ClassLatency {
+		return "latency"
+	}
+	return "batch"
+}
+
+// TenantState is a slot's position in the lifecycle state machine:
+//
+//	Empty ──Register──▶ Active ──Deregister/Crash──▶ Draining
+//	  ▲                                                 │
+//	  └────────── reclamation transaction commits ──────┘
+//
+// A slot stays Draining when its reclamation transaction is
+// interrupted (the transaction rolls back, accounting intact) and
+// leaves via a successful retry.
+type TenantState int
+
+const (
+	// StateEmpty is an unoccupied slot, claimable by Register.
+	StateEmpty TenantState = iota
+	// StateActive is a registered tenant: owns pages, holds quota,
+	// receives signals, and is arbitrated.
+	StateActive
+	// StateDraining is a departing tenant whose pages have not yet
+	// been reclaimed: out of the arbiter's active set, no signals, all
+	// promotions denied; its resident set awaits drain or handoff.
+	StateDraining
+)
+
+// String returns "empty", "active", or "draining".
+func (s TenantState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDraining:
+		return "draining"
+	default:
+		return "empty"
+	}
+}
+
+// LifecycleStats counts the plane's lifecycle events.
+type LifecycleStats struct {
+	// Registrations is the number of tenants admitted.
+	Registrations uint64
+	// RegistrationsDenied counts registrations refused because every
+	// slot was occupied (plane full).
+	RegistrationsDenied uint64
+	// RegistrationsThrottled counts registrations deferred by the
+	// per-period arrival backpressure.
+	RegistrationsThrottled uint64
+	// Deregistrations is the number of reclamations that committed
+	// (graceful departures and crashes both count once, on commit).
+	Deregistrations uint64
+	// Crashes is the number of forced deregistrations.
+	Crashes uint64
+	// ReclaimRollbacks counts reclamation transactions that were
+	// interrupted by a fault and rolled back.
+	ReclaimRollbacks uint64
+	// PagesDrained and PagesHandedOff count committed reclamation
+	// pages by disposition (freed vs ownership-transferred).
+	PagesDrained   uint64
+	PagesHandedOff uint64
+}
+
+// ErrPlaneFull is returned by Register when every slot is occupied.
+var ErrPlaneFull = errors.New("tenancy: no free tenant slot")
+
+// ErrRegistrationThrottled is returned by Register when this period's
+// arrival budget (ArbiterConfig.MaxArrivalsPerPeriod) is spent — the
+// plane's backpressure signal. The registration may be retried next
+// control period.
+var ErrRegistrationThrottled = errors.New("tenancy: registration throttled, retry next period")
+
+// ErrReclaimInterrupted is returned by Deregister when the reclamation
+// transaction was interrupted by an injected fault and rolled back.
+// The slot stays Draining; retry via Deregister or RetryDrains.
+var ErrReclaimInterrupted = errors.New("tenancy: reclamation interrupted, rolled back")
+
+// reclaimInjector is the optional churn-fault hook consulted once per
+// page of a reclamation transaction. faultinject.Injector implements
+// it; the memsim.FaultInjector interface is deliberately not widened
+// (that would break every third-party implementer), so the plane
+// type-asserts the machine's installed injector instead.
+type reclaimInjector interface {
+	FailReclaim(now int64) bool
+}
+
+// reclaimPageCostNs is the background CPU cost charged per page walked
+// by a reclamation transaction (unmapping/recharging work an OS would
+// do off the application's critical path).
+const reclaimPageCostNs = 100
+
+// Register admits a tenant into the lowest empty slot and returns the
+// slot id (also its memsim.TenantID). Registration is admission-
+// controlled: a full plane fails with ErrPlaneFull and a spent
+// per-period arrival budget with ErrRegistrationThrottled — both
+// backpressure the caller rather than degrading the tenants already
+// running. The new tenant joins the arbiter's active set immediately:
+// quotas are recomputed over the new membership and budgets reopened.
+func (p *Plane) Register(t Tenant) (int, error) {
+	slot := -1
+	for i := range p.slots {
+		if p.slots[i].state == StateEmpty {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		p.stats.RegistrationsDenied++
+		return -1, ErrPlaneFull
+	}
+	if p.arrivalTokens == 0 {
+		p.stats.RegistrationsThrottled++
+		return -1, ErrRegistrationThrottled
+	}
+	if p.arrivalTokens > 0 {
+		p.arrivalTokens--
+	}
+	if t.Weight <= 0 {
+		t.Weight = 1
+	}
+	if t.Name == "" {
+		t.Name = fmt.Sprintf("tenant%d", slot)
+	}
+	p.slots[slot] = slotState{t: t, state: StateActive}
+	p.insertActive(slot)
+	p.arb.addTenant(slot, t.Weight, t.Class)
+	p.stats.Registrations++
+	return slot, nil
+}
+
+// Deregister retires the tenant in `slot`, reclaiming its resident set
+// in one transaction: every owned page is either freed (handoffTo < 0)
+// or recharged to the active tenant in slot handoffTo. The transaction
+// is all-or-nothing — an injected reclamation fault rolls back every
+// completed step and returns ErrReclaimInterrupted with the slot left
+// Draining (accounting invariants hold at every step; retry later).
+// On commit the slot's counters and quota are reset and the slot
+// returns to Empty.
+//
+// The tenant leaves the arbitrated set immediately, before the
+// transaction runs: its quota is redistributed, its signals stop, and
+// its promotions are denied, so a tenant that crashes mid-migration-
+// period cannot keep growing while it drains.
+func (p *Plane) Deregister(slot, handoffTo int) error {
+	if slot < 0 || slot >= p.capacity {
+		return fmt.Errorf("tenancy: Deregister(%d): no such slot", slot)
+	}
+	s := &p.slots[slot]
+	if s.state == StateEmpty {
+		return fmt.Errorf("tenancy: Deregister(%d): slot is empty", slot)
+	}
+	if handoffTo == slot {
+		return fmt.Errorf("tenancy: Deregister(%d): cannot hand off to self", slot)
+	}
+	if s.state == StateActive {
+		s.state = StateDraining
+		p.removeActive(slot)
+		p.arb.removeTenant(slot)
+		p.dx.clear(slot)
+	}
+	// A handoff target that has itself departed falls back to drain:
+	// recharging pages to a non-active tenant would leak them.
+	if handoffTo >= 0 && (handoffTo >= p.capacity || p.slots[handoffTo].state != StateActive) {
+		handoffTo = -1
+	}
+	p.pendingHandoff[slot] = handoffTo
+	if err := p.reclaim(slot, handoffTo); err != nil {
+		return err
+	}
+	if err := p.m.ResetTenant(memsim.TenantID(slot)); err != nil {
+		// Reclaim committed, so the tenant owns nothing; failure here
+		// is a bookkeeping bug, not an input error.
+		panic(fmt.Sprintf("tenancy: post-reclaim reset failed: %v", err))
+	}
+	s.t = Tenant{}
+	s.state = StateEmpty
+	p.pendingHandoff[slot] = 0
+	p.stats.Deregistrations++
+	return nil
+}
+
+// Crash force-deregisters the tenant in `slot` — the arrival of a
+// tenant's death notice mid-migration-period. It is Deregister's
+// transaction with the crash counted; like Deregister it can be
+// interrupted and retried (RetryDrains uses the recorded handoff).
+func (p *Plane) Crash(slot, handoffTo int) error {
+	if slot >= 0 && slot < p.capacity && p.slots[slot].state == StateActive {
+		p.stats.Crashes++
+	}
+	return p.Deregister(slot, handoffTo)
+}
+
+// RetryDrains retries the reclamation transaction of every Draining
+// slot with its recorded handoff target, in slot order, and returns
+// how many slots remain Draining. The control loop calls it each
+// period so interrupted departures eventually complete.
+func (p *Plane) RetryDrains() int {
+	draining := 0
+	for i := range p.slots {
+		if p.slots[i].state != StateDraining {
+			continue
+		}
+		if err := p.Deregister(i, p.pendingHandoff[i]); err != nil {
+			draining++
+		}
+	}
+	return draining
+}
+
+// reclaim walks the departing tenant's owned pages in ascending page
+// order, freeing or handing off each one, journaling every step. An
+// injected interruption replays the journal in reverse — TransferPage
+// back or RestorePage — leaving the machine's accounting exactly as
+// before the transaction. Handoff alloc-hook notifications for the
+// inheriting tenant's policy fire only after the transaction commits,
+// so a rollback never leaves the inheritor's LRU tracking pages it
+// does not own.
+func (p *Plane) reclaim(slot, handoffTo int) error {
+	id := memsim.TenantID(slot)
+	ri, _ := p.m.FaultInjector().(reclaimInjector)
+	type op struct {
+		page memsim.PageID
+		tier memsim.TierID
+	}
+	var journal []op
+	np := p.m.NumPages()
+	remaining := p.m.TenantUsedPages(id, memsim.Fast) + p.m.TenantUsedPages(id, memsim.Slow)
+	for page := 0; page < np && remaining > 0; page++ {
+		pid := memsim.PageID(page)
+		if !p.m.Allocated(pid) || p.m.OwnerOf(pid) != id {
+			continue
+		}
+		if ri != nil && ri.FailReclaim(p.m.Now()) {
+			for j := len(journal) - 1; j >= 0; j-- {
+				if handoffTo >= 0 {
+					if err := p.m.TransferPage(journal[j].page, id); err != nil {
+						panic(fmt.Sprintf("tenancy: reclaim rollback transfer failed: %v", err))
+					}
+				} else if err := p.m.RestorePage(journal[j].page, journal[j].tier); err != nil {
+					panic(fmt.Sprintf("tenancy: reclaim rollback restore failed: %v", err))
+				}
+				p.m.ChargeBackground(reclaimPageCostNs)
+			}
+			p.stats.ReclaimRollbacks++
+			return ErrReclaimInterrupted
+		}
+		tier := p.m.TierOf(pid)
+		if handoffTo >= 0 {
+			if err := p.m.TransferPage(pid, memsim.TenantID(handoffTo)); err != nil {
+				panic(fmt.Sprintf("tenancy: reclaim handoff failed: %v", err))
+			}
+		} else if err := p.m.FreePage(pid); err != nil {
+			panic(fmt.Sprintf("tenancy: reclaim free failed: %v", err))
+		}
+		journal = append(journal, op{pid, tier})
+		remaining--
+		p.m.ChargeBackground(reclaimPageCostNs)
+	}
+	if handoffTo >= 0 {
+		p.stats.PagesHandedOff += uint64(len(journal))
+		// Enroll the inherited pages with the inheritor's policy as if
+		// first-touched, so they join its LRU structures and remain
+		// demotion candidates.
+		if h := p.dx.allocs[handoffTo]; h != nil {
+			for _, o := range journal {
+				h(o.page, p.m.TierOf(o.page))
+			}
+		}
+	} else {
+		p.stats.PagesDrained += uint64(len(journal))
+	}
+	return nil
+}
+
+func (p *Plane) insertActive(slot int) {
+	i := len(p.active)
+	for i > 0 && p.active[i-1] > slot {
+		i--
+	}
+	p.active = append(p.active, 0)
+	copy(p.active[i+1:], p.active[i:])
+	p.active[i] = slot
+}
+
+func (p *Plane) removeActive(slot int) {
+	for i, s := range p.active {
+		if s == slot {
+			p.active = append(p.active[:i], p.active[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"fmt"
+
+	"artmem/internal/dist"
+)
+
+// Churn-experiment workloads: many short-lived clients arriving and
+// departing against one long-running antagonist. Both are deliberately
+// tiny per instance — the churn experiment runs hundreds to a thousand
+// of them through a handful of tenant slots, so the interesting scale
+// is the client count, not any one footprint.
+
+// NewChurnClient models one short-lived service instance: a sharply
+// skewed working set where 99.5% of accesses hit a hot 10% of the
+// footprint (hot-region position seeded per client, so co-resident
+// clients do not share hot offsets), prefixed by the usual init sweep
+// so first-touch placement follows address order. The skew is above the
+// 99th percentile on purpose: a client whose hot set gets promoted sees
+// a fast-tier p99, one stuck in the slow tier a slow-tier p99, which is
+// what makes per-client p99 a discriminative churn metric. The trace is
+// `accesses` long plus the sweep.
+func NewChurnClient(name string, footprint, accesses int64, seed uint64) Workload {
+	rng := dist.NewRNG(seed ^ 0xc1137) // "cli"
+	hotBytes := footprint / 10
+	if hotBytes < 64 {
+		hotBytes = 64
+	}
+	hotBase := uint64(rng.Uint64n(uint64(footprint-hotBytes)) &^ 63)
+	remaining := accesses
+	gen := func() (Access, bool) {
+		if remaining <= 0 {
+			return Access{}, false
+		}
+		remaining--
+		var addr uint64
+		if rng.Uint64n(200) != 0 {
+			addr = hotBase + rng.Uint64n(uint64(hotBytes))
+		} else {
+			addr = rng.Uint64n(uint64(footprint))
+		}
+		return Access{Addr: addr, Write: rng.Uint64n(4) == 0}, true
+	}
+	return WithInitSweep(NewGenerator(name, footprint, gen), 4096)
+}
+
+// NewChurnAntagonist models the long-running noisy neighbour: a hot
+// region of a quarter of the footprint that jumps to a new position
+// every epoch, so its policy promotes forever and keeps steady pressure
+// on the shared migration bandwidth (the same role S2 plays in the
+// fairness study, sized for the churn grid).
+func NewChurnAntagonist(footprint, accesses int64, seed uint64) Workload {
+	rng := dist.NewRNG(seed ^ 0xa27a6) // "ant"
+	hotBytes := footprint / 4
+	if hotBytes < 64 {
+		hotBytes = 64
+	}
+	epoch := accesses / 16
+	if epoch < 1 {
+		epoch = 1
+	}
+	hotBase := uint64(0)
+	remaining := accesses
+	gen := func() (Access, bool) {
+		if remaining <= 0 {
+			return Access{}, false
+		}
+		if remaining%epoch == 0 {
+			hotBase = rng.Uint64n(uint64(footprint-hotBytes)) &^ 63
+		}
+		remaining--
+		var addr uint64
+		if rng.Uint64n(5) != 0 {
+			addr = hotBase + rng.Uint64n(uint64(hotBytes))
+		} else {
+			addr = rng.Uint64n(uint64(footprint))
+		}
+		return Access{Addr: addr, Write: rng.Uint64n(8) == 0}, true
+	}
+	return WithInitSweep(NewGenerator(fmt.Sprintf("churn-antagonist/%d", seed), footprint, gen), 4096)
+}
