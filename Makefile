@@ -3,7 +3,7 @@
 
 SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build test check race vet docs-check bench-baseline benchdiff
+.PHONY: all build test check race vet docs-check bench-baseline benchdiff loadtest
 
 all: build
 
@@ -21,6 +21,14 @@ race:
 
 check:
 	sh scripts/check.sh
+
+# Serving smoke: artload drives an in-process loopback server end to end
+# — 8 concurrent clients, fixed seed, small batches so the default queue
+# bound never sheds. artload exits non-zero if any batch is lost (sent
+# but never acked or rejected) or any client fails, so this pins the
+# zero-loss serving contract.
+loadtest:
+	go run ./cmd/artload -loopback -clients 8 -accesses 20000 -batch 256 -div 4096 -seed 1
 
 # Documentation gate: every package and exported identifier needs a doc
 # comment, and every relative link in *.md must resolve (cmd/docscheck).

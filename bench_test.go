@@ -87,3 +87,7 @@ func BenchmarkOverheads(b *testing.B) { benchExperiment(b, "overheads") }
 
 func BenchmarkLiblinearSampling(b *testing.B) { benchExperiment(b, "liblinear-sampling") }
 func BenchmarkPageSize(b *testing.B)          { benchExperiment(b, "pagesize") }
+
+// ---- serving frontend ----------------------------------------------------------
+
+func BenchmarkServeBench(b *testing.B) { benchExperiment(b, "servebench") }

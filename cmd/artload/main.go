@@ -1,0 +1,97 @@
+// Command artload is the load generator for artmemd's batched
+// streaming access API (-serve): it replays internal/workloads traces
+// from N concurrent clients, each streaming windowed batches over the
+// serve wire protocol, and reports throughput and end-to-end batch
+// latency percentiles.
+//
+// Against a live daemon:
+//
+//	artmemd -workload YCSB -serve 127.0.0.1:7700
+//	artload -addr 127.0.0.1:7700 -clients 64 -workload YCSB
+//
+// Multi-tenant (clients round-robin the first -tenants slots):
+//
+//	artmemd -tenants SSSP,XSBench -serve 127.0.0.1:7700
+//	artload -addr 127.0.0.1:7700 -clients 8 -tenants 2
+//
+// Self-contained smoke test (in-process server, no daemon):
+//
+//	artload -loopback -clients 8
+//
+// The exit status is non-zero if any batch was lost (sent but never
+// acked or rejected) or any client failed — the zero-loss serving
+// contract is what CI's loadtest step pins.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"artmem/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7700", "serve API address of a running artmemd")
+		loopback = flag.Bool("loopback", false, "start an in-process single-tenant server and drive that instead of -addr")
+		clients  = flag.Int("clients", 8, "concurrent client streams")
+		workload = flag.String("workload", "YCSB", "workload trace each client replays (per-client decorrelated seeds)")
+		div      = flag.Int64("div", 256, "workload footprint divisor")
+		accesses = flag.Int64("accesses", 200_000, "accesses per client")
+		batch    = flag.Int("batch", 4096, "records per batch frame")
+		window   = flag.Int("window", 8, "in-flight batches per client")
+		seed     = flag.Uint64("seed", 1, "base trace seed")
+		tenant   = flag.Int("tenant", 0, "tenant slot to drive (multi-tenant daemons)")
+		tenants  = flag.Int("tenants", 0, "round-robin clients over this many tenant slots (overrides -tenant; 0 = off)")
+		retry    = flag.Bool("retry", false, "retry batches shed by backpressure until applied")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-client idle timeout waiting for server frames")
+		queue    = flag.Int("queue", 0, "loopback server queue bound in records (0 = server default)")
+	)
+	flag.Parse()
+
+	cfg := serve.LoadConfig{
+		Addr:        *addr,
+		Tenant:      uint32(*tenant),
+		Clients:     *clients,
+		Workload:    *workload,
+		Div:         *div,
+		Accesses:    *accesses,
+		Batch:       *batch,
+		Window:      *window,
+		Seed:        *seed,
+		Retry:       *retry,
+		IdleTimeout: *timeout,
+	}
+	if *tenants > 0 {
+		n := uint32(*tenants)
+		cfg.TenantOf = func(client int) uint32 { return uint32(client) % n }
+	}
+
+	if *loopback {
+		lb, err := serve.StartLoopback(*workload, *div, *queue)
+		if err != nil {
+			fatal(err)
+		}
+		defer lb.Stop()
+		cfg.Addr = lb.Addr()
+		fmt.Printf("artload: loopback server on %s (%s, div %d)\n", lb.Addr(), *workload, *div)
+	}
+
+	fmt.Printf("artload: %d clients x %d accesses of %s against %s (batch %d, window %d)\n",
+		*clients, *accesses, *workload, cfg.Addr, *batch, *window)
+	rep, err := serve.Run(cfg)
+	fmt.Println(rep)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Lost != 0 {
+		fatal(fmt.Errorf("%d batches lost (sent but never resolved)", rep.Lost))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "artload:", err)
+	os.Exit(1)
+}

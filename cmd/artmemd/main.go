@@ -50,9 +50,26 @@ import (
 
 	"artmem/internal/core"
 	"artmem/internal/memsim"
+	"artmem/internal/serve"
 	"artmem/internal/telemetry"
 	"artmem/internal/workloads"
 )
+
+// maxPostBody caps request bodies on the control-plane endpoints; no
+// legitimate control request carries more than a few KB.
+const maxPostBody = 1 << 20
+
+// hardened wraps a control-plane handler with body-size enforcement:
+// every request body is capped at maxPostBody, so a misbehaving client
+// cannot buffer unbounded data into a POST endpoint.
+func hardened(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxPostBody)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
 
 func main() {
 	var (
@@ -65,6 +82,7 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "interval between Q-table checkpoints")
 		drain     = flag.Duration("shutdown-timeout", 5*time.Second, "HTTP drain timeout on SIGINT/SIGTERM")
 		pagetrace = flag.Int("pagetrace", 0, "enable page-lifecycle tracing at 1-in-N page sampling (served at /pagetrace; 0 = off)")
+		serveAddr = flag.String("serve", "", "listen address for the batched streaming access API (artload's target); empty = off")
 		tenants   = flag.String("tenants", "", "comma-separated workload list for multi-tenant mode (one tenant + RL agent per workload; serves /tenants)")
 		arbiter   = flag.String("arbiter", "dynamic", "multi-tenant fast-tier arbiter mode: off, static, or dynamic (quotas + admission control)")
 		capacity  = flag.Int("capacity", 0, "multi-tenant slot capacity; 0 = number of listed tenants (extra slots admit runtime POST /register)")
@@ -84,7 +102,7 @@ func main() {
 		fatal(fmt.Errorf("bad -ratio %q: %v", *ratio, err))
 	}
 	if *tenants != "" {
-		multiMain(*tenants, *arbiter, prof, fast, slow, *capacity, *listen, *drain, build)
+		multiMain(*tenants, *arbiter, prof, fast, slow, *capacity, *listen, *serveAddr, *drain, build)
 		return
 	}
 	spec, err := workloads.ByName(*name)
@@ -136,12 +154,35 @@ func main() {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Addr: *listen, Handler: mux}
+	srv := &http.Server{
+		Addr:    *listen,
+		Handler: hardened(mux),
+		// Bound how long a client may dribble its request headers; without
+		// it an idle connection pins a goroutine forever (slowloris).
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	go protect("http", func() {
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 			fatal(err)
 		}
 	})
+
+	// The batched streaming access API: remote clients (cmd/artload)
+	// stream access/alloc/free batches at the machine alongside the local
+	// replay loop.
+	var accessSrv *serve.Server
+	if *serveAddr != "" {
+		accessSrv = serve.NewServer(serve.Config{
+			Backend:  serve.NewSystemBackend(sys),
+			Registry: sys.Telemetry().Registry,
+		})
+		go protect("serve", func() {
+			if err := accessSrv.ListenAndServe(*serveAddr); err != nil {
+				fatal(fmt.Errorf("serve: %w", err))
+			}
+		})
+		fmt.Printf("artmemd: streaming access API on %s (drive it with artload)\n", *serveAddr)
+	}
 
 	// Periodic Q-table checkpointing: a daemon restart resumes learning
 	// from the last snapshot instead of re-exploring from scratch.
@@ -173,21 +214,33 @@ func main() {
 	fmt.Printf("artmemd: replaying %s (%d MB) at %s in a loop; SIGINT/SIGTERM to stop\n",
 		*name, foot>>20, *ratio)
 
-	replays := 0
-loop:
-	for {
-		if !replay(sys, spec, prof, stop) {
-			break loop
+	if *acc <= 0 {
+		// Serve-only mode: no local replay loop, all traffic arrives
+		// through the streaming access API (or not at all).
+		fmt.Println("artmemd: -accesses 0, serve-only mode (no local replay)")
+		<-stop
+	} else {
+		replays := 0
+	loop:
+		for {
+			if !replay(sys, spec, prof, stop) {
+				break loop
+			}
+			replays++
+			c := sys.Counters()
+			h := sys.Health()
+			fmt.Printf("replay %d done: DRAM ratio %.3f, %d migrations, %d RL decisions, degraded=%v\n",
+				replays, c.DRAMRatio(), c.Migrations, sys.Policy().Decisions(), h.Degraded)
 		}
-		replays++
-		c := sys.Counters()
-		h := sys.Health()
-		fmt.Printf("replay %d done: DRAM ratio %.3f, %d migrations, %d RL decisions, degraded=%v\n",
-			replays, c.DRAMRatio(), c.Migrations, sys.Policy().Decisions(), h.Degraded)
 	}
 
-	// Graceful shutdown: drain in-flight HTTP requests with a deadline,
-	// then stop the background threads and take a final checkpoint.
+	// Graceful shutdown: drain the streaming frontend (every accepted
+	// batch acked or rejected) and in-flight HTTP requests with a
+	// deadline, then stop the background threads and take a final
+	// checkpoint.
+	if accessSrv != nil {
+		accessSrv.Shutdown()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

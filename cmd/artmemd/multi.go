@@ -17,10 +17,21 @@ import (
 
 	"artmem/internal/core"
 	"artmem/internal/memsim"
+	"artmem/internal/serve"
 	"artmem/internal/telemetry"
 	"artmem/internal/tenancy"
 	"artmem/internal/workloads"
 )
+
+// jsonError writes a control-plane error as the pinned JSON schema
+// {"error": ..., "code": ...} with the given HTTP status. code is a
+// stable machine-readable token (see tenancy.ErrorCode for the plane's
+// backpressure vocabulary).
+func jsonError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
+}
 
 // multiMain is artmemd's multi-tenant mode: one tenant per listed
 // workload on a shared machine, each with its own RL agent, under the
@@ -32,7 +43,7 @@ import (
 // plane (including /tenants) is served on the same listen address the
 // single-tenant daemon uses.
 func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow, capacity int,
-	listen string, drain time.Duration, build telemetry.BuildInfo) {
+	listen, serveAddr string, drain time.Duration, build telemetry.BuildInfo) {
 	var mode tenancy.Mode
 	switch arbMode {
 	case "off":
@@ -113,12 +124,33 @@ func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow, c
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Addr: listen, Handler: mux}
+	srv := &http.Server{
+		Addr:    listen,
+		Handler: hardened(mux),
+		// See the single-tenant server: slowloris defence.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	go protect("http", func() {
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 			fatal(err)
 		}
 	})
+
+	// The batched streaming access API over the tenant slots: remote
+	// clients address their slot region from 0, the backend rebases.
+	var accessSrv *serve.Server
+	if serveAddr != "" {
+		accessSrv = serve.NewServer(serve.Config{
+			Backend:  serve.NewMultiBackend(sys, slotBytes),
+			Registry: sys.Telemetry().Registry,
+		})
+		go protect("serve", func() {
+			if err := accessSrv.ListenAndServe(serveAddr); err != nil {
+				fatal(fmt.Errorf("serve: %w", err))
+			}
+		})
+		fmt.Printf("artmemd: streaming access API on %s (drive it with artload -tenant N)\n", serveAddr)
+	}
 
 	fmt.Printf("artmemd: build %s\n", build)
 	fmt.Printf("artmemd: %d/%d tenant slots filled (%s), arbiter %s, admission=%v\n",
@@ -141,6 +173,9 @@ loop:
 		}
 	}
 
+	if accessSrv != nil {
+		accessSrv.Shutdown()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -218,13 +253,13 @@ func (rs *replaySet) step() (progressed bool) {
 // backpressure) maps to 503 with the error in the body.
 func (rs *replaySet) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		jsonError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	wlName := r.FormValue("workload")
 	spec, err := workloads.ByName(wlName)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	name := r.FormValue("name")
@@ -234,7 +269,7 @@ func (rs *replaySet) handleRegister(w http.ResponseWriter, r *http.Request) {
 	weight := 0
 	if v := r.FormValue("weight"); v != "" {
 		if weight, err = strconv.Atoi(v); err != nil || weight < 1 {
-			http.Error(w, "bad weight", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "bad_request", "bad weight")
 			return
 		}
 	}
@@ -245,7 +280,7 @@ func (rs *replaySet) handleRegister(w http.ResponseWriter, r *http.Request) {
 	case "latency":
 		class = tenancy.ClassLatency
 	default:
-		http.Error(w, "bad class: want latency or batch", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "bad_request", "bad class: want latency or batch")
 		return
 	}
 
@@ -255,8 +290,8 @@ func (rs *replaySet) handleRegister(w http.ResponseWriter, r *http.Request) {
 	foot := probe.FootprintBytes()
 	probe.Close()
 	if foot > rs.slotBytes {
-		http.Error(w, fmt.Sprintf("workload footprint %d exceeds slot region %d", foot, rs.slotBytes),
-			http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("workload footprint %d exceeds slot region %d", foot, rs.slotBytes))
 		return
 	}
 	if weight == 0 {
@@ -273,7 +308,7 @@ func (rs *replaySet) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Policy: core.Config{Seed: rs.prof.Seed + 1000 + rs.regSeq},
 	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		jsonError(w, http.StatusServiceUnavailable, tenancy.ErrorCode(err), err.Error())
 		return
 	}
 	rs.entries = append(rs.entries, &replayEntry{
@@ -289,18 +324,18 @@ func (rs *replaySet) handleRegister(w http.ResponseWriter, r *http.Request) {
 // retries each period.
 func (rs *replaySet) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		jsonError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	slot, err := strconv.Atoi(r.FormValue("slot"))
 	if err != nil {
-		http.Error(w, "bad slot", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "bad_request", "bad slot")
 		return
 	}
 	handoff := -1
 	if v := r.FormValue("handoff"); v != "" {
 		if handoff, err = strconv.Atoi(v); err != nil {
-			http.Error(w, "bad handoff", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "bad_request", "bad handoff")
 			return
 		}
 	}
@@ -325,7 +360,7 @@ func (rs *replaySet) handleDeregister(w http.ResponseWriter, r *http.Request) {
 		state, err = "draining", nil
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		jsonError(w, http.StatusConflict, tenancy.ErrorCode(err), err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -138,3 +138,92 @@ func TestReplaySetLifecycle(t *testing.T) {
 		t.Errorf("invariants after lifecycle churn: %v", err)
 	}
 }
+
+// TestLifecycleErrorSchema pins the control plane's JSON error schema:
+// every /register and /deregister failure body is exactly
+// {"error": <message>, "code": <token>} with an unchanged status code —
+// clients may dispatch on code without parsing prose.
+func TestLifecycleErrorSchema(t *testing.T) {
+	rs := testReplaySet(t)
+	decode := func(t *testing.T, w *httptest.ResponseRecorder) (string, string) {
+		t.Helper()
+		if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q, want application/json", ct)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+			t.Fatalf("error body is not JSON: %v (%s)", err, w.Body)
+		}
+		if len(m) != 2 {
+			t.Fatalf("error body has keys %v, want exactly {error, code}", m)
+		}
+		errMsg, ok := m["error"].(string)
+		if !ok || errMsg == "" {
+			t.Fatalf("error field = %#v, want non-empty string", m["error"])
+		}
+		code, ok := m["code"].(string)
+		if !ok || code == "" {
+			t.Fatalf("code field = %#v, want non-empty string", m["code"])
+		}
+		return errMsg, code
+	}
+
+	// 405: wrong method.
+	w := httptest.NewRecorder()
+	rs.handleRegister(w, httptest.NewRequest(http.MethodGet, "/register?workload=SSSP", nil))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /register = %d, want 405", w.Code)
+	}
+	if _, code := decode(t, w); code != "method_not_allowed" {
+		t.Errorf("405 code = %q, want method_not_allowed", code)
+	}
+
+	// 400: validation.
+	w = post(t, rs.handleRegister, "/register?workload=nope")
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown workload = %d, want 400", w.Code)
+	}
+	if _, code := decode(t, w); code != "bad_request" {
+		t.Errorf("400 code = %q, want bad_request", code)
+	}
+	w = post(t, rs.handleDeregister, "/deregister?slot=zero")
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad slot = %d, want 400", w.Code)
+	}
+	decode(t, w)
+
+	// 503: plane full maps to the tenancy error vocabulary. Success
+	// replies keep their original schema (no error/code keys).
+	w = post(t, rs.handleRegister, "/register?workload=SSSP")
+	if w.Code != http.StatusOK {
+		t.Fatalf("register 2 = %d", w.Code)
+	}
+	var okBody map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &okBody); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := okBody["error"]; has {
+		t.Errorf("success body carries an error key: %v", okBody)
+	}
+	if w := post(t, rs.handleRegister, "/register?workload=SSSP"); w.Code != http.StatusOK {
+		t.Fatalf("register 3 = %d", w.Code)
+	}
+	w = post(t, rs.handleRegister, "/register?workload=SSSP")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("register on full plane = %d, want 503", w.Code)
+	}
+	if _, code := decode(t, w); code != tenancy.ErrorCode(tenancy.ErrPlaneFull) {
+		t.Errorf("503 code = %q, want %q", code, tenancy.ErrorCode(tenancy.ErrPlaneFull))
+	}
+
+	// 409: deregister of an empty slot.
+	w = post(t, rs.handleDeregister, "/deregister?slot=2")
+	if w.Code != http.StatusOK {
+		t.Fatalf("deregister = %d", w.Code)
+	}
+	w = post(t, rs.handleDeregister, "/deregister?slot=2")
+	if w.Code != http.StatusConflict {
+		t.Fatalf("deregister of empty slot = %d, want 409", w.Code)
+	}
+	decode(t, w)
+}

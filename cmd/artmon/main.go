@@ -201,6 +201,12 @@ func renderFrame(cur, prev *sample, base string) string {
 	}
 	fmt.Fprintf(&b, "lru:   %s\n\n", strings.Join(lru, "  "))
 
+	// Serving frontend, only when the daemon runs -serve (the section
+	// keys off the connections gauge, which registers with the server).
+	if _, serving := cur.vals["artmem_serve_connections"]; serving {
+		b.WriteString(renderServing(cur, prev, dt))
+	}
+
 	// Per-tenant control plane, only when the daemon serves /tenants.
 	if cur.tenants != nil {
 		b.WriteString(renderTenants(cur.tenants))
@@ -222,6 +228,36 @@ func renderFrame(cur, prev *sample, base string) string {
 		fmt.Fprintf(&b, "  %6d  s=%d r=%+.2f quota=%d thr=%d promoted=%d\n",
 			e.Seq, e.State, e.Reward, e.Quota, e.Threshold, e.Promoted)
 	}
+	return b.String()
+}
+
+// renderServing draws the streaming access API section: open
+// connections, queued records, batch outcomes (acked vs rejected by
+// reason) with rates, and applied record throughput. Only rendered
+// when the daemon exposes the artmem_serve_* series (-serve active).
+func renderServing(cur, prev *sample, dt float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving: %0.f conns  %0.f records queued\n",
+		cur.metric("artmem_serve_connections"),
+		cur.metric("artmem_serve_queue_records"))
+	rows := []struct{ label, key string }{
+		{"batches acked", "artmem_serve_batches_acked_total"},
+		{"shed overload", `artmem_serve_batches_rejected_total{reason="overloaded"}`},
+		{"rej draining", `artmem_serve_batches_rejected_total{reason="draining"}`},
+		{"rej bad tenant", `artmem_serve_batches_rejected_total{reason="bad_tenant"}`},
+		{"rej throttled", `artmem_serve_batches_rejected_total{reason="throttled"}`},
+		{"records applied", `artmem_serve_records_total{op="access"}`},
+		{"decode errors", "artmem_serve_decode_errors_total"},
+	}
+	for _, r := range rows {
+		v := cur.metric(r.key)
+		rate := "-"
+		if prev != nil && dt > 0 {
+			rate = fmt.Sprintf("%.1f", (v-prev.metric(r.key))/dt)
+		}
+		fmt.Fprintf(&b, "  %-16s %12.0f %12s/s\n", r.label, v, rate)
+	}
+	b.WriteByte('\n')
 	return b.String()
 }
 

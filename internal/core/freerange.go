@@ -1,0 +1,120 @@
+package core
+
+import (
+	"artmem/internal/memsim"
+	"artmem/internal/tenancy"
+)
+
+// Range primitives for the serving frontend (internal/serve): a remote
+// client's alloc record maps to first-touch writes across the range and
+// its free record to FreeRange. Both operate under the system lock and
+// are control-plane-rate operations, not access-hot-path ones.
+
+// freeRange unallocates every currently allocated page of
+// [addr, addr+size) on m, skipping pages not owned by `owner` (pass
+// memsim.DefaultTenant on a single-tenant machine, where OwnerOf always
+// reports DefaultTenant). Addresses wrap like Access does, and the page
+// walk is capped at one full pass of the machine so a huge size cannot
+// spin. Returns the number of pages freed.
+func freeRange(m *memsim.Machine, owner memsim.TenantID, addr, size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	ps := uint64(m.PageSize())
+	first := addr / ps
+	last := (addr + size - 1) / ps
+	n := last - first + 1
+	if n > uint64(m.NumPages()) {
+		n = uint64(m.NumPages())
+	}
+	freed := 0
+	for i := uint64(0); i < n; i++ {
+		pid := m.PageOf((first + i) * ps)
+		if !m.Allocated(pid) || m.OwnerOf(pid) != owner {
+			continue
+		}
+		if m.FreePage(pid) == nil {
+			freed++
+		}
+	}
+	return freed
+}
+
+// touchRange write-touches the first byte of every page of
+// [addr, addr+size) — the serving layer's alloc: untouched pages are
+// first-touch allocated by the machine, already-resident ones just see
+// one write. The walk is capped at one full pass of the machine.
+// Returns the number of pages touched.
+func touchRange(m *memsim.Machine, addr, size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	ps := uint64(m.PageSize())
+	first := addr / ps
+	last := (addr + size - 1) / ps
+	n := last - first + 1
+	if n > uint64(m.NumPages()) {
+		n = uint64(m.NumPages())
+	}
+	for i := uint64(0); i < n; i++ {
+		m.Access((first+i)*ps, true)
+	}
+	return int(n)
+}
+
+// FreeRange unallocates the pages of [addr, addr+size) under the system
+// lock and returns how many were freed. Freed pages simply vanish from
+// the policy's candidate sets — migration already skips unallocated
+// pages — and the address range re-allocates on next touch.
+func (s *System) FreeRange(addr, size uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return freeRange(s.m, memsim.DefaultTenant, addr, size)
+}
+
+// AllocRange first-touch allocates the pages of [addr, addr+size) by
+// write-touching each one under the system lock; returns the number of
+// pages touched.
+func (s *System) AllocRange(addr, size uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return touchRange(s.m, addr, size)
+}
+
+// FreeRange unallocates tenant `tenant`'s pages of [addr, addr+size)
+// under the system lock, skipping pages owned by other tenants (a
+// client cannot free memory it does not own). Returns the number of
+// pages freed.
+func (s *MultiSystem) FreeRange(tenant int, addr, size uint64) int {
+	if tenant < 0 || tenant >= len(s.agents) {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return freeRange(s.m, memsim.TenantID(tenant), addr, size)
+}
+
+// AllocRange first-touch allocates the pages of [addr, addr+size) on
+// behalf of tenant `tenant` by write-touching each one under the system
+// lock; returns the number of pages touched.
+func (s *MultiSystem) AllocRange(tenant int, addr, size uint64) int {
+	if tenant < 0 || tenant >= len(s.agents) {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.SetCurrentTenant(memsim.TenantID(tenant))
+	return touchRange(s.m, addr, size)
+}
+
+// TenantState returns slot i's lifecycle state under the system lock —
+// the serving frontend's admission check (only Active slots accept
+// traffic). Out-of-range slots report StateEmpty.
+func (s *MultiSystem) TenantState(i int) tenancy.TenantState {
+	if i < 0 || i >= len(s.agents) {
+		return tenancy.StateEmpty
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plane.State(i)
+}

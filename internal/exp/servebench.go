@@ -1,0 +1,269 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"artmem/internal/core"
+	"artmem/internal/memsim"
+	"artmem/internal/serve"
+	"artmem/internal/textplot"
+	"artmem/internal/workloads"
+)
+
+// Serving-study geometry. The serving frontend is exercised in lockstep
+// — Submit and Pump called synchronously from one goroutine, the server
+// never Start()ed — so every number in the tables is an integer count
+// reproduced exactly on every run: no wall clock, no goroutine
+// scheduling, no network.
+const (
+	// serveClients is the synthetic client population; each client
+	// replays its own decorrelated trace (Spec.NewSeeded).
+	serveClients = 8
+	// serveBatchRecords is the records-per-batch each client submits —
+	// the wire protocol's typical frame payload.
+	serveBatchRecords = 256
+)
+
+// serveAccesses is the per-client trace length, scaled from the profile
+// with a floor that keeps the coalescing and backpressure shapes
+// visible at quick scale.
+func serveAccesses(o Options) int64 {
+	a := o.Profile.AppAccesses / 100
+	if a < 8_192 {
+		a = 8_192
+	}
+	return a
+}
+
+// serveQueueSweep is the admission-control sweep: ingress-queue bounds
+// in records, from one batch above a single round's submissions down
+// to effectively unbounded.
+func serveQueueSweep(o Options) []int {
+	if o.Quick {
+		return []int{1_024, 16_384}
+	}
+	return []int{1_024, 4_096, 16_384, 65_536}
+}
+
+// serveCoalesceSweep is the coalescing-cap sweep in records per backend
+// pass.
+func serveCoalesceSweep(o Options) []int {
+	if o.Quick {
+		return []int{serveBatchRecords, 4_096}
+	}
+	return []int{serveBatchRecords, 1_024, 4_096, 16_384}
+}
+
+// countingBackend wraps a Backend and counts the coalesced passes the
+// server's pump actually issues — the experiment's view of how many
+// records one backend call amortizes.
+type countingBackend struct {
+	inner   serve.Backend
+	passes  uint64
+	records uint64
+}
+
+func (b *countingBackend) Slots() int           { return b.inner.Slots() }
+func (b *countingBackend) Check(slot int) error { return b.inner.Check(slot) }
+
+func (b *countingBackend) AccessBatch(slot int, addrs []uint64, writes []bool) {
+	b.passes++
+	b.records += uint64(len(addrs))
+	b.inner.AccessBatch(slot, addrs, writes)
+}
+
+func (b *countingBackend) AllocRange(slot int, addr, size uint64) int {
+	return b.inner.AllocRange(slot, addr, size)
+}
+
+func (b *countingBackend) FreeRange(slot int, addr, size uint64) int {
+	return b.inner.FreeRange(slot, addr, size)
+}
+
+// serveLedger is one lockstep run's integer outcome.
+type serveLedger struct {
+	submitted int // batches offered to Submit
+	acked     int // done callbacks with nil Err
+	shed      int // refused at the door with ErrOverloaded
+	rejected  int // done callbacks with non-nil Err
+	passes    uint64
+	records   uint64
+	peakQueue int
+	leftover  int // records still queued after Drain (must be 0)
+	invErr    error
+}
+
+// serveBatches chops client i's trace into submit-ready record batches.
+func serveBatches(o Options, spec workloads.Spec, client int) [][]serve.Record {
+	w := workloads.Limit(spec.NewSeeded(o.Profile, uint64(client)*1_000+1), serveAccesses(o))
+	defer w.Close()
+	var batches [][]serve.Record
+	cur := make([]serve.Record, 0, serveBatchRecords)
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			cur = append(cur, serve.Record{Op: serve.OpAccess, Addr: a.Addr, Write: a.Write})
+			if len(cur) == serveBatchRecords {
+				batches = append(batches, cur)
+				cur = make([]serve.Record, 0, serveBatchRecords)
+			}
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// runServeCell drives one lockstep serving run: serveClients clients
+// round-robin one batch each per round, then the driver pumps
+// pumpsPerRound times. With pumpsPerRound 0 the driver instead drains
+// the queue completely each round (service keeps up — the coalescing
+// study); a positive value caps service so the queue grows and
+// admission control sheds (the backpressure study). Shed batches are
+// dropped, as a non-retrying client would.
+func runServeCell(o Options, spec workloads.Spec, queueRecords, coalesce, pumpsPerRound int) serveLedger {
+	probe := spec.New(o.Profile)
+	foot := probe.FootprintBytes()
+	probe.Close()
+	mcfg := memsim.DefaultConfig(foot, foot/5, o.Profile.PageSize())
+	mcfg.CacheLines = 0
+	sys := core.NewSystem(core.SystemConfig{Machine: mcfg, Policy: core.Config{Seed: o.Profile.Seed}})
+	// Never Start()ed: no sampling/migration goroutines, so the machine
+	// state after the run is a pure function of the submitted traffic.
+
+	cb := &countingBackend{inner: serve.NewSystemBackend(sys)}
+	srv := serve.NewServer(serve.Config{
+		Backend:         cb,
+		QueueRecords:    queueRecords,
+		CoalesceRecords: coalesce,
+	})
+
+	streams := make([][][]serve.Record, serveClients)
+	for i := range streams {
+		streams[i] = serveBatches(o, spec, i)
+	}
+
+	var led serveLedger
+	var seq uint64
+	for remaining := true; remaining; {
+		remaining = false
+		for i := range streams {
+			if len(streams[i]) == 0 {
+				continue
+			}
+			remaining = true
+			recs := streams[i][0]
+			streams[i] = streams[i][1:]
+			seq++
+			led.submitted++
+			err := srv.Submit(0, seq, recs, func(r serve.Result) {
+				if r.Err != nil {
+					led.rejected++
+				} else {
+					led.acked++
+				}
+			})
+			switch {
+			case err == nil:
+			case errors.Is(err, serve.ErrOverloaded):
+				led.shed++
+			default:
+				led.rejected++
+			}
+		}
+		if q := srv.QueuedRecords(0); q > led.peakQueue {
+			led.peakQueue = q
+		}
+		if pumpsPerRound <= 0 {
+			for srv.Pump(0) > 0 {
+			}
+		} else {
+			for p := 0; p < pumpsPerRound; p++ {
+				srv.Pump(0)
+			}
+		}
+	}
+	srv.Drain()
+	led.leftover = srv.QueuedRecords(0)
+	led.passes, led.records = cb.passes, cb.records
+	led.invErr = sys.Machine().CheckInvariants()
+	return led
+}
+
+// ServeBench runs the serving-frontend study in deterministic lockstep:
+// the same Server core the network layer drives, fed synchronously
+// (Submit + Pump, no goroutines), so the coalescing and
+// admission-control ledgers are exact integer counts.
+//
+// The backpressure table fixes the coalescing cap at one batch per pump
+// and sweeps the ingress-queue bound while clients submit twice as fast
+// as the pump retires: a small bound sheds aggressively with a shallow
+// queue, a large one buffers more and sheds less, and in every cell
+// submitted == acked + shed + rejected with nothing queued after Drain.
+// The coalescing table lets service keep up and sweeps the coalescing
+// cap: backend passes shrink as more records merge per pass while the
+// records applied stay constant.
+func ServeBench() Experiment {
+	return Experiment{
+		ID:    "servebench",
+		Title: "Serving frontend: lockstep coalescing and admission-control ledgers",
+		Paper: "the kernel prototype's hot-page tracking amortizes per-access work into batched scans; the serving frontend must amortize per-record work into coalesced passes and bound ingress memory under overload",
+		Run: func(o Options) []textplot.Table {
+			spec, err := workloads.ByName("YCSB")
+			if err != nil {
+				panic(err)
+			}
+
+			inv := func(l serveLedger) string {
+				if l.invErr != nil {
+					return l.invErr.Error()
+				}
+				if l.leftover != 0 {
+					return fmt.Sprintf("%d records leaked past Drain", l.leftover)
+				}
+				if l.acked+l.shed+l.rejected != l.submitted {
+					return "ledger does not balance"
+				}
+				return "ok"
+			}
+
+			back := textplot.Table{
+				Title: fmt.Sprintf("admission control under 2x overcommit (%d clients, %d-record batches, 1 pump/round)",
+					serveClients, serveBatchRecords),
+				Header: []string{"queue cap", "submitted", "acked", "shed", "rejected", "peak queued", "ledger"},
+				Note:   "lockstep: clients submit 8 batches/round, the pump retires up to 4; shed batches are dropped at the door (ErrOverloaded), never queued",
+			}
+			for _, qcap := range serveQueueSweep(o) {
+				// Coalesce 4 batches per pump against 8 submitted per
+				// round: deterministic 2x overcommit.
+				l := runServeCell(o, spec, qcap, 4*serveBatchRecords, 1)
+				o.logf("  servebench/backpressure q=%d: submitted=%d acked=%d shed=%d peak=%d",
+					qcap, l.submitted, l.acked, l.shed, l.peakQueue)
+				back.AddRow(fmt.Sprintf("%d", qcap), fmt.Sprintf("%d", l.submitted),
+					fmt.Sprintf("%d", l.acked), fmt.Sprintf("%d", l.shed),
+					fmt.Sprintf("%d", l.rejected), fmt.Sprintf("%d", l.peakQueue), inv(l))
+			}
+
+			coal := textplot.Table{
+				Title:  "coalescing: records merged per backend pass (service keeps up)",
+				Header: []string{"coalesce cap", "batches", "backend passes", "records applied", "records/pass", "ledger"},
+				Note:   "one pass is one backend AccessBatch call; the cap bounds how many queued batches a pump merges into it",
+			}
+			for _, ccap := range serveCoalesceSweep(o) {
+				l := runServeCell(o, spec, 1<<20, ccap, 0)
+				perPass := float64(l.records) / float64(l.passes)
+				o.logf("  servebench/coalesce cap=%d: passes=%d records=%d",
+					ccap, l.passes, l.records)
+				coal.AddRow(fmt.Sprintf("%d", ccap), fmt.Sprintf("%d", l.acked),
+					fmt.Sprintf("%d", l.passes), fmt.Sprintf("%d", l.records),
+					perPass, inv(l))
+			}
+			return []textplot.Table{back, coal}
+		},
+	}
+}

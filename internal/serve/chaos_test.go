@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"artmem/internal/core"
+	"artmem/internal/faultinject"
+	"artmem/internal/memsim"
+	"artmem/internal/workloads"
+)
+
+// TestChaosServeMigrationOutage drives the full serving stack — TCP
+// loopback, multi-tenant backend with slot-region rebasing, concurrent
+// clients on two tenants — while fault injection forces migration
+// outages underneath. The serving contract must hold through the
+// chaos: every batch resolves (zero lost), the ledger balances, and
+// the machine's invariants survive.
+func TestChaosServeMigrationOutage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e in -short")
+	}
+	const div = 4096
+	prof := workloads.Profile{Div: div, PatternAccesses: 1, AppAccesses: 1, Seed: 1}
+	spec, err := workloads.ByName("YCSB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := spec.New(prof)
+	slotBytes := probe.FootprintBytes()
+	probe.Close()
+	if slotBytes < prof.PageSize() {
+		slotBytes = prof.PageSize()
+	}
+
+	const tenants = 2
+	foot := slotBytes * tenants
+	sys := core.NewMultiSystem(core.MultiSystemConfig{
+		Machine: memsim.DefaultConfig(foot, foot/5, prof.PageSize()),
+		Tenants: []core.TenantConfig{
+			{Name: "chaos-a"},
+			{Name: "chaos-b"},
+		},
+		SamplingInterval:  time.Millisecond,
+		MigrationInterval: 5 * time.Millisecond,
+		Faults: &faultinject.Config{
+			Seed: 42,
+			// Repeating 20ms-on / 20ms-off migration outages for the whole
+			// run: the migration engine keeps failing mid-load.
+			MigrationOutages: []faultinject.Window{
+				{StartNs: 0, EndNs: 20 * int64(time.Millisecond)},
+			},
+			MigrationOutagePeriodic: faultinject.Periodic{
+				PeriodNs:   40 * int64(time.Millisecond),
+				DurationNs: 20 * int64(time.Millisecond),
+			},
+			MigrationFailProb: 0.2,
+		},
+	})
+	sys.Start()
+	defer sys.Stop()
+
+	srv := NewServer(Config{
+		Backend:      NewMultiBackend(sys, slotBytes),
+		QueueRecords: 1 << 20, // above worst-case in-flight: no sheds
+	})
+	ln, err := listenLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+
+	rep, err := Run(LoadConfig{
+		Addr:     ln.Addr().String(),
+		TenantOf: func(client int) uint32 { return uint32(client % tenants) },
+		Clients:  8,
+		Workload: "YCSB",
+		Div:      div,
+		Accesses: 4000,
+		Batch:    256,
+		Seed:     99,
+	})
+	srv.Shutdown()
+	if serveErr := <-served; serveErr != nil {
+		t.Fatalf("Serve: %v", serveErr)
+	}
+	if err != nil {
+		t.Fatalf("Run under chaos: %v", err)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("lost %d batches under migration outages, want 0\n%s", rep.Lost, rep)
+	}
+	if rep.Sent != rep.Acked+rep.Shed {
+		t.Fatalf("ledger broken: sent %d != acked %d + shed %d",
+			rep.Sent, rep.Acked, rep.Shed)
+	}
+	if rep.AckedRecords == 0 {
+		t.Fatal("no records applied under chaos")
+	}
+	if err := sys.Machine().CheckInvariants(); err != nil {
+		t.Fatalf("machine invariants broken after chaos run: %v", err)
+	}
+}
+
+// TestChaosServeDrainingTenant pins multi-tenant admission through the
+// serving path: traffic for a draining/empty slot is refused at the
+// handshake with the tenant-state code, while the healthy slot streams
+// on.
+func TestChaosServeDrainingTenant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network test in -short")
+	}
+	pageSize := int64(4096)
+	slotBytes := int64(1 << 20)
+	foot := slotBytes * 2
+	sys := core.NewMultiSystem(core.MultiSystemConfig{
+		Machine:  memsim.DefaultConfig(foot, foot/5, pageSize),
+		Tenants:  []core.TenantConfig{{Name: "live"}},
+		Capacity: 2, // slot 1 stays empty
+	})
+	sys.Start()
+	defer sys.Stop()
+	srv := NewServer(Config{Backend: NewMultiBackend(sys, slotBytes)})
+	ln, err := listenLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	defer func() { srv.Shutdown(); <-served }()
+
+	// Empty slot: the handshake must refuse the stream.
+	if _, err := Dial(ln.Addr().String(), ClientConfig{Tenant: 1}); err == nil {
+		t.Fatal("Dial for an empty tenant slot succeeded")
+	}
+	// Live slot: accesses flow and ack.
+	cl, err := Dial(ln.Addr().String(), ClientConfig{Tenant: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SendAccessBatch([]uint64{0, 4096, 8192}, make([]bool, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Acked != 1 || st.AckedRecords != 3 {
+		t.Fatalf("live tenant stats %+v, want 1 batch / 3 records acked", st)
+	}
+}

@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"artmem/internal/core"
+	"artmem/internal/memsim"
+	"artmem/internal/telemetry"
+	"artmem/internal/workloads"
+)
+
+// LoadConfig parameterizes a load-generation run: N concurrent clients
+// each replaying a seed-decorrelated instance of one workload trace
+// against a serving frontend.
+type LoadConfig struct {
+	// Addr is the server's address.
+	Addr string
+	// Tenant is the tenant slot every client drives; TenantOf, when
+	// non-nil, overrides it per client (e.g. round-robin over slots).
+	Tenant   uint32
+	TenantOf func(client int) uint32
+	// Clients is the number of concurrent streams. 0 uses 1.
+	Clients int
+	// Workload names the internal/workloads trace each client replays.
+	Workload string
+	// Div is the workload footprint divisor. 0 uses 256.
+	Div int64
+	// Accesses caps each client's trace. 0 uses 200_000.
+	Accesses int64
+	// Batch is the records per batch frame. 0 uses 4096.
+	Batch int
+	// Window is each client's in-flight batch window. 0 uses 8.
+	Window int
+	// Seed is the base trace seed; client i uses Seed+i.
+	Seed uint64
+	// Retry resends batches shed by backpressure (with linear backoff)
+	// instead of dropping them.
+	Retry bool
+	// IdleTimeout bounds each client's wait for any server frame.
+	// 0 uses 30s.
+	IdleTimeout time.Duration
+}
+
+// Report aggregates a run: the batch ledger summed over clients plus
+// throughput and end-to-end latency percentiles. Lost must be 0
+// against a healthy server — every batch either acked or explicitly
+// shed.
+type Report struct {
+	Clients                 int
+	Sent, Acked, Shed, Lost uint64
+	// AckedRecords is the number of access records applied end to end.
+	AckedRecords uint64
+	Elapsed      time.Duration
+	// AccessesPerSec is AckedRecords / Elapsed.
+	AccessesPerSec float64
+	// P50 and P99 are batch end-to-end latency percentiles.
+	P50, P99 time.Duration
+	// Errors carries per-client terminal errors (empty on a clean run).
+	Errors []string
+}
+
+// String renders the report as the artload summary block.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"clients %d  batches sent %d acked %d shed %d lost %d\n"+
+			"accesses %d in %.2fs  →  %.0f accesses/sec\n"+
+			"batch e2e latency p50 %s  p99 %s",
+		r.Clients, r.Sent, r.Acked, r.Shed, r.Lost,
+		r.AckedRecords, r.Elapsed.Seconds(), r.AccessesPerSec, r.P50, r.P99)
+}
+
+// Run executes the load generation and blocks until every client
+// finishes its trace and closes cleanly.
+func Run(cfg LoadConfig) (Report, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Div == 0 {
+		cfg.Div = 256
+	}
+	if cfg.Accesses <= 0 {
+		cfg.Accesses = 200_000
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 4096
+	}
+	spec, err := workloads.ByName(cfg.Workload)
+	if err != nil {
+		return Report{}, err
+	}
+	stats := make([]ClientStats, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = runClient(cfg, spec, i)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{Clients: cfg.Clients, Elapsed: elapsed}
+	var lat []float64
+	for i, st := range stats {
+		rep.Sent += st.Sent
+		rep.Acked += st.Acked
+		rep.Shed += st.Shed
+		rep.Lost += st.Lost
+		rep.AckedRecords += st.AckedRecords
+		lat = append(lat, st.LatNs...)
+		if errs[i] != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("client %d: %v", i, errs[i]))
+		}
+	}
+	if elapsed > 0 {
+		rep.AccessesPerSec = float64(rep.AckedRecords) / elapsed.Seconds()
+	}
+	rep.P50 = percentile(lat, 0.50)
+	rep.P99 = percentile(lat, 0.99)
+	if len(rep.Errors) > 0 {
+		return rep, fmt.Errorf("serve: %d of %d clients failed: %s",
+			len(rep.Errors), cfg.Clients, rep.Errors[0])
+	}
+	return rep, nil
+}
+
+// percentile returns the p-quantile of latNs as a duration (0 when
+// empty). Sorts a copy.
+func percentile(latNs []float64, p float64) time.Duration {
+	if len(latNs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), latNs...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return time.Duration(s[i])
+}
+
+// pending tracks unresolved batch payloads for retry mode.
+type pending struct {
+	mu     sync.Mutex
+	bySeq  map[uint64]payload
+	retryq []payload
+}
+
+type payload struct {
+	addrs    []uint64
+	writes   []bool
+	attempts int
+}
+
+// runClient replays one client's trace: batch the workload's accesses,
+// stream them windowed, optionally retry backpressure sheds, and close
+// politely.
+func runClient(cfg LoadConfig, spec workloads.Spec, i int) (ClientStats, error) {
+	prof := workloads.Profile{
+		Div:             cfg.Div,
+		PatternAccesses: cfg.Accesses,
+		AppAccesses:     cfg.Accesses,
+		Seed:            cfg.Seed,
+	}
+	w := workloads.Limit(spec.NewSeeded(prof, uint64(i)), cfg.Accesses)
+	defer w.Close()
+
+	tenant := cfg.Tenant
+	if cfg.TenantOf != nil {
+		tenant = cfg.TenantOf(i)
+	}
+	var pend *pending
+	ccfg := ClientConfig{
+		Tenant:      tenant,
+		ClientID:    fmt.Sprintf("artload-%d", i),
+		Window:      cfg.Window,
+		IdleTimeout: cfg.IdleTimeout,
+	}
+	if cfg.Retry {
+		pend = &pending{bySeq: make(map[uint64]payload)}
+		ccfg.OnResolve = func(seq uint64, code byte, _ float64) {
+			pend.mu.Lock()
+			p, ok := pend.bySeq[seq]
+			delete(pend.bySeq, seq)
+			// Only backpressure sheds retry; hard rejects (bad tenant,
+			// draining) stay shed. Give up after 50 attempts so an
+			// unrecoverable overload cannot spin forever.
+			if ok && code == CodeOverloaded && p.attempts < 50 {
+				p.attempts++
+				pend.retryq = append(pend.retryq, p)
+			}
+			pend.mu.Unlock()
+		}
+	}
+	cl, err := Dial(cfg.Addr, ccfg)
+	if err != nil {
+		return ClientStats{}, err
+	}
+
+	send := func(addrs []uint64, writes []bool, attempts int) error {
+		if attempts > 0 {
+			// Linear backoff before a retransmit, capped: let the
+			// server's queues drain instead of hammering them.
+			d := time.Duration(attempts) * time.Millisecond
+			if d > 10*time.Millisecond {
+				d = 10 * time.Millisecond
+			}
+			time.Sleep(d)
+		}
+		seq, err := cl.SendAccessBatch(addrs, writes)
+		if err != nil {
+			return err
+		}
+		if pend != nil {
+			pend.mu.Lock()
+			pend.bySeq[seq] = payload{addrs: addrs, writes: writes, attempts: attempts}
+			pend.mu.Unlock()
+		}
+		return nil
+	}
+	drainRetries := func(final bool) error {
+		if pend == nil {
+			return nil
+		}
+		for {
+			pend.mu.Lock()
+			if len(pend.retryq) == 0 {
+				inflight := len(pend.bySeq)
+				pend.mu.Unlock()
+				if !final || inflight == 0 {
+					return nil
+				}
+				// Batches are still in flight and may yet land on the
+				// retry queue; yield until they resolve.
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			p := pend.retryq[0]
+			pend.retryq = pend.retryq[1:]
+			pend.mu.Unlock()
+			if err := send(p.addrs, p.writes, p.attempts); err != nil {
+				return err
+			}
+		}
+	}
+
+	addrs := make([]uint64, 0, cfg.Batch)
+	writes := make([]bool, 0, cfg.Batch)
+	flush := func() error {
+		if len(addrs) == 0 {
+			return nil
+		}
+		// Retry mode retains payloads past the send, so each flush
+		// needs fresh buffers; without retry the encoder copies
+		// synchronously and the buffers recycle.
+		a, wr := addrs, writes
+		if err := send(a, wr, 0); err != nil {
+			return err
+		}
+		if pend != nil {
+			addrs = make([]uint64, 0, cfg.Batch)
+			writes = make([]bool, 0, cfg.Batch)
+		} else {
+			addrs, writes = addrs[:0], writes[:0]
+		}
+		return nil
+	}
+
+	var runErr error
+stream:
+	for {
+		b, ok := w.Next()
+		if !ok {
+			break
+		}
+		for _, a := range b {
+			addrs = append(addrs, a.Addr)
+			writes = append(writes, a.Write)
+			if len(addrs) == cfg.Batch {
+				if runErr = flush(); runErr != nil {
+					break stream
+				}
+			}
+		}
+		if runErr = drainRetries(false); runErr != nil {
+			break
+		}
+	}
+	if runErr == nil {
+		runErr = flush()
+	}
+	if runErr == nil {
+		runErr = drainRetries(true)
+	}
+	st, closeErr := cl.Close()
+	if runErr == nil {
+		runErr = closeErr
+	}
+	return st, runErr
+}
+
+// Loopback is an in-process single-tenant serving stack for smoke
+// tests and `artload -loopback`: a System sized for the named
+// workload, a Server over it, both wired to a fresh registry, listening
+// on a loopback port.
+type Loopback struct {
+	// Sys is the backing runtime and Srv the frontend; Registry holds
+	// both components' metrics.
+	Sys      *core.System
+	Srv      *Server
+	Registry *telemetry.Registry
+	addr     string
+	served   chan error
+}
+
+// StartLoopback builds and starts a loopback stack. div scales the
+// workload footprint (0 uses 256); queueRecords is the per-tenant
+// admission bound (0 uses the server default).
+func StartLoopback(workload string, div int64, queueRecords int) (*Loopback, error) {
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	if div == 0 {
+		div = 256
+	}
+	prof := workloads.Profile{Div: div, PatternAccesses: 1, AppAccesses: 1, Seed: 1}
+	probe := spec.New(prof)
+	foot := probe.FootprintBytes()
+	probe.Close()
+
+	reg := telemetry.NewRegistry()
+	sys := core.NewSystem(core.SystemConfig{
+		Machine: memsim.DefaultConfig(foot, foot/5, prof.PageSize()),
+		Telemetry: &telemetry.Set{
+			Registry: reg,
+			Trace:    telemetry.NewTrace(0),
+		},
+	})
+	sys.Start()
+	srv := NewServer(Config{
+		Backend:      NewSystemBackend(sys),
+		Registry:     reg,
+		QueueRecords: queueRecords,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sys.Stop()
+		return nil, err
+	}
+	lb := &Loopback{Sys: sys, Srv: srv, Registry: reg,
+		addr: ln.Addr().String(), served: make(chan error, 1)}
+	go func() { lb.served <- srv.Serve(ln) }()
+	return lb, nil
+}
+
+// Addr returns the bound loopback address.
+func (l *Loopback) Addr() string { return l.addr }
+
+// Stop drains the frontend and stops the runtime.
+func (l *Loopback) Stop() {
+	l.Srv.Shutdown()
+	<-l.served
+	l.Sys.Stop()
+}

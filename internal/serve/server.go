@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"artmem/internal/telemetry"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Backend is the machine surface batches are pumped into. Required.
+	Backend Backend
+	// Registry, when non-nil, receives the serving metrics
+	// (artmem_serve_*). Metric names are fixed, so one registry carries
+	// at most one Server.
+	Registry *telemetry.Registry
+	// QueueRecords bounds each tenant's ingress queue in records — the
+	// admission-control knob. A batch that would push the queue past
+	// the bound is shed with ErrOverloaded instead of queued (a batch
+	// arriving at an empty queue is always admitted, so a batch larger
+	// than the bound cannot starve). 0 uses 65536.
+	QueueRecords int
+	// CoalesceRecords caps how many records one pump iteration merges
+	// into a single backend AccessBatch pass. Whole batches only — a
+	// pump takes at least one batch regardless. 0 uses 16384.
+	CoalesceRecords int
+}
+
+// Result reports a batch's fate to its submitter's done callback:
+// Err == nil means every record was applied (ack); a non-nil Err means
+// the batch was rejected after queueing (for example its tenant slot
+// started draining between submit and pump).
+type Result struct {
+	// Err is nil on ack.
+	Err error
+	// Count is the number of records applied.
+	Count uint32
+	// QueueNs is the batch's queue residency in wall nanoseconds.
+	QueueNs uint64
+}
+
+// batch is one queued request batch.
+type batch struct {
+	seq  uint64
+	recs []Record
+	enq  time.Time
+	done func(Result)
+}
+
+// tenantQueue is one tenant's bounded ingress queue. The pump for a
+// queue is single-threaded (one pump goroutine per slot, or the
+// lockstep driver), so the apply scratch buffers live here unshared.
+type tenantQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	batches []batch
+	records int
+	stopped bool
+
+	// Coalescing scratch, owned by the queue's pump.
+	addrs  []uint64
+	writes []bool
+}
+
+// Server is the batched streaming server core: per-tenant bounded
+// ingress queues on the submit side, one pump per tenant slot
+// coalescing queued batches into backend AccessBatch calls on the
+// drain side. The network layer (conn.go) feeds Submit from decoded
+// frames; the deterministic servebench experiment feeds it directly
+// and pumps synchronously (no Start, no goroutines, no wall clock in
+// any reported number).
+//
+// Lifecycle: NewServer → [Start] → Submit/Pump → Drain. Drain is the
+// airtight-shutdown barrier: after it returns, every batch ever
+// accepted by Submit has had its done callback invoked — acked if its
+// records were applied, rejected otherwise — and later Submits fail
+// with ErrDraining. Nothing is silently dropped.
+type Server struct {
+	backend  Backend
+	queueCap int
+	coalesce int
+	queues   []*tenantQueue
+
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	started bool
+	pumps   sync.WaitGroup
+
+	// net is the network frontend's state (conn.go); unused in
+	// lockstep mode.
+	net netState
+
+	// Telemetry (nil-safe when no registry is configured).
+	connections *telemetry.Gauge
+	frames      map[byte]*telemetry.Counter
+	records     [3]*telemetry.Counter
+	acked       *telemetry.Counter
+	rejected    map[byte]*telemetry.Counter
+	coalesced   *telemetry.Histogram
+	queueWait   *telemetry.Histogram
+	decodeErrs  *telemetry.Counter
+}
+
+// NewServer builds a server over cfg.Backend, one ingress queue per
+// backend slot.
+func NewServer(cfg Config) *Server {
+	if cfg.Backend == nil {
+		panic("serve: Config.Backend is required")
+	}
+	if cfg.QueueRecords <= 0 {
+		cfg.QueueRecords = 65536
+	}
+	if cfg.CoalesceRecords <= 0 {
+		cfg.CoalesceRecords = 16384
+	}
+	s := &Server{
+		backend:  cfg.Backend,
+		queueCap: cfg.QueueRecords,
+		coalesce: cfg.CoalesceRecords,
+		queues:   make([]*tenantQueue, cfg.Backend.Slots()),
+	}
+	for i := range s.queues {
+		q := &tenantQueue{}
+		q.cond = sync.NewCond(&q.mu)
+		s.queues[i] = q
+	}
+	s.register(cfg.Registry)
+	return s
+}
+
+// register instruments reg with the serving series. Nil-safe: a nil
+// registry leaves every handle nil and all recording no-ops.
+func (s *Server) register(reg *telemetry.Registry) {
+	s.connections = reg.Gauge("artmem_serve_connections",
+		"Open client connections on the serving frontend.")
+	s.frames = map[byte]*telemetry.Counter{}
+	for _, t := range []byte{FrameHello, FrameBatch, FrameBye} {
+		s.frames[t] = reg.Counter("artmem_serve_frames_total",
+			"Frames received from clients, by type.",
+			telemetry.L("type", frameName(t)))
+	}
+	ops := [...]string{OpAccess: "access", OpAlloc: "alloc", OpFree: "free"}
+	for op, name := range ops {
+		s.records[op] = reg.Counter("artmem_serve_records_total",
+			"Request records applied to the machine, by op.",
+			telemetry.L("op", name))
+	}
+	s.acked = reg.Counter("artmem_serve_batches_acked_total",
+		"Request batches fully applied and acknowledged.")
+	s.rejected = map[byte]*telemetry.Counter{}
+	for _, c := range []byte{CodeOverloaded, CodeBadTenant, CodeDraining, CodeThrottled, CodeMalformed} {
+		s.rejected[c] = reg.Counter("artmem_serve_batches_rejected_total",
+			"Request batches refused, by reason (overloaded = backpressure shed).",
+			telemetry.L("reason", CodeString(c)))
+	}
+	reg.GaugeFunc("artmem_serve_queue_records",
+		"Records currently waiting in the per-tenant ingress queues.",
+		func() float64 {
+			total := 0
+			for _, q := range s.queues {
+				q.mu.Lock()
+				total += q.records
+				q.mu.Unlock()
+			}
+			return float64(total)
+		})
+	s.coalesced = reg.Histogram("artmem_serve_coalesced_records",
+		"Records merged into one backend pass per pump iteration.",
+		telemetry.ExpBuckets(1, 2, 18))
+	s.queueWait = reg.Histogram("artmem_serve_queue_wait_ns",
+		"Queue residency of acknowledged batches in nanoseconds.",
+		telemetry.ExpBuckets(1000, 4, 12))
+	s.decodeErrs = reg.Counter("artmem_serve_decode_errors_total",
+		"Undecodable or oversized frames received (connection dropped).")
+}
+
+// frameName names a frame type for the frames_total label.
+func frameName(t byte) string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameBatch:
+		return "batch"
+	case FrameBye:
+		return "bye"
+	}
+	return fmt.Sprintf("type%d", t)
+}
+
+// countReject bumps the rejected counter for a status code.
+func (s *Server) countReject(code byte) {
+	if c := s.rejected[code]; c != nil {
+		c.Inc()
+	}
+}
+
+// Slots returns the number of tenant slots served.
+func (s *Server) Slots() int { return len(s.queues) }
+
+// Submit offers one batch to slot's ingress queue. A nil return means
+// the batch was accepted: done (if non-nil) will be invoked exactly
+// once by the slot's pump — with Result.Err nil once every record is
+// applied, non-nil if the slot stopped accepting work while the batch
+// waited. A non-nil return means the batch was refused at the door
+// (done is never called): ErrOverloaded is the admission-control shed,
+// ErrDraining the shutdown refusal, ErrBadTenant / tenancy errors a
+// slot that cannot take traffic.
+//
+// The caller must not mutate recs after a nil return.
+func (s *Server) Submit(slot int, seq uint64, recs []Record, done func(Result)) error {
+	if slot < 0 || slot >= len(s.queues) {
+		s.countReject(CodeBadTenant)
+		return fmt.Errorf("%w: slot %d of %d", ErrBadTenant, slot, len(s.queues))
+	}
+	if s.draining.Load() {
+		s.countReject(CodeDraining)
+		return ErrDraining
+	}
+	if err := s.backend.Check(slot); err != nil {
+		s.countReject(CodeFromError(err))
+		return err
+	}
+	q := s.queues[slot]
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		s.countReject(CodeDraining)
+		return ErrDraining
+	}
+	// Admission control: a batch that would overflow the bound is shed
+	// at the boundary — the queue never grows past QueueRecords, so an
+	// overloading client costs bounded memory, not unbounded buffering.
+	// The empty-queue exception keeps an oversized batch admittable.
+	if q.records > 0 && q.records+len(recs) > s.queueCap {
+		queued := q.records
+		q.mu.Unlock()
+		s.countReject(CodeOverloaded)
+		return fmt.Errorf("%w: %d records queued, cap %d", ErrOverloaded, queued, s.queueCap)
+	}
+	q.batches = append(q.batches, batch{seq: seq, recs: recs, enq: time.Now(), done: done})
+	q.records += len(recs)
+	q.cond.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// QueuedRecords returns the records currently queued for slot.
+func (s *Server) QueuedRecords(slot int) int {
+	q := s.queues[slot]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.records
+}
+
+// Pump runs one coalescing iteration for slot: it takes whole batches
+// from the head of the queue up to CoalesceRecords records (always at
+// least one batch), applies their records to the backend in merged
+// AccessBatch passes, and fires the done callbacks. Returns the number
+// of batches retired (0 when the queue is empty).
+//
+// Pump is the deterministic drive point: the lockstep experiment calls
+// it directly, the per-slot pump goroutines (Start) call it in a loop.
+// At most one caller may pump a given slot at a time.
+func (s *Server) Pump(slot int) int {
+	q := s.queues[slot]
+	q.mu.Lock()
+	if len(q.batches) == 0 {
+		q.mu.Unlock()
+		return 0
+	}
+	n, recs := 0, 0
+	for _, b := range q.batches {
+		if n > 0 && recs+len(b.recs) > s.coalesce {
+			break
+		}
+		recs += len(b.recs)
+		n++
+	}
+	took := q.batches[:n:n]
+	q.batches = q.batches[n:]
+	if len(q.batches) == 0 {
+		q.batches = nil
+	}
+	q.records -= recs
+	q.mu.Unlock()
+
+	// Re-check the slot at apply time: it may have started draining
+	// while the batch waited. Its batches are rejected, not silently
+	// applied to a reclaiming tenant (and not silently dropped).
+	err := s.backend.Check(slot)
+	if err == nil {
+		s.apply(slot, q, took)
+		s.coalesced.Observe(float64(recs))
+	}
+	now := time.Now()
+	for _, b := range took {
+		qns := uint64(now.Sub(b.enq))
+		if err != nil {
+			s.countReject(CodeFromError(err))
+			if b.done != nil {
+				b.done(Result{Err: err, QueueNs: qns})
+			}
+			continue
+		}
+		s.acked.Inc()
+		s.queueWait.Observe(float64(qns))
+		if b.done != nil {
+			b.done(Result{Count: uint32(len(b.recs)), QueueNs: qns})
+		}
+	}
+	return n
+}
+
+// apply replays the taken batches' records into the backend, merging
+// runs of access records across batch boundaries into single
+// AccessBatch calls. Alloc and free records are ordering barriers: the
+// pending access run flushes first, then the range op executes, so a
+// client's access-after-free lands after the free.
+func (s *Server) apply(slot int, q *tenantQueue, took []batch) {
+	addrs, writes := q.addrs[:0], q.writes[:0]
+	flush := func() {
+		if len(addrs) > 0 {
+			s.backend.AccessBatch(slot, addrs, writes)
+			s.records[OpAccess].Add(uint64(len(addrs)))
+			addrs, writes = addrs[:0], writes[:0]
+		}
+	}
+	for _, b := range took {
+		for _, r := range b.recs {
+			switch r.Op {
+			case OpAccess:
+				addrs = append(addrs, r.Addr)
+				writes = append(writes, r.Write)
+			case OpAlloc:
+				flush()
+				s.backend.AllocRange(slot, r.Addr, r.Size)
+				s.records[OpAlloc].Inc()
+			case OpFree:
+				flush()
+				s.backend.FreeRange(slot, r.Addr, r.Size)
+				s.records[OpFree].Inc()
+			}
+		}
+	}
+	flush()
+	q.addrs, q.writes = addrs, writes
+}
+
+// Start launches one pump goroutine per tenant slot. No-op if already
+// started; the lockstep driver simply never calls it.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := range s.queues {
+		s.pumps.Add(1)
+		go func(slot int) {
+			defer s.pumps.Done()
+			s.pumpLoop(slot)
+		}(i)
+	}
+}
+
+// pumpLoop drains slot's queue until stopped AND empty — the order
+// that makes Drain airtight: stop is observed only once there is
+// nothing left to retire.
+func (s *Server) pumpLoop(slot int) {
+	q := s.queues[slot]
+	for {
+		q.mu.Lock()
+		for len(q.batches) == 0 && !q.stopped {
+			q.cond.Wait()
+		}
+		if len(q.batches) == 0 && q.stopped {
+			q.mu.Unlock()
+			return
+		}
+		q.mu.Unlock()
+		s.Pump(slot)
+	}
+}
+
+// Drain shuts the core down airtight: new Submits fail with
+// ErrDraining, every already-accepted batch is pumped to its done
+// callback (acked or rejected, never dropped), and the pump goroutines
+// exit. Idempotent; works both started and lockstep.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	started := s.started
+	s.started = false
+	s.mu.Unlock()
+	for _, q := range s.queues {
+		q.mu.Lock()
+		q.stopped = true
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+	if started {
+		s.pumps.Wait()
+		return
+	}
+	// Lockstep mode: no pump goroutines, drain synchronously.
+	for i := range s.queues {
+		for s.Pump(i) > 0 {
+		}
+	}
+}

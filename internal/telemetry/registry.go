@@ -130,6 +130,24 @@ var DefBuckets = []float64{
 	1_000, 2_000, 5_000, 10_000, 100_000, 1_000_000,
 }
 
+// ExpBuckets returns n exponentially spaced bucket upper bounds
+// starting at start and growing by factor — the shape end-to-end
+// request latencies want (DefBuckets tops out at 1ms, far below a
+// network round trip). Panics on a non-positive start or n, or a
+// factor ≤ 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
 // NewHistogram returns a histogram over the given bucket upper bounds.
 // Bounds are sorted and deduplicated; nil bounds use DefBuckets. Useful
 // mostly for tests — production code obtains histograms from a Registry.

@@ -12,6 +12,16 @@ type Spec struct {
 	New func(p Profile) Workload
 }
 
+// NewSeeded constructs the workload at profile p with p.Seed offset by
+// `offset` — the load generator's per-client trace derivation: N
+// concurrent clients replay the same workload shape with decorrelated
+// access orders, so the server sees N distinct streams rather than N
+// copies of one.
+func (s Spec) NewSeeded(p Profile, offset uint64) Workload {
+	p.Seed += offset
+	return s.New(p)
+}
+
 // Apps lists the paper's eight applications (Table 3) in its order.
 var Apps = []Spec{
 	{Name: "YCSB", PaperGB: paperYCSBGB, New: NewYCSB},

@@ -15,6 +15,11 @@
 #                      shape tests in internal/exp take >10min under the
 #                      ~15x race slowdown and have no concurrency of
 #                      their own; the plain pass above covers them.
+#   5. make loadtest   serving smoke: artload drives an in-process
+#                      loopback server with 8 concurrent clients and a
+#                      fixed seed, failing on any lost batch — the
+#                      zero-loss serving contract, end to end over a
+#                      real TCP socket.
 #
 # Usage: scripts/check.sh  (or: make check)
 set -eu
@@ -31,5 +36,8 @@ go test -shuffle=on ./...
 
 echo "== go test -race -short ./..."
 go test -race -short ./...
+
+echo "== make loadtest (serving smoke)"
+make loadtest
 
 echo "check: all green"
