@@ -26,9 +26,19 @@ check:
 # — 8 concurrent clients, fixed seed, small batches so the default queue
 # bound never sheds. artload exits non-zero if any batch is lost (sent
 # but never acked or rejected) or any client fails, so this pins the
-# zero-loss serving contract.
+# zero-loss serving contract. Runs with 1-in-64 span sampling so the
+# smoke also exercises the latency-attribution path; the run ledger
+# (one JSON object incl. the span-derived stage breakdown) and the
+# /spans + /slo drains land in loadtest_results/ (uploaded as CI
+# artifacts).
 loadtest:
-	go run ./cmd/artload -loopback -clients 8 -accesses 20000 -batch 256 -div 4096 -seed 1
+	mkdir -p loadtest_results
+	go run ./cmd/artload -loopback -clients 8 -accesses 20000 -batch 256 -div 4096 -seed 1 \
+		-spans 64 -json \
+		-spans-out loadtest_results/spans.jsonl \
+		-slo-out loadtest_results/slo.json \
+		> loadtest_results/ledger.json
+	@echo "loadtest ledger:" && cat loadtest_results/ledger.json
 
 # Documentation gate: every package and exported identifier needs a doc
 # comment, and every relative link in *.md must resolve (cmd/docscheck).

@@ -18,12 +18,20 @@
 //
 //	artload -loopback -clients 8
 //
+// With -json the run ledger is printed as one JSON object (all
+// progress chatter moves to stderr), so CI and scripts consume the
+// outcome without scraping text. Loopback runs can additionally record
+// latency spans (-spans N) and drain the observability surfaces to
+// files (-spans-out, -slo-out) — the same JSONL and JSON payloads a
+// daemon serves at /spans and /slo.
+//
 // The exit status is non-zero if any batch was lost (sent but never
 // acked or rejected) or any client failed — the zero-loss serving
 // contract is what CI's loadtest step pins.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +39,19 @@ import (
 
 	"artmem/internal/serve"
 )
+
+// ledger is the -json output: the full load report plus the run's
+// identifying parameters, one object on stdout.
+type ledger struct {
+	Addr     string `json:"addr"`
+	Loopback bool   `json:"loopback"`
+	Workload string `json:"workload"`
+	Batch    int    `json:"batch"`
+	Window   int    `json:"window"`
+	Seed     uint64 `json:"seed"`
+	serve.Report
+	Error string `json:"error,omitempty"`
+}
 
 func main() {
 	var (
@@ -48,8 +69,19 @@ func main() {
 		retry    = flag.Bool("retry", false, "retry batches shed by backpressure until applied")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-client idle timeout waiting for server frames")
 		queue    = flag.Int("queue", 0, "loopback server queue bound in records (0 = server default)")
+		spanRate = flag.Int("spans", 0, "loopback latency span sampling, 1-in-N accepted batches (0 = off; enables the stages line and -spans-out)")
+		spansOut = flag.String("spans-out", "", "write the loopback span journal drain (JSONL, the /spans payload) to this file")
+		sloOut   = flag.String("slo-out", "", "write the loopback SLO burn-rate report (JSON, the /slo payload) to this file")
+		jsonOut  = flag.Bool("json", false, "print the run ledger as one JSON object on stdout (progress goes to stderr)")
 	)
 	flag.Parse()
+
+	// In -json mode stdout carries exactly one JSON object; everything
+	// conversational goes to stderr.
+	chat := os.Stdout
+	if *jsonOut {
+		chat = os.Stderr
+	}
 
 	cfg := serve.LoadConfig{
 		Addr:        *addr,
@@ -69,26 +101,93 @@ func main() {
 		cfg.TenantOf = func(client int) uint32 { return uint32(client) % n }
 	}
 
+	var lb *serve.Loopback
 	if *loopback {
-		lb, err := serve.StartLoopback(*workload, *div, *queue)
+		var err error
+		lb, err = serve.StartLoopbackCfg(serve.LoopbackConfig{
+			Workload:     *workload,
+			Div:          *div,
+			QueueRecords: *queue,
+			SpanRate:     *spanRate,
+		})
 		if err != nil {
 			fatal(err)
 		}
 		defer lb.Stop()
 		cfg.Addr = lb.Addr()
-		fmt.Printf("artload: loopback server on %s (%s, div %d)\n", lb.Addr(), *workload, *div)
+		fmt.Fprintf(chat, "artload: loopback server on %s (%s, div %d)\n", lb.Addr(), *workload, *div)
+	} else if *spanRate > 0 || *spansOut != "" || *sloOut != "" {
+		fatal(fmt.Errorf("-spans, -spans-out, and -slo-out need -loopback (drain a daemon's /spans and /slo over HTTP instead)"))
 	}
 
-	fmt.Printf("artload: %d clients x %d accesses of %s against %s (batch %d, window %d)\n",
+	fmt.Fprintf(chat, "artload: %d clients x %d accesses of %s against %s (batch %d, window %d)\n",
 		*clients, *accesses, *workload, cfg.Addr, *batch, *window)
 	rep, err := serve.Run(cfg)
-	fmt.Println(rep)
+
+	if lb != nil {
+		if lb.Spans != nil {
+			rep.Stages = serve.StageBreakdownOf(lb.Spans.Spans(0))
+		}
+		if *spansOut != "" {
+			if werr := writeFile(*spansOut, func(f *os.File) error {
+				if lb.Spans == nil {
+					return fmt.Errorf("span journal off (set -spans N)")
+				}
+				return lb.Spans.WriteJSONL(f, 0, -1)
+			}); werr != nil {
+				fatal(fmt.Errorf("-spans-out: %w", werr))
+			}
+		}
+		if *sloOut != "" {
+			if werr := writeFile(*sloOut, func(f *os.File) error {
+				return lb.SLO.WriteJSON(f)
+			}); werr != nil {
+				fatal(fmt.Errorf("-slo-out: %w", werr))
+			}
+		}
+	}
+
+	if *jsonOut {
+		led := ledger{
+			Addr:     cfg.Addr,
+			Loopback: *loopback,
+			Workload: *workload,
+			Batch:    *batch,
+			Window:   *window,
+			Seed:     *seed,
+			Report:   rep,
+		}
+		if err != nil {
+			led.Error = err.Error()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if eerr := enc.Encode(led); eerr != nil {
+			fatal(eerr)
+		}
+	} else {
+		fmt.Println(rep)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	if rep.Lost != 0 {
 		fatal(fmt.Errorf("%d batches lost (sent but never resolved)", rep.Lost))
 	}
+}
+
+// writeFile creates path and streams fill into it, returning the first
+// error from create, fill, or close.
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -83,6 +83,7 @@ func main() {
 		drain     = flag.Duration("shutdown-timeout", 5*time.Second, "HTTP drain timeout on SIGINT/SIGTERM")
 		pagetrace = flag.Int("pagetrace", 0, "enable page-lifecycle tracing at 1-in-N page sampling (served at /pagetrace; 0 = off)")
 		serveAddr = flag.String("serve", "", "listen address for the batched streaming access API (artload's target); empty = off")
+		spanRate  = flag.Int("spans", 0, "latency span sampling: record 1-in-N accepted batches into the journal served at /spans (0 = off; needs -serve)")
 		tenants   = flag.String("tenants", "", "comma-separated workload list for multi-tenant mode (one tenant + RL agent per workload; serves /tenants)")
 		arbiter   = flag.String("arbiter", "dynamic", "multi-tenant fast-tier arbiter mode: off, static, or dynamic (quotas + admission control)")
 		capacity  = flag.Int("capacity", 0, "multi-tenant slot capacity; 0 = number of listed tenants (extra slots admit runtime POST /register)")
@@ -102,7 +103,7 @@ func main() {
 		fatal(fmt.Errorf("bad -ratio %q: %v", *ratio, err))
 	}
 	if *tenants != "" {
-		multiMain(*tenants, *arbiter, prof, fast, slow, *capacity, *listen, *serveAddr, *drain, build)
+		multiMain(*tenants, *arbiter, prof, fast, slow, *capacity, *listen, *serveAddr, *spanRate, *drain, build)
 		return
 	}
 	spec, err := workloads.ByName(*name)
@@ -149,6 +150,13 @@ func main() {
 	// profiling endpoints it did not ask for.
 	mux := http.NewServeMux()
 	mux.Handle("/", sys.ControlHandler())
+	// Serving observability (span journal + SLO monitor) exists only
+	// when the streaming access API is on; the endpoints 404 otherwise.
+	var obs serveObs
+	if *serveAddr != "" {
+		obs = newServeObs(*spanRate, []telemetry.SLOObjective{telemetry.BatchSLO()})
+	}
+	obs.mount(mux)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -175,6 +183,9 @@ func main() {
 		accessSrv = serve.NewServer(serve.Config{
 			Backend:  serve.NewSystemBackend(sys),
 			Registry: sys.Telemetry().Registry,
+			Spans:    obs.spans,
+			StallNs:  sys.ControlBusyNs,
+			SLO:      obs.slo,
 		})
 		go protect("serve", func() {
 			if err := accessSrv.ListenAndServe(*serveAddr); err != nil {
@@ -182,6 +193,10 @@ func main() {
 			}
 		})
 		fmt.Printf("artmemd: streaming access API on %s (drive it with artload)\n", *serveAddr)
+		if obs.spans != nil {
+			fmt.Printf("artmemd: latency spans on at 1/%d sampling (/spans); SLO burn rates at /slo\n",
+				obs.spans.Rate())
+		}
 	}
 
 	// Periodic Q-table checkpointing: a daemon restart resumes learning
@@ -234,10 +249,11 @@ func main() {
 		}
 	}
 
-	// Graceful shutdown: drain the streaming frontend (every accepted
-	// batch acked or rejected) and in-flight HTTP requests with a
-	// deadline, then stop the background threads and take a final
-	// checkpoint.
+	// Graceful shutdown: flip /healthz to draining (balancers stop
+	// routing here), drain the streaming frontend (every accepted batch
+	// acked or rejected) and in-flight HTTP requests with a deadline,
+	// then stop the background threads and take a final checkpoint.
+	sys.SetDraining(true)
 	if accessSrv != nil {
 		accessSrv.Shutdown()
 	}

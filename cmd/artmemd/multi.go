@@ -43,7 +43,7 @@ func jsonError(w http.ResponseWriter, status int, code, msg string) {
 // plane (including /tenants) is served on the same listen address the
 // single-tenant daemon uses.
 func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow, capacity int,
-	listen, serveAddr string, drain time.Duration, build telemetry.BuildInfo) {
+	listen, serveAddr string, spanRate int, drain time.Duration, build telemetry.BuildInfo) {
 	var mode tenancy.Mode
 	switch arbMode {
 	case "off":
@@ -117,6 +117,19 @@ func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow, c
 
 	mux := http.NewServeMux()
 	mux.Handle("/", sys.ControlHandler())
+	// Serving observability: one SLO slot per tenant slot, batch class
+	// by default — /register?class=latency tightens the new tenant's
+	// objective (handleRegister).
+	var obs serveObs
+	if serveAddr != "" {
+		objectives := make([]telemetry.SLOObjective, capacity)
+		for i := range objectives {
+			objectives[i] = telemetry.BatchSLO()
+		}
+		obs = newServeObs(spanRate, objectives)
+		rep.slo = obs.slo
+	}
+	obs.mount(mux)
 	mux.HandleFunc("/register", rep.handleRegister)
 	mux.HandleFunc("/deregister", rep.handleDeregister)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -143,6 +156,9 @@ func multiMain(tenantList, arbMode string, prof workloads.Profile, fast, slow, c
 		accessSrv = serve.NewServer(serve.Config{
 			Backend:  serve.NewMultiBackend(sys, slotBytes),
 			Registry: sys.Telemetry().Registry,
+			Spans:    obs.spans,
+			StallNs:  sys.ControlBusyNs,
+			SLO:      obs.slo,
 		})
 		go protect("serve", func() {
 			if err := accessSrv.ListenAndServe(serveAddr); err != nil {
@@ -173,6 +189,7 @@ loop:
 		}
 	}
 
+	sys.SetDraining(true)
 	if accessSrv != nil {
 		accessSrv.Shutdown()
 	}
@@ -206,6 +223,9 @@ type replaySet struct {
 	entries   []*replayEntry
 	turn      int
 	regSeq    uint64
+	// slo, when non-nil, tracks per-slot objectives for the serving SLO
+	// monitor; registration installs the admitted tenant's class.
+	slo *telemetry.SLOMonitor
 }
 
 // step replays one batch of the next resident tenant, looping exhausted
@@ -314,6 +334,13 @@ func (rs *replaySet) handleRegister(w http.ResponseWriter, r *http.Request) {
 	rs.entries = append(rs.entries, &replayEntry{
 		slot: slot, name: name, spec: spec, w: spec.New(rs.prof),
 	})
+	if rs.slo != nil {
+		obj := telemetry.BatchSLO()
+		if class == tenancy.ClassLatency {
+			obj = telemetry.LatencySLO()
+		}
+		rs.slo.SetObjective(slot, obj)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{"slot": slot, "name": name, "workload": wlName})
 }

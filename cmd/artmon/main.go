@@ -78,6 +78,10 @@ type sample struct {
 	vals    map[string]float64
 	events  []telemetry.Event
 	tenants *core.TenantsReport
+	// slo carries the serving SLO burn-rate report when the daemon
+	// serves /slo; nil against daemons without the endpoint (older
+	// builds, or -serve off), which omit the burn panel.
+	slo *telemetry.SLOReport
 }
 
 // metric returns the value of a series key ("name" or
@@ -111,6 +115,15 @@ func poll(base string, tail int) (*sample, error) {
 		var rep core.TenantsReport
 		if json.Unmarshal(body, &rep) == nil && len(rep.Tenants) > 0 {
 			s.tenants = &rep
+		}
+	}
+
+	// Same degrade rule for the serving SLO monitor: daemons without
+	// /slo (older builds, -serve off) simply get no burn panel.
+	if body, err := get(base + "/slo"); err == nil {
+		var rep telemetry.SLOReport
+		if json.Unmarshal(body, &rep) == nil && len(rep.Tenants) > 0 {
+			s.slo = &rep
 		}
 	}
 
@@ -207,6 +220,11 @@ func renderFrame(cur, prev *sample, base string) string {
 		b.WriteString(renderServing(cur, prev, dt))
 	}
 
+	// Serving SLO burn rates, only when the daemon serves /slo.
+	if cur.slo != nil {
+		b.WriteString(renderSLO(cur.slo))
+	}
+
 	// Per-tenant control plane, only when the daemon serves /tenants.
 	if cur.tenants != nil {
 		b.WriteString(renderTenants(cur.tenants))
@@ -256,6 +274,63 @@ func renderServing(cur, prev *sample, dt float64) string {
 			rate = fmt.Sprintf("%.1f", (v-prev.metric(r.key))/dt)
 		}
 		fmt.Fprintf(&b, "  %-16s %12.0f %12s/s\n", r.label, v, rate)
+	}
+	// Interpolated latency quantiles, exported by newer daemons as
+	// sibling gauges of the serve histograms; absent keys render
+	// nothing so old daemons keep their shorter section.
+	if _, ok := cur.vals["artmem_serve_batch_latency_ns_p50"]; ok {
+		fmt.Fprintf(&b, "  batch latency    p50 %s  p99 %s  p999 %s\n",
+			ms(cur.metric("artmem_serve_batch_latency_ns_p50")),
+			ms(cur.metric("artmem_serve_batch_latency_ns_p99")),
+			ms(cur.metric("artmem_serve_batch_latency_ns_p999")))
+		fmt.Fprintf(&b, "  queue wait       p50 %s  p99 %s  p999 %s\n",
+			ms(cur.metric("artmem_serve_queue_wait_ns_p50")),
+			ms(cur.metric("artmem_serve_queue_wait_ns_p99")),
+			ms(cur.metric("artmem_serve_queue_wait_ns_p999")))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ms formats a nanosecond quantity in milliseconds.
+func ms(ns float64) string { return fmt.Sprintf("%.2fms", ns/1e6) }
+
+// renderSLO draws the serving SLO burn panel: one row per tenant slot
+// that has seen traffic, with its objective class and the latency/loss
+// burn rate over each window. Burn 1.0 means the slot consumes error
+// budget exactly as fast as the objective allows; sustained burn above
+// 1 exhausts it.
+func renderSLO(rep *telemetry.SLOReport) string {
+	var b strings.Builder
+	windows := make([]string, len(rep.WindowsNs))
+	for i, w := range rep.WindowsNs {
+		windows[i] = (time.Duration(w) * time.Nanosecond).String()
+	}
+	fmt.Fprintf(&b, "slo burn (windows %s):\n", strings.Join(windows, "/"))
+	fmt.Fprintf(&b, "  %-6s %-8s %10s %10s  %-18s %-18s\n",
+		"slot", "class", "batches", "lost", "latency burn", "loss burn")
+	active := 0
+	for _, t := range rep.Tenants {
+		if len(t.Windows) == 0 {
+			continue
+		}
+		widest := t.Windows[len(t.Windows)-1]
+		if widest.Batches == 0 {
+			continue
+		}
+		active++
+		lat := make([]string, len(t.Windows))
+		loss := make([]string, len(t.Windows))
+		for i, w := range t.Windows {
+			lat[i] = fmt.Sprintf("%.1f", w.LatencyBurn)
+			loss[i] = fmt.Sprintf("%.1f", w.LossBurn)
+		}
+		fmt.Fprintf(&b, "  %-6d %-8s %10d %10d  %-18s %-18s\n",
+			t.Slot, t.Class, widest.Batches, widest.Lost,
+			strings.Join(lat, "/"), strings.Join(loss, "/"))
+	}
+	if active == 0 {
+		fmt.Fprintln(&b, "  (no serving traffic yet)")
 	}
 	b.WriteByte('\n')
 	return b.String()

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -72,6 +75,14 @@ func TestPollAndRenderAgainstSystem(t *testing.T) {
 	}
 	if strings.Contains(frame, "tenants (arbiter") {
 		t.Errorf("single-tenant frame rendered a tenants section:\n%s", frame)
+	}
+	// Likewise a daemon without -serve has no /slo: the sample must not
+	// grow an SLO report and the frame must not draw the burn panel.
+	if cur.slo != nil {
+		t.Error("poll against serve-less daemon filled slo")
+	}
+	if strings.Contains(frame, "slo burn") {
+		t.Errorf("serve-less frame rendered an SLO panel:\n%s", frame)
 	}
 }
 
@@ -182,6 +193,99 @@ func TestRenderTenantsLifecycle(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("renderTenants missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRenderSLO pins the burn-panel format against a hand-built
+// report: window labels in the header, one row per slot with traffic,
+// idle slots (the capacity-sized monitor pre-allocates them) skipped.
+func TestRenderSLO(t *testing.T) {
+	rep := &telemetry.SLOReport{
+		WindowsNs: []int64{60e9, 300e9, 1800e9},
+		Tenants: []telemetry.SLOTenantReport{
+			{
+				Slot:         0,
+				SLOObjective: telemetry.LatencySLO(),
+				Windows: []telemetry.SLOWindowReport{
+					{WindowNs: 60e9, Batches: 100, LatencyBreaches: 4, LatencyBurn: 4.0, LossBurn: 0},
+					{WindowNs: 300e9, Batches: 400, LatencyBreaches: 4, LatencyBurn: 1.0, LossBurn: 0},
+					{WindowNs: 1800e9, Batches: 900, LatencyBreaches: 4, Lost: 2, LatencyBurn: 0.4, LossBurn: 2.2},
+				},
+			},
+			{
+				Slot:         1,
+				SLOObjective: telemetry.BatchSLO(),
+				Windows: []telemetry.SLOWindowReport{
+					{WindowNs: 60e9}, {WindowNs: 300e9}, {WindowNs: 1800e9},
+				},
+			},
+		},
+	}
+	out := renderSLO(rep)
+	for _, want := range []string{
+		"slo burn (windows 1m0s/5m0s/30m0s):",
+		"latency burn", "loss burn",
+		"latency", "900", // class and widest-window batch count
+		"4.0/1.0/0.4", "0.0/0.0/2.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderSLO missing %q:\n%s", want, out)
+		}
+	}
+	// Slot 1 never saw traffic: no row for it.
+	if strings.Contains(out, "\n  1 ") {
+		t.Errorf("idle slot rendered a row:\n%s", out)
+	}
+	if !strings.Contains(renderSLO(&telemetry.SLOReport{WindowsNs: []int64{60e9}}), "no serving traffic yet") {
+		t.Error("empty report missing placeholder line")
+	}
+}
+
+// TestPollSLOFromCannedDaemon drives poll against a canned mux that
+// serves the observability trio the way a -serve daemon does, and
+// checks the burn panel lands in the frame between the serving and
+// decision sections.
+func TestPollSLOFromCannedDaemon(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"artmem_migrations_total": 5, "artmem_serve_connections": 1,
+			"artmem_serve_batch_latency_ns_p50": 1000000,
+			"artmem_serve_batch_latency_ns_p99": 2000000, "artmem_serve_batch_latency_ns_p999": 3000000,
+			"artmem_serve_queue_wait_ns_p50": 100, "artmem_serve_queue_wait_ns_p99": 200,
+			"artmem_serve_queue_wait_ns_p999": 300}`)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(telemetry.SLOReport{
+			WindowsNs: []int64{60e9},
+			Tenants: []telemetry.SLOTenantReport{{
+				Slot:         0,
+				SLOObjective: telemetry.BatchSLO(),
+				Windows:      []telemetry.SLOWindowReport{{WindowNs: 60e9, Batches: 7, LatencyBurn: 1.5}},
+			}},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cur, err := poll(srv.URL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.slo == nil {
+		t.Fatal("poll did not pick up /slo")
+	}
+	frame := renderFrame(cur, nil, srv.URL)
+	for _, want := range []string{
+		"slo burn (windows 1m0s):", "batch", "1.5",
+		"batch latency    p50 1.00ms  p99 2.00ms  p999 3.00ms",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if i, j := strings.Index(frame, "slo burn"), strings.Index(frame, "recent decisions"); i > j {
+		t.Errorf("SLO panel after decision tail:\n%s", frame)
 	}
 }
 

@@ -15,6 +15,13 @@
 //
 //	artrace pagetrace http://localhost:8080/pagetrace   # list traced pages
 //	artrace pagetrace -page 23 journal.jsonl            # one page's timeline
+//
+// The spans subcommand renders serving latency attribution from a span
+// journal — a live daemon's /spans endpoint or a drain saved by
+// artload -spans-out:
+//
+//	artrace spans http://localhost:7600/spans       # per-tenant stage summary
+//	artrace spans -raw -n 20 spans.jsonl            # the last 20 spans verbatim
 package main
 
 import (
@@ -48,6 +55,8 @@ func main() {
 		replay(os.Args[2:])
 	case "pagetrace":
 		pagetrace(os.Args[2:])
+	case "spans":
+		spansCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -58,7 +67,8 @@ func usage() {
   artrace record -workload <name> [-div N] [-accesses N] -o <file>
   artrace info <file>
   artrace replay [-policy P] [-ratio F:S] [-pagesize N] [-decisions] <file>
-  artrace pagetrace [-page N] [-n M] <journal.jsonl | http://host/pagetrace>`)
+  artrace pagetrace [-page N] [-n M] <journal.jsonl | http://host/pagetrace>
+  artrace spans [-tenant N] [-n M] [-raw] <spans.jsonl | http://host/spans>`)
 	os.Exit(2)
 }
 
@@ -218,8 +228,9 @@ func pagetrace(args []string) {
 	listPages(events)
 }
 
-func readPageEvents(src string) ([]telemetry.PageEvent, error) {
-	var r io.ReadCloser
+// openSource opens a journal source: an http(s) URL (a live daemon
+// endpoint) or a local file (a saved drain).
+func openSource(src string) (io.ReadCloser, error) {
 	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
 		resp, err := http.Get(src)
 		if err != nil {
@@ -231,13 +242,15 @@ func readPageEvents(src string) ([]telemetry.PageEvent, error) {
 			return nil, fmt.Errorf("%s: %s: %s", src, resp.Status,
 				strings.TrimSpace(string(body)))
 		}
-		r = resp.Body
-	} else {
-		f, err := os.Open(src)
-		if err != nil {
-			return nil, err
-		}
-		r = f
+		return resp.Body, nil
+	}
+	return os.Open(src)
+}
+
+func readPageEvents(src string) ([]telemetry.PageEvent, error) {
+	r, err := openSource(src)
+	if err != nil {
+		return nil, err
 	}
 	defer r.Close()
 	var events []telemetry.PageEvent

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+
+	"artmem/internal/telemetry"
+)
+
+// spans reads a latency span journal (JSONL, as served by a daemon's
+// /spans endpoint or saved by artload -spans-out) from a file or URL
+// and renders stage attribution: per-tenant averages for every
+// pipeline stage plus end-to-end percentiles. With -raw each span is
+// printed in journal order instead.
+func spansCmd(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	tenant := fs.Int("tenant", -1, "only this tenant slot (default: all)")
+	n := fs.Int("n", 0, "read only the last N spans (0 = all)")
+	raw := fs.Bool("raw", false, "print every span instead of the summary")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	spans, err := readSpans(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *tenant >= 0 {
+		kept := spans[:0]
+		for _, s := range spans {
+			if s.Tenant == *tenant {
+				kept = append(kept, s)
+			}
+		}
+		spans = kept
+	}
+	if *n > 0 && len(spans) > *n {
+		spans = spans[len(spans)-*n:]
+	}
+	if len(spans) == 0 {
+		fmt.Println("no spans (is sampling enabled? start artmemd with -serve and -spans N)")
+		return
+	}
+	if *raw {
+		printSpans(spans)
+		return
+	}
+	summarizeSpans(spans)
+}
+
+func readSpans(src string) ([]telemetry.Span, error) {
+	r, err := openSource(src)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var spans []telemetry.Span
+	dec := json.NewDecoder(r)
+	for {
+		var s telemetry.Span
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%s: bad journal line after %d spans: %w",
+				src, len(spans), err)
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
+}
+
+// summarizeSpans prints one row per tenant (plus a total row when more
+// than one tenant appears): span count, per-stage averages, and exact
+// end-to-end percentiles.
+func summarizeSpans(spans []telemetry.Span) {
+	type agg struct {
+		n, rejected                                int64
+		decode, queue, stall, coalesce, apply, ack int64
+		totals                                     []int64
+	}
+	accumulate := func(a *agg, s telemetry.Span) {
+		a.n++
+		if s.Outcome == telemetry.SpanRejected {
+			a.rejected++
+		}
+		a.decode += s.DecodeNs
+		a.queue += s.QueueNs
+		a.stall += s.StallNs
+		a.coalesce += s.CoalesceNs
+		a.apply += s.ApplyNs
+		a.ack += s.AckNs
+		a.totals = append(a.totals, s.TotalNs())
+	}
+	byTenant := map[int]*agg{}
+	var order []int
+	total := &agg{}
+	for _, s := range spans {
+		a := byTenant[s.Tenant]
+		if a == nil {
+			a = &agg{}
+			byTenant[s.Tenant] = a
+			order = append(order, s.Tenant)
+		}
+		accumulate(a, s)
+		accumulate(total, s)
+	}
+	sort.Ints(order)
+
+	fmt.Printf("%d spans, %d tenants\n\n", len(spans), len(order))
+	fmt.Println("  tenant   spans  rejected  avg_decode  avg_queue  avg_stall  avg_coalesce  avg_apply  avg_ack    p50_total  p99_total")
+	row := func(label string, a *agg) {
+		sort.Slice(a.totals, func(i, j int) bool { return a.totals[i] < a.totals[j] })
+		p50 := a.totals[len(a.totals)/2]
+		p99 := a.totals[len(a.totals)*99/100]
+		fmt.Printf("  %6s  %6d  %8d  %10d  %9d  %9d  %12d  %9d  %7d  %11d  %9d\n",
+			label, a.n, a.rejected,
+			a.decode/a.n, a.queue/a.n, a.stall/a.n,
+			a.coalesce/a.n, a.apply/a.n, a.ack/a.n, p50, p99)
+	}
+	for _, t := range order {
+		row(fmt.Sprintf("%d", t), byTenant[t])
+	}
+	if len(order) > 1 {
+		row("all", total)
+	}
+	fmt.Println("\nall values in nanoseconds; stall is migration interference attributed out of queue wait")
+}
+
+// printSpans renders each span as one line in journal order.
+func printSpans(spans []telemetry.Span) {
+	fmt.Println("     seq  tenant  client_seq  records  outcome   decode   queue   stall  coalesce   apply     ack   total")
+	for _, s := range spans {
+		fmt.Printf("  %6d  %6d  %10d  %7d  %-8s  %6d  %6d  %6d  %8d  %6d  %6d  %6d\n",
+			s.Seq, s.Tenant, s.ClientSeq, s.Records, s.Outcome,
+			s.DecodeNs, s.QueueNs, s.StallNs, s.CoalesceNs, s.ApplyNs, s.AckNs, s.TotalNs())
+	}
+}

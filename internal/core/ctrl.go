@@ -29,8 +29,11 @@ import (
 //	GET /pagetrace               the page-lifecycle journal as JSONL
 //	                             (?page= filters one page, ?n= caps events)
 //	GET /qtable                  both Q-tables with learning history as JSON
+//	GET /healthz                 ok/degraded/draining liveness for balancers
+//	                             (JSON; draining answers 503)
 func (s *System) ControlHandler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", healthzHandler(s))
 	mux.HandleFunc("GET /memory.hit_ratio_show", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		fast, slow := s.pol.sampler.PeekWindowCounts()

@@ -18,12 +18,15 @@ import (
 //	GET /metrics.json  the shared registry as JSON
 //	GET /trace         one tenant agent's decision trace as JSONL
 //	                   (?tenant= selects the tenant, default 0; ?n= caps)
+//	GET /healthz       ok/degraded/draining liveness for balancers
+//	                   (JSON; draining answers 503)
 //
 // A single-tenant System's handler serves no /tenants route — clients
 // (cmd/artmon) treat a 404 there as "not a multi-tenant daemon" and
 // degrade gracefully.
 func (s *MultiSystem) ControlHandler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", healthzHandler(s))
 	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.TenantsReport())

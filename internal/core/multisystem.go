@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"artmem/internal/faultinject"
@@ -63,6 +64,11 @@ type MultiSystem struct {
 	sampleStalls  *telemetry.Counter
 	migrateStalls *telemetry.Counter
 	panics        *telemetry.Counter
+	ctlBusy       *telemetry.Counter
+
+	// draining is set by the daemon during graceful shutdown so
+	// /healthz can advertise the state to load balancers.
+	draining atomic.Bool
 }
 
 // TenantConfig describes one tenant of a MultiSystem.
@@ -177,6 +183,8 @@ func NewMultiSystem(cfg MultiSystemConfig) *MultiSystem {
 		"Watchdog intervals in which the migration thread made no progress.")
 	s.panics = reg.Counter("artmem_worker_panics_total",
 		"Recovered panics in the worker threads.")
+	s.ctlBusy = reg.Counter("artmem_control_busy_ns_total",
+		"Wall nanoseconds the control loop held the plane lock (sampling drains, arbiter + migration passes) — the serve layer's migration-stall attribution source.")
 	s.registerMultiMetrics()
 	return s
 }
@@ -499,10 +507,26 @@ func (s *MultiSystem) runProtected(beat *telemetry.Counter, f func()) {
 		}
 	}()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	t0 := time.Now()
+	defer func() {
+		s.ctlBusy.Add(uint64(time.Since(t0)))
+		s.mu.Unlock()
+	}()
 	f()
 	beat.Inc()
 }
+
+// ControlBusyNs returns the cumulative wall nanoseconds the shared
+// control loop held the plane lock — the serve layer's migration-stall
+// attribution source, as System.ControlBusyNs.
+func (s *MultiSystem) ControlBusyNs() int64 { return int64(s.ctlBusy.Value()) }
+
+// SetDraining marks (or clears) the graceful-shutdown state advertised
+// by /healthz.
+func (s *MultiSystem) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the graceful-shutdown state set by SetDraining.
+func (s *MultiSystem) Draining() bool { return s.draining.Load() }
 
 // samplingThread drains every tenant agent's PEBS buffer each period —
 // the single shared ksampled serving all memcgs.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"artmem/internal/faultinject"
@@ -54,6 +55,11 @@ type System struct {
 	sampleStalls  *telemetry.Counter
 	migrateStalls *telemetry.Counter
 	panics        *telemetry.Counter
+	ctlBusy       *telemetry.Counter
+
+	// draining is set by the daemon during graceful shutdown so
+	// /healthz can advertise the state to load balancers.
+	draining atomic.Bool
 }
 
 // SystemConfig parameterizes an online System.
@@ -149,9 +155,26 @@ func NewSystem(cfg SystemConfig) *System {
 		"Watchdog intervals in which the migration thread made no progress.")
 	s.panics = reg.Counter("artmem_worker_panics_total",
 		"Recovered panics in the worker threads.")
+	s.ctlBusy = reg.Counter("artmem_control_busy_ns_total",
+		"Wall nanoseconds the control loop held the system lock (sampling drains, migration passes) — the serve layer's migration-stall attribution source.")
 	s.registerMetrics()
 	return s
 }
+
+// ControlBusyNs returns the cumulative wall nanoseconds the control
+// loop's worker threads held the system lock. Access batches contend
+// with exactly that lock, so differencing this counter across a
+// batch's queue residency attributes its migration/sampling stall
+// (serve.Config.StallNs).
+func (s *System) ControlBusyNs() int64 { return int64(s.ctlBusy.Value()) }
+
+// SetDraining marks (or clears) the graceful-shutdown state advertised
+// by /healthz. The control loop keeps running; this is pure signaling
+// for load balancers.
+func (s *System) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the graceful-shutdown state set by SetDraining.
+func (s *System) Draining() bool { return s.draining.Load() }
 
 // Telemetry returns the system's registry + decision trace, the set
 // served by the control endpoints.
@@ -292,7 +315,11 @@ func (s *System) runProtected(beat *telemetry.Counter, f func()) {
 		}
 	}()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	t0 := time.Now()
+	defer func() {
+		s.ctlBusy.Add(uint64(time.Since(t0)))
+		s.mu.Unlock()
+	}()
 	f()
 	beat.Inc()
 }

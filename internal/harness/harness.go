@@ -119,6 +119,11 @@ type Result struct {
 	// sched run cache like every other cell output.
 	Churn *ChurnStats
 
+	// Stages holds the aggregated span-journal stage attribution when
+	// the run drove the serving frontend with span recording (the
+	// latency experiment); nil otherwise.
+	Stages *StageStats
+
 	// MigrationSeries (pages migrated per tick) and RatioSeries
 	// (windowed DRAM access ratio per tick), when collected.
 	MigrationSeries stats.Series

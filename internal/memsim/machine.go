@@ -63,6 +63,13 @@ type Counters struct {
 	// Freed counts pages unallocated by FreePage (tenant reclamation);
 	// a rolled-back free (RestorePage) is not counted.
 	Freed uint64
+	// MigrationStallNs is the cumulative application-visible migration
+	// interference in whole virtual nanoseconds: the interference share
+	// of every migration's transfer cost, exactly the amount the
+	// virtual clock advanced on the app's behalf during migrations.
+	// The serving layer differences it to attribute migration stall
+	// out of a batch's queue wait (telemetry spans).
+	MigrationStallNs uint64
 }
 
 // DRAMRatio returns the fraction of cache-missing accesses served by the
@@ -116,6 +123,8 @@ type Machine struct {
 	backgroundNs float64
 	// fractional ns accumulator so sub-ns costs are not lost.
 	clockFrac float64
+	// fractional ns accumulator for Counters.MigrationStallNs.
+	stallFrac float64
 
 	// Access-latency accounting. Every access is served at one of five
 	// constant model costs (cache hit, fast/slow × read/write), so the
@@ -527,6 +536,10 @@ func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
 	m.used[dst]++
 	m.tier[p] = dst
 	m.advance(cost * appFrac)
+	m.stallFrac += cost * appFrac
+	whole := uint64(m.stallFrac)
+	m.ctr.MigrationStallNs += whole
+	m.stallFrac -= float64(whole)
 	m.backgroundNs += cost * (1 - appFrac)
 	m.ctr.Migrations++
 	m.ctr.MigratedBytes += uint64(m.cfg.PageSize)

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"testing"
+
+	"artmem/internal/telemetry"
 )
 
 // BenchmarkServeDecode measures the decoder on a full 4096-record
@@ -56,6 +58,45 @@ func BenchmarkServeLockstep(b *testing.B) {
 		}
 	}
 	s.Drain()
+}
+
+// BenchmarkServeSpans measures the span-recording overhead on the
+// lockstep path at three settings: journal off (the default), the
+// default 1-in-64 sampling, and rate 1 (every batch). The off/sampled
+// delta is the number DESIGN.md §11 quotes; the benchdiff gate holds
+// the sampled case within 10% of its committed baseline.
+func BenchmarkServeSpans(b *testing.B) {
+	cases := []struct {
+		name string
+		rate int
+	}{
+		{"off", 0},
+		{"sampled64", 64},
+		{"rate1", 1},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := Config{Backend: newFakeBenchBackend()}
+			if tc.rate > 0 {
+				var stall int64
+				cfg.Spans = telemetry.NewSpanJournal(0, tc.rate)
+				cfg.StallNs = func() int64 { return stall }
+			}
+			s := NewServer(cfg)
+			recs := accessRecs(256, 0)
+			b.SetBytes(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Submit(0, uint64(i), recs, nil); err != nil {
+					b.Fatal(err)
+				}
+				if i%16 == 15 {
+					s.Pump(0)
+				}
+			}
+			s.Drain()
+		})
+	}
 }
 
 // fakeBenchBackend is a no-op backend for core-only benchmarks (the

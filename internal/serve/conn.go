@@ -128,6 +128,10 @@ type conn struct {
 	// ack is on the wire before the stream closes.
 	outstanding int
 	tenant      int
+	// decodeNs is the last frame's decode duration, measured by the
+	// readLoop (only the reader touches it) and handed to SubmitTimed
+	// for latency attribution.
+	decodeNs int64
 }
 
 // send enqueues one encoded frame for the writer. Never blocks.
@@ -209,7 +213,15 @@ func (c *conn) readLoop() {
 		return
 	}
 	for {
-		f, err := ReadDecode(c.br)
+		// Read and decode separately so the decode stage is timed on
+		// its own: the blocking read is network idle, not decode cost.
+		body, err := ReadFrame(c.br)
+		var f Frame
+		if err == nil {
+			t0 := c.s.clock()
+			f, err = DecodeFrame(body)
+			c.decodeNs = c.s.clock() - t0
+		}
 		if err != nil {
 			if errors.Is(err, ErrMalformed) || errors.Is(err, ErrFrameTooLarge) {
 				c.s.decodeErrs.Inc()
@@ -295,7 +307,7 @@ func (c *conn) submit(f Frame) {
 		c.cond.Broadcast()
 		c.mu.Unlock()
 	}
-	err := c.s.Submit(c.tenant, seq, f.Records, func(res Result) {
+	err := c.s.SubmitTimed(c.tenant, seq, f.Records, c.decodeNs, func(res Result) {
 		if res.Err != nil {
 			resolve(AppendReject(nil, seq, CodeFromError(res.Err), res.Err.Error()))
 			return

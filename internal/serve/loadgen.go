@@ -48,29 +48,90 @@ type LoadConfig struct {
 // Report aggregates a run: the batch ledger summed over clients plus
 // throughput and end-to-end latency percentiles. Lost must be 0
 // against a healthy server — every batch either acked or explicitly
-// shed.
+// shed. The JSON field set is the `artload -json` ledger schema;
+// durations serialize as integer nanoseconds.
 type Report struct {
-	Clients                 int
-	Sent, Acked, Shed, Lost uint64
+	Clients int    `json:"clients"`
+	Sent    uint64 `json:"sent"`
+	Acked   uint64 `json:"acked"`
+	Shed    uint64 `json:"shed"`
+	Lost    uint64 `json:"lost"`
 	// AckedRecords is the number of access records applied end to end.
-	AckedRecords uint64
-	Elapsed      time.Duration
+	AckedRecords uint64        `json:"acked_records"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
 	// AccessesPerSec is AckedRecords / Elapsed.
-	AccessesPerSec float64
+	AccessesPerSec float64 `json:"accesses_per_sec"`
 	// P50 and P99 are batch end-to-end latency percentiles.
-	P50, P99 time.Duration
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
 	// Errors carries per-client terminal errors (empty on a clean run).
-	Errors []string
+	Errors []string `json:"errors"`
+	// Stages is the server-side stage-latency breakdown reconstructed
+	// from the span journal; nil when span sampling was off or the
+	// server is remote (the journal is in its process, not ours).
+	Stages *StageBreakdown `json:"stages"`
 }
 
 // String renders the report as the artload summary block.
 func (r Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"clients %d  batches sent %d acked %d shed %d lost %d\n"+
 			"accesses %d in %.2fs  →  %.0f accesses/sec\n"+
 			"batch e2e latency p50 %s  p99 %s",
 		r.Clients, r.Sent, r.Acked, r.Shed, r.Lost,
 		r.AckedRecords, r.Elapsed.Seconds(), r.AccessesPerSec, r.P50, r.P99)
+	if r.Stages != nil {
+		s += "\n" + r.Stages.String()
+	}
+	return s
+}
+
+// StageBreakdown is the per-batch mean of each serving-pipeline stage,
+// averaged over the sampled spans of a run.
+type StageBreakdown struct {
+	// Spans is the number of sampled spans the means are over.
+	Spans int64 `json:"spans"`
+	// Mean stage durations per sampled batch, clock nanoseconds.
+	AvgDecodeNs   int64 `json:"avg_decode_ns"`
+	AvgQueueNs    int64 `json:"avg_queue_ns"`
+	AvgStallNs    int64 `json:"avg_stall_ns"`
+	AvgCoalesceNs int64 `json:"avg_coalesce_ns"`
+	AvgApplyNs    int64 `json:"avg_apply_ns"`
+	AvgAckNs      int64 `json:"avg_ack_ns"`
+}
+
+// String renders the breakdown as one summary line.
+func (b StageBreakdown) String() string {
+	return fmt.Sprintf(
+		"stage means over %d spans  decode %s  queue %s  stall %s  coalesce %s  apply %s  ack %s",
+		b.Spans,
+		time.Duration(b.AvgDecodeNs), time.Duration(b.AvgQueueNs),
+		time.Duration(b.AvgStallNs), time.Duration(b.AvgCoalesceNs),
+		time.Duration(b.AvgApplyNs), time.Duration(b.AvgAckNs))
+}
+
+// StageBreakdownOf averages the stage durations of spans; nil when
+// spans is empty.
+func StageBreakdownOf(spans []telemetry.Span) *StageBreakdown {
+	if len(spans) == 0 {
+		return nil
+	}
+	b := &StageBreakdown{Spans: int64(len(spans))}
+	for _, s := range spans {
+		b.AvgDecodeNs += s.DecodeNs
+		b.AvgQueueNs += s.QueueNs
+		b.AvgStallNs += s.StallNs
+		b.AvgCoalesceNs += s.CoalesceNs
+		b.AvgApplyNs += s.ApplyNs
+		b.AvgAckNs += s.AckNs
+	}
+	b.AvgDecodeNs /= b.Spans
+	b.AvgQueueNs /= b.Spans
+	b.AvgStallNs /= b.Spans
+	b.AvgCoalesceNs /= b.Spans
+	b.AvgApplyNs /= b.Spans
+	b.AvgAckNs /= b.Spans
+	return b
 }
 
 // Run executes the load generation and blocks until every client
@@ -313,22 +374,50 @@ type Loopback struct {
 	Sys      *core.System
 	Srv      *Server
 	Registry *telemetry.Registry
-	addr     string
-	served   chan error
+	// Spans is the span journal when LoopbackConfig.SpanRate was set;
+	// nil otherwise. SLO is the monitor (always on for loopback — one
+	// slot, negligible cost).
+	Spans  *telemetry.SpanJournal
+	SLO    *telemetry.SLOMonitor
+	addr   string
+	served chan error
 }
 
-// StartLoopback builds and starts a loopback stack. div scales the
-// workload footprint (0 uses 256); queueRecords is the per-tenant
-// admission bound (0 uses the server default).
+// LoopbackConfig parameterizes StartLoopbackCfg.
+type LoopbackConfig struct {
+	// Workload names the trace the stack is sized for; Div scales its
+	// footprint (0 uses 256).
+	Workload string
+	Div      int64
+	// QueueRecords is the per-tenant admission bound (0 uses the
+	// server default).
+	QueueRecords int
+	// SpanRate, when > 0, enables span recording for roughly one
+	// accepted batch in SpanRate (1 records every batch), with
+	// migration-stall attribution wired to the runtime's control-loop
+	// busy counter. 0 keeps spans off (the default-off discipline).
+	SpanRate int
+	// SpanCap bounds the journal (0 uses telemetry.DefaultSpanCap).
+	SpanCap int
+}
+
+// StartLoopback builds and starts a loopback stack with spans off —
+// the original smoke-test surface; see StartLoopbackCfg for the
+// instrumented form.
 func StartLoopback(workload string, div int64, queueRecords int) (*Loopback, error) {
-	spec, err := workloads.ByName(workload)
+	return StartLoopbackCfg(LoopbackConfig{Workload: workload, Div: div, QueueRecords: queueRecords})
+}
+
+// StartLoopbackCfg builds and starts a loopback stack.
+func StartLoopbackCfg(cfg LoopbackConfig) (*Loopback, error) {
+	spec, err := workloads.ByName(cfg.Workload)
 	if err != nil {
 		return nil, err
 	}
-	if div == 0 {
-		div = 256
+	if cfg.Div == 0 {
+		cfg.Div = 256
 	}
-	prof := workloads.Profile{Div: div, PatternAccesses: 1, AppAccesses: 1, Seed: 1}
+	prof := workloads.Profile{Div: cfg.Div, PatternAccesses: 1, AppAccesses: 1, Seed: 1}
 	probe := spec.New(prof)
 	foot := probe.FootprintBytes()
 	probe.Close()
@@ -342,17 +431,24 @@ func StartLoopback(workload string, div int64, queueRecords int) (*Loopback, err
 		},
 	})
 	sys.Start()
-	srv := NewServer(Config{
+	scfg := Config{
 		Backend:      NewSystemBackend(sys),
 		Registry:     reg,
-		QueueRecords: queueRecords,
-	})
+		QueueRecords: cfg.QueueRecords,
+		SLO:          telemetry.NewSLOMonitor([]telemetry.SLOObjective{telemetry.BatchSLO()}, nil, nil),
+	}
+	if cfg.SpanRate > 0 {
+		scfg.Spans = telemetry.NewSpanJournal(cfg.SpanCap, cfg.SpanRate)
+		scfg.StallNs = sys.ControlBusyNs
+	}
+	srv := NewServer(scfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		sys.Stop()
 		return nil, err
 	}
 	lb := &Loopback{Sys: sys, Srv: srv, Registry: reg,
+		Spans: scfg.Spans, SLO: scfg.SLO,
 		addr: ln.Addr().String(), served: make(chan error, 1)}
 	go func() { lb.served <- srv.Serve(ln) }()
 	return lb, nil

@@ -27,6 +27,27 @@ type Config struct {
 	// into a single backend AccessBatch pass. Whole batches only — a
 	// pump takes at least one batch regardless. 0 uses 16384.
 	CoalesceRecords int
+	// Clock supplies the stage timestamps for spans, SLO windows, and
+	// the latency metrics, in nanoseconds. Nil uses the wall clock;
+	// deterministic experiments inject the machine's virtual clock so
+	// every recorded duration is an exact replayable integer.
+	Clock func() int64
+	// Spans, when non-nil, records a hash-sampled latency span per
+	// accepted batch (decode → queue → stall → coalesce → apply → ack)
+	// into the journal served at /spans. Nil — the default — keeps
+	// span recording off and the serving hooks one-branch no-ops, the
+	// same discipline as telemetry.PageTrace.
+	Spans *telemetry.SpanJournal
+	// StallNs, when non-nil, returns a cumulative stall counter in
+	// clock nanoseconds — core.System.ControlBusyNs live, the
+	// machine's MigrationStallNs in lockstep. The server differences
+	// it across a sampled batch's residency to attribute migration
+	// stall out of its queue wait. Ignored unless Spans is set.
+	StallNs func() int64
+	// SLO, when non-nil, receives every resolved batch's outcome
+	// (end-to-end latency, acked or lost) for per-tenant burn-rate
+	// accounting, served at /slo.
+	SLO *telemetry.SLOMonitor
 }
 
 // Result reports a batch's fate to its submitter's done callback:
@@ -42,12 +63,24 @@ type Result struct {
 	QueueNs uint64
 }
 
-// batch is one queued request batch.
+// spanStart is the submit-side state of a sampled batch's span: the
+// global batch id the sampler keyed on, and the stall counter at
+// enqueue. Only sampled batches allocate one.
+type spanStart struct {
+	id     uint64
+	stall0 int64
+}
+
+// batch is one queued request batch. enq and decode are clock
+// nanoseconds; span is nil unless the batch was sampled for the span
+// journal.
 type batch struct {
-	seq  uint64
-	recs []Record
-	enq  time.Time
-	done func(Result)
+	seq    uint64
+	recs   []Record
+	enq    int64
+	decode int64
+	done   func(Result)
+	span   *spanStart
 }
 
 // tenantQueue is one tenant's bounded ingress queue. The pump for a
@@ -84,6 +117,15 @@ type Server struct {
 	coalesce int
 	queues   []*tenantQueue
 
+	// Latency attribution (nil-safe when disabled): the injected
+	// clock, the span journal with its global batch-id counter, the
+	// stall attribution source, and the SLO monitor.
+	clock   func() int64
+	spans   *telemetry.SpanJournal
+	stallNs func() int64
+	slo     *telemetry.SLOMonitor
+	batchID atomic.Uint64
+
 	draining atomic.Bool
 
 	mu      sync.Mutex
@@ -102,8 +144,15 @@ type Server struct {
 	rejected    map[byte]*telemetry.Counter
 	coalesced   *telemetry.Histogram
 	queueWait   *telemetry.Histogram
+	batchLat    *telemetry.Histogram
 	decodeErrs  *telemetry.Counter
 }
+
+// latencyBuckets is the HDR-style ladder the serve-path latency
+// histograms share: ~6% relative error from 256ns to ~8.6s, tight
+// enough for meaningful p99/p999 interpolation at both lockstep
+// (virtual microseconds) and network (wall milliseconds) scales.
+var latencyBuckets = telemetry.HDRBuckets(256, 8_589_934_592, 4)
 
 // NewServer builds a server over cfg.Backend, one ingress queue per
 // backend slot.
@@ -117,11 +166,18 @@ func NewServer(cfg Config) *Server {
 	if cfg.CoalesceRecords <= 0 {
 		cfg.CoalesceRecords = 16384
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return time.Now().UnixNano() }
+	}
 	s := &Server{
 		backend:  cfg.Backend,
 		queueCap: cfg.QueueRecords,
 		coalesce: cfg.CoalesceRecords,
 		queues:   make([]*tenantQueue, cfg.Backend.Slots()),
+		clock:    cfg.Clock,
+		spans:    cfg.Spans,
+		stallNs:  cfg.StallNs,
+		slo:      cfg.SLO,
 	}
 	for i := range s.queues {
 		q := &tenantQueue{}
@@ -171,9 +227,15 @@ func (s *Server) register(reg *telemetry.Registry) {
 	s.coalesced = reg.Histogram("artmem_serve_coalesced_records",
 		"Records merged into one backend pass per pump iteration.",
 		telemetry.ExpBuckets(1, 2, 18))
-	s.queueWait = reg.Histogram("artmem_serve_queue_wait_ns",
+	// The latency series are log-bucketed HDR histograms with
+	// server-side quantile exposition (name_p50/_p90/_p99/_p999) —
+	// interpolated tails, not fixed-class counting.
+	s.queueWait = reg.HistogramQuantiles("artmem_serve_queue_wait_ns",
 		"Queue residency of acknowledged batches in nanoseconds.",
-		telemetry.ExpBuckets(1000, 4, 12))
+		latencyBuckets)
+	s.batchLat = reg.HistogramQuantiles("artmem_serve_batch_latency_ns",
+		"End-to-end latency of acknowledged batches in nanoseconds (decode + queue + apply).",
+		latencyBuckets)
 	s.decodeErrs = reg.Counter("artmem_serve_decode_errors_total",
 		"Undecodable or oversized frames received (connection dropped).")
 }
@@ -212,6 +274,15 @@ func (s *Server) Slots() int { return len(s.queues) }
 //
 // The caller must not mutate recs after a nil return.
 func (s *Server) Submit(slot int, seq uint64, recs []Record, done func(Result)) error {
+	return s.SubmitTimed(slot, seq, recs, 0, done)
+}
+
+// SubmitTimed is Submit with the frame-decode duration that produced
+// recs, in clock nanoseconds — the network layer measures it around
+// ReadDecode so spans and the end-to-end latency metrics can attribute
+// it. Direct submitters (lockstep experiments, tests) use Submit,
+// which passes zero.
+func (s *Server) SubmitTimed(slot int, seq uint64, recs []Record, decodeNs int64, done func(Result)) error {
 	if slot < 0 || slot >= len(s.queues) {
 		s.countReject(CodeBadTenant)
 		return fmt.Errorf("%w: slot %d of %d", ErrBadTenant, slot, len(s.queues))
@@ -241,7 +312,19 @@ func (s *Server) Submit(slot int, seq uint64, recs []Record, done func(Result)) 
 		s.countReject(CodeOverloaded)
 		return fmt.Errorf("%w: %d records queued, cap %d", ErrOverloaded, queued, s.queueCap)
 	}
-	q.batches = append(q.batches, batch{seq: seq, recs: recs, enq: time.Now(), done: done})
+	b := batch{seq: seq, recs: recs, enq: s.clock(), decode: decodeNs, done: done}
+	// Span sampling keys on a server-global accepted-batch counter; a
+	// nil journal costs exactly this one branch.
+	if s.spans != nil {
+		if id := s.batchID.Add(1); s.spans.Sampled(id) {
+			sp := &spanStart{id: id}
+			if s.stallNs != nil {
+				sp.stall0 = s.stallNs()
+			}
+			b.span = sp
+		}
+	}
+	q.batches = append(q.batches, b)
 	q.records += len(recs)
 	q.cond.Signal()
 	q.mu.Unlock()
@@ -288,31 +371,78 @@ func (s *Server) Pump(slot int) int {
 	q.records -= recs
 	q.mu.Unlock()
 
+	deq := s.clock()
 	// Re-check the slot at apply time: it may have started draining
 	// while the batch waited. Its batches are rejected, not silently
 	// applied to a reclaiming tenant (and not silently dropped).
 	err := s.backend.Check(slot)
+	applyStart := deq
 	if err == nil {
+		applyStart = s.clock()
 		s.apply(slot, q, took)
 		s.coalesced.Observe(float64(recs))
 	}
-	now := time.Now()
+	now := s.clock()
+	var stallNow int64
+	if s.spans != nil && s.stallNs != nil {
+		stallNow = s.stallNs()
+	}
 	for _, b := range took {
-		qns := uint64(now.Sub(b.enq))
+		qns := uint64(now - b.enq)
 		if err != nil {
 			s.countReject(CodeFromError(err))
 			if b.done != nil {
 				b.done(Result{Err: err, QueueNs: qns})
 			}
-			continue
+		} else {
+			s.acked.Inc()
+			s.queueWait.Observe(float64(qns))
+			s.batchLat.Observe(float64(int64(qns) + b.decode))
+			if b.done != nil {
+				b.done(Result{Count: uint32(len(b.recs)), QueueNs: qns})
+			}
 		}
-		s.acked.Inc()
-		s.queueWait.Observe(float64(qns))
-		if b.done != nil {
-			b.done(Result{Count: uint32(len(b.recs)), QueueNs: qns})
+		if b.span != nil {
+			s.recordSpan(slot, b, err, deq, applyStart, now, stallNow)
 		}
+		s.slo.Observe(slot, int64(qns)+b.decode, err == nil)
 	}
 	return n
+}
+
+// recordSpan assembles and journals a sampled batch's span after its
+// done callback resolved. Stage semantics: stall is the delta of the
+// attribution counter across the batch's residency (enqueue → apply
+// end); queue is dequeue-wait minus that stall, clamped at zero;
+// coalesce the dequeue→apply merge; apply the coalesced backend pass
+// the batch rode (shared by every batch in the pass); ack the
+// done-callback flush, measured per sampled batch.
+func (s *Server) recordSpan(slot int, b batch, err error, deq, applyStart, applyEnd, stallNow int64) {
+	sp := telemetry.Span{
+		Batch:     b.span.id,
+		StartNs:   b.enq,
+		Tenant:    slot,
+		ClientSeq: b.seq,
+		Records:   len(b.recs),
+		Outcome:   telemetry.SpanAcked,
+		DecodeNs:  b.decode,
+		AckNs:     s.clock() - applyEnd,
+	}
+	if err != nil {
+		sp.Outcome = telemetry.SpanRejected
+	} else {
+		sp.CoalesceNs = applyStart - deq
+		sp.ApplyNs = applyEnd - applyStart
+	}
+	if s.stallNs != nil {
+		if d := stallNow - b.span.stall0; d > 0 {
+			sp.StallNs = d
+		}
+	}
+	if qn := deq - b.enq - sp.StallNs; qn > 0 {
+		sp.QueueNs = qn
+	}
+	s.spans.Append(sp)
 }
 
 // apply replays the taken batches' records into the backend, merging

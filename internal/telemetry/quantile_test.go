@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHDRBucketsShape(t *testing.T) {
+	b := HDRBuckets(1000, 16000, 4)
+	if b[0] != 1000 {
+		t.Fatalf("first bound = %g, want the range minimum", b[0])
+	}
+	if b[len(b)-1] != 16000 {
+		t.Fatalf("last bound = %g, want the range maximum", b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %g <= %g", i, b[i], b[i-1])
+		}
+		// HDR property: relative step stays bounded by ~1/sub.
+		if rel := (b[i] - b[i-1]) / b[i-1]; rel > 0.26 {
+			t.Fatalf("relative step %g at bound %g exceeds 1/sub", rel, b[i])
+		}
+	}
+	for _, bad := range [][3]float64{{0, 10, 4}, {10, 10, 4}, {1, 10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("HDRBuckets(%v) did not panic", bad)
+				}
+			}()
+			HDRBuckets(bad[0], bad[1], int(bad[2]))
+		}()
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	// Uniform fill: 10 observations per bucket.
+	for b := 0; b < 4; b++ {
+		for i := 0; i < 10; i++ {
+			h.Observe(float64(b*10) + 5)
+		}
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	// Mid-bucket interpolation: rank 15 of 40 is halfway through the
+	// second bucket (10, 20].
+	if got := h.Quantile(0.375); math.Abs(got-15) > 1e-9 {
+		t.Errorf("Quantile(0.375) = %g, want 15", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+	h := NewHistogram([]float64{10, 20})
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	// All observations in +Inf: clamp to the last finite bound.
+	h.Observe(1e9)
+	h.Observe(2e9)
+	if got := h.Quantile(0.5); got != 20 {
+		t.Errorf("overflow-only quantile = %g, want last bound 20", got)
+	}
+	// Out-of-range q clamps.
+	if got := h.Quantile(-1); got > h.Quantile(0.001) {
+		t.Errorf("Quantile(-1) = %g did not clamp low", got)
+	}
+	if got := h.Quantile(2); got != 20 {
+		t.Errorf("Quantile(2) = %g, want 20", got)
+	}
+	if QuantileFromData(HistogramData{}, 0.5) != 0 {
+		t.Error("empty HistogramData quantile != 0")
+	}
+}
+
+// TestHistogramQuantilesExposition covers the satellite contract: the
+// four quantile series appear in both expositions, label values are
+// escaped, an empty histogram renders zeros, and the text output is
+// byte-stable across scrapes (the registry preserves registration
+// order regardless of test shuffling — this test is run under
+// -shuffle=on in CI like every other).
+func TestHistogramQuantilesExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramQuantiles("req_ns", "Request latency.",
+		HDRBuckets(10, 1000, 2), L("stage", `q"ueue\`))
+	empty := r.HistogramQuantiles("idle_ns", "Never observed.", []float64{1, 10})
+	_ = empty
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE req_ns histogram",
+		"# TYPE req_ns_p50 gauge",
+		"# TYPE req_ns_p90 gauge",
+		"# TYPE req_ns_p99 gauge",
+		"# TYPE req_ns_p999 gauge",
+		`req_ns_p50{stage="q\"ueue\\"}`,
+		"idle_ns_p999 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Byte-stable ordering: repeated scrapes are identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != text {
+		t.Error("two scrapes of the same registry differ")
+	}
+
+	// JSON snapshot carries the same four quantiles per histogram.
+	snap := r.Snapshot()
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"req_ns_p50", "req_ns_p90", "req_ns_p99", "req_ns_p999", "idle_ns_p50"} {
+		found := false
+		for name := range snap {
+			if strings.HasPrefix(name, k) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("snapshot missing quantile series %s: %s", k, blob)
+		}
+	}
+	var p50 float64
+	for name, v := range snap {
+		if strings.HasPrefix(name, "req_ns_p50") {
+			p50 = v.(float64)
+		}
+	}
+	if p50 <= 0 || p50 > 1000 {
+		t.Errorf("snapshot p50 = %g, want a value inside the ladder", p50)
+	}
+
+	// Nil registry: no-op registration, usable handle.
+	var nilR *Registry
+	if nilR.HistogramQuantiles("x", "", nil) != nil {
+		t.Error("nil registry returned a live quantiled histogram")
+	}
+}

@@ -148,6 +148,33 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	return b
 }
 
+// HDRBuckets returns a log-bucketed high-dynamic-range ladder: the
+// range [min, max] is covered by successive power-of-two segments, each
+// split into sub linearly spaced sub-buckets — HDR-histogram style
+// constant relative error (~1/sub) across the whole range, where a
+// plain exponential ladder's error grows with its factor. This is the
+// bucket shape the serve-path latency histograms use: tight enough for
+// meaningful p99/p999 interpolation from microseconds to seconds
+// without hundreds of buckets. Panics on min <= 0, max <= min, or
+// sub < 1.
+func HDRBuckets(min, max float64, sub int) []float64 {
+	if min <= 0 || max <= min || sub < 1 {
+		panic("telemetry: HDRBuckets needs 0 < min < max, sub >= 1")
+	}
+	b := []float64{min}
+	for lo := min; lo < max; lo *= 2 {
+		step := lo / float64(sub)
+		for i := 1; i <= sub; i++ {
+			v := lo + step*float64(i)
+			if v >= max {
+				return append(b, max)
+			}
+			b = append(b, v)
+		}
+	}
+	return append(b, max)
+}
+
 // NewHistogram returns a histogram over the given bucket upper bounds.
 // Bounds are sorted and deduplicated; nil bounds use DefBuckets. Useful
 // mostly for tests — production code obtains histograms from a Registry.
@@ -225,6 +252,59 @@ func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
 		cumulative[i] = acc
 	}
 	return bounds, cumulative
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank — the standard Prometheus histogram_quantile estimate,
+// computed server-side. Observations in the +Inf overflow bucket clamp
+// to the last finite bound (there is nothing to interpolate toward).
+// Returns 0 for an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	bounds, cum := h.Buckets()
+	return QuantileFromData(HistogramData{Bounds: bounds, Counts: cum, Sum: h.Sum()}, q)
+}
+
+// QuantileFromData is Quantile over materialized bucket state — the
+// shared estimator for live histograms, pull-based histogram functions,
+// and consumers of the JSON snapshot. Returns 0 when the data is empty.
+func QuantileFromData(d HistogramData, q float64) float64 {
+	n := len(d.Counts)
+	if n == 0 || d.Counts[n-1] == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(d.Counts[n-1])
+	i := 0
+	for i < len(d.Bounds) && float64(d.Counts[i]) < rank {
+		i++
+	}
+	if i >= len(d.Bounds) {
+		// Target rank lands in +Inf: clamp to the last finite bound.
+		if len(d.Bounds) == 0 {
+			return 0
+		}
+		return d.Bounds[len(d.Bounds)-1]
+	}
+	lo := 0.0
+	var below uint64
+	if i > 0 {
+		lo = d.Bounds[i-1]
+		below = d.Counts[i-1]
+	}
+	in := d.Counts[i] - below
+	if in == 0 {
+		return d.Bounds[i]
+	}
+	return lo + (d.Bounds[i]-lo)*(rank-float64(below))/float64(in)
 }
 
 // HistogramData is a point-in-time histogram produced by a pull-based
@@ -423,6 +503,37 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	}
 	h := NewHistogram(bounds)
 	r.register(&series{name: name, labels: renderLabels(labels), help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// quantileExposition is the fixed suffix → q ladder every quantiled
+// histogram exposes.
+var quantileExposition = []struct {
+	suffix string
+	q      float64
+}{
+	{"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}, {"p999", 0.999},
+}
+
+// HistogramQuantiles registers a histogram series (typically over an
+// HDRBuckets ladder) plus four pull-based gauge series — name_p50,
+// name_p90, name_p99, name_p999 — whose values are interpolated from
+// the live bucket state at exposition time. The quantiles therefore
+// appear in both the Prometheus text format (as plain gauges, since
+// the 0.0.4 format has no native histogram quantiles) and the JSON
+// snapshot, with zero observation-path cost beyond the histogram
+// itself. Nil-Registry-safe.
+func (r *Registry) HistogramQuantiles(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := r.Histogram(name, help, bounds, labels...)
+	if r == nil {
+		return h
+	}
+	for _, e := range quantileExposition {
+		q := e.q
+		r.GaugeFunc(name+"_"+e.suffix,
+			fmt.Sprintf("Interpolated %s of %s.", e.suffix, name),
+			func() float64 { return h.Quantile(q) }, labels...)
+	}
 	return h
 }
 
