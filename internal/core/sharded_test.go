@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"artmem/internal/memsim"
+)
+
+func testShardedConfig(shards int) ShardedSystemConfig {
+	mcfg := memsim.DefaultConfig(64*64*1024, 16*64*1024, 64*1024)
+	mcfg.CacheLines = 0
+	return ShardedSystemConfig{
+		Machine:           mcfg,
+		Shards:            shards,
+		Policy:            Config{SamplePeriod: 1},
+		SamplingInterval:  500 * time.Microsecond,
+		MigrationInterval: time.Millisecond,
+	}
+}
+
+func TestShardedSystemStartStopIdempotent(t *testing.T) {
+	s := NewShardedSystem(testShardedConfig(4))
+	s.Start()
+	s.Start() // no-op
+	s.Stop()
+	s.Stop() // no-op
+	s = NewShardedSystem(testShardedConfig(4))
+	s.Stop() // stop without start must not hang
+}
+
+func TestShardedSystemAccessAndCounters(t *testing.T) {
+	s := NewShardedSystem(testShardedConfig(4))
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", s.NumShards())
+	}
+	for i := 0; i < 1000; i++ {
+		s.Access(uint64(i*64)%uint64(64*64*1024), i%4 == 0)
+	}
+	c := s.Counters()
+	if c.FastAccesses+c.SlowAccesses != 1000 {
+		t.Errorf("accesses = %d, want 1000", c.FastAccesses+c.SlowAccesses)
+	}
+	if s.Now() <= 0 {
+		t.Errorf("virtual time did not advance")
+	}
+	if h := s.Health(); h.Degraded {
+		t.Errorf("fresh system reports degraded")
+	}
+}
+
+func TestShardedSystemAllocFreeRange(t *testing.T) {
+	s := NewShardedSystem(testShardedConfig(4))
+	ps := uint64(s.Machine().PageSize())
+	if got := s.AllocRange(3*ps, 10*ps); got != 10 {
+		t.Fatalf("AllocRange touched %d pages, want 10", got)
+	}
+	if got := s.FreeRange(3*ps, 10*ps); got != 10 {
+		t.Fatalf("FreeRange freed %d pages, want 10", got)
+	}
+	if used := s.Machine().UsedPages(memsim.Fast) + s.Machine().UsedPages(memsim.Slow); used != 0 {
+		t.Errorf("pages still resident after free: %d", used)
+	}
+	if got := s.AllocRange(0, 0); got != 0 {
+		t.Errorf("zero-size alloc touched %d", got)
+	}
+}
+
+// TestShardedSystemRebalance drives all demand onto one shard until its
+// fast tier is exhausted, then checks that a migration pass pulls free
+// fast-tier capacity from the idle shards toward it — the cross-shard
+// analogue of promotion — while the capacity-conservation invariant
+// holds.
+func TestShardedSystemRebalance(t *testing.T) {
+	s := NewShardedSystem(testShardedConfig(4))
+	sm := s.Machine()
+	ps := uint64(sm.PageSize())
+	// Pages p with p&3 == 0 all live on shard 0. Touch every one of
+	// shard 0's 16 pages: 4 fill its fast tier, 12 land in slow, and
+	// the repeated slow hits become its demand signal.
+	for rep := 0; rep < 3; rep++ {
+		for p := uint64(0); p < 64; p += 4 {
+			s.Access(p*ps, false)
+		}
+	}
+	var fastBefore, freeBefore int
+	sm.RunShard(0, func(m *memsim.Machine) {
+		fastBefore = m.CapacityPages(memsim.Fast)
+		freeBefore = m.FreePages(memsim.Fast)
+	})
+	if freeBefore != 0 {
+		t.Fatalf("shard 0 fast tier not exhausted: %d free", freeBefore)
+	}
+	s.migratePass()
+	var fastAfter int
+	sm.RunShard(0, func(m *memsim.Machine) { fastAfter = m.CapacityPages(memsim.Fast) })
+	if fastAfter <= fastBefore {
+		t.Errorf("rebalance did not grow shard 0 fast capacity: %d -> %d", fastBefore, fastAfter)
+	}
+	if s.transfers.Value() == 0 {
+		t.Errorf("no capacity transfers recorded")
+	}
+	sm.Quiesce(func() {
+		if err := sm.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after rebalance: %v", err)
+		}
+	})
+	// Idle shards must keep their one-page donor slack.
+	for i := 1; i < 4; i++ {
+		var free int
+		sm.RunShard(i, func(m *memsim.Machine) { free = m.FreePages(memsim.Fast) })
+		if free < 1 {
+			t.Errorf("donor shard %d stripped bare: %d free", i, free)
+		}
+	}
+}
+
+// TestShardedSystemBackground runs the shared threads for real and
+// checks that both beat, the per-shard agents pump samples, and the
+// busy counter observes the passes.
+func TestShardedSystemBackground(t *testing.T) {
+	s := NewShardedSystem(testShardedConfig(2))
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 200; i++ {
+			s.Access(uint64(i*64)%uint64(64*64*1024), false)
+		}
+		h := s.Health()
+		if h.SamplingBeats > 2 && h.MigrationBeats > 1 {
+			if s.ControlBusyNs() <= 0 {
+				t.Errorf("control passes ran but busy counter is zero")
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("background threads did not beat: %+v", s.Health())
+}
+
+// TestShardedSystemSamplePass pins that a manual sampling pass drains
+// every shard's ring without disturbing counters.
+func TestShardedSystemSamplePass(t *testing.T) {
+	s := NewShardedSystem(testShardedConfig(4))
+	for i := 0; i < 500; i++ {
+		s.Access(uint64(i*64)%uint64(64*64*1024), false)
+	}
+	before := s.Counters()
+	s.samplePass()
+	after := s.Counters()
+	if before.FastAccesses != after.FastAccesses || before.SlowAccesses != after.SlowAccesses {
+		t.Errorf("sampling pass changed access counters: %+v vs %+v", before, after)
+	}
+}

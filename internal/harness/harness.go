@@ -68,6 +68,16 @@ type Config struct {
 	// reported in Result.InvariantErr. O(pages) per tick — meant for
 	// tests and chaos runs, not benchmarking.
 	CheckInvariants bool
+	// Shards selects the machine build: 0 replays on a plain
+	// memsim.Machine (the seed path), >= 1 on a memsim.ShardedMachine
+	// with that many shards, the policy attached through its Env
+	// surface (the policy must implement policies.EnvPolicy — every
+	// shipped policy does). Shards == 1 is the determinism control:
+	// the one-shard machine delegates verbatim, so its results are
+	// byte-identical to the plain path (the shardscale experiment pins
+	// this). Replay stays single-threaded and on the virtual clock, so
+	// sharded runs cache and parallelize like any other cell.
+	Shards int
 }
 
 // Result is the outcome of one run.
@@ -183,8 +193,7 @@ func (c Config) Canonical() string {
 // parallel runs; internal/exp's determinism test guards it.
 func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
 	defer w.Close()
-	m, inj, cfg := buildMachine(w.FootprintBytes(), cfg)
-	pol.Attach(m)
+	m, inj, cfg := buildRunMachine(w.FootprintBytes(), pol, cfg)
 
 	interval := pol.Interval()
 	if interval <= 0 {
@@ -245,11 +254,58 @@ func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
 	return res
 }
 
+// runMachine is the machine surface Run replays against: the policy's
+// Env plus the replay-side methods Env deliberately omits. Both
+// *memsim.Machine and *memsim.ShardedMachine satisfy it.
+type runMachine interface {
+	memsim.Env
+	Access(addr uint64, write bool)
+	BackgroundNs() float64
+	CheckInvariants() error
+}
+
+// buildRunMachine builds the replay machine per Config.Shards and
+// attaches the policy: the plain Machine via Attach when Shards == 0,
+// a ShardedMachine via the policy's Env surface otherwise.
+func buildRunMachine(foot int64, pol policies.Policy, cfg Config) (runMachine, *faultinject.Injector, Config) {
+	if cfg.Shards <= 0 {
+		m, inj, cfg := buildMachine(foot, cfg)
+		pol.Attach(m)
+		return m, inj, cfg
+	}
+	ep, ok := pol.(policies.EnvPolicy)
+	if !ok {
+		panic(fmt.Sprintf("harness: policy %s cannot attach to a sharded machine (no EnvPolicy surface)", pol.Name()))
+	}
+	mcfg, cfg := machineConfig(foot, cfg)
+	sm := memsim.NewShardedMachine(mcfg, cfg.Shards)
+	var inj *faultinject.Injector
+	if cfg.Faults != nil {
+		inj = faultinject.New(*cfg.Faults)
+		sm.SetFaultInjector(inj)
+	}
+	ep.AttachEnv(sm)
+	return sm, inj, cfg
+}
+
 // buildMachine sizes a machine from a footprint and the run Config,
 // applying defaults, tier overrides, and the optional fault injector.
 // It returns the normalized Config so callers share one view of the
 // applied defaults.
 func buildMachine(foot int64, cfg Config) (*memsim.Machine, *faultinject.Injector, Config) {
+	mcfg, cfg := machineConfig(foot, cfg)
+	m := memsim.NewMachine(mcfg)
+	var inj *faultinject.Injector
+	if cfg.Faults != nil {
+		inj = faultinject.New(*cfg.Faults)
+		m.SetFaultInjector(inj)
+	}
+	return m, inj, cfg
+}
+
+// machineConfig normalizes the run Config and derives the memsim
+// configuration shared by the plain and sharded builds.
+func machineConfig(foot int64, cfg Config) (memsim.Config, Config) {
 	if cfg.PageSize <= 0 {
 		cfg.PageSize = 2 << 20
 	}
@@ -274,11 +330,5 @@ func buildMachine(foot int64, cfg Config) (*memsim.Machine, *faultinject.Injecto
 	} else if cfg.CacheLines < 0 {
 		mcfg.CacheLines = 0
 	}
-	m := memsim.NewMachine(mcfg)
-	var inj *faultinject.Injector
-	if cfg.Faults != nil {
-		inj = faultinject.New(*cfg.Faults)
-		m.SetFaultInjector(inj)
-	}
-	return m, inj, cfg
+	return mcfg, cfg
 }

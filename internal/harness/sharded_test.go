@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"artmem/internal/policies"
+)
+
+// shardedResultFields canonically encodes a Result for byte-identity
+// comparison.
+func shardedResultFields(r Result) string {
+	return fmt.Sprintf("%+v", r)
+}
+
+// TestRunShardsOneIsByteIdenticalToSeed pins the harness-level
+// determinism control: Shards == 1 routes through the sharded machine's
+// verbatim one-shard delegation and must reproduce the plain-Machine
+// run exactly — every counter, the virtual clock, the background time.
+func TestRunShardsOneIsByteIdenticalToSeed(t *testing.T) {
+	mk := func() policies.Policy { return policies.NewMEMTIS(policies.MEMTISConfig{}) }
+	cfg := Config{PageSize: 64 * 1024, Ratio: Ratio{Fast: 1, Slow: 4}}
+	seed := Run(smallPattern(300_000), mk(), cfg)
+	cfg.Shards = 1
+	sharded := Run(smallPattern(300_000), mk(), cfg)
+	a, b := shardedResultFields(seed), shardedResultFields(sharded)
+	if a != b {
+		t.Errorf("one-shard run diverged from seed:\nseed    %+v\nsharded %+v", a, b)
+	}
+}
+
+// TestRunShardsMultiIsDeterministicAndSound runs the same workload at 4
+// shards twice: the runs must agree bit for bit (the cache contract),
+// replay every access, and keep the per-shard page accounting intact.
+func TestRunShardsMultiIsDeterministicAndSound(t *testing.T) {
+	mk := func() policies.Policy { return policies.NewMEMTIS(policies.MEMTISConfig{}) }
+	cfg := Config{PageSize: 64 * 1024, Ratio: Ratio{Fast: 1, Slow: 4},
+		Shards: 4, CheckInvariants: true}
+	r1 := Run(smallPattern(300_000), mk(), cfg)
+	r2 := Run(smallPattern(300_000), mk(), cfg)
+	if r1.InvariantErr != nil {
+		t.Fatalf("invariants violated: %v", r1.InvariantErr)
+	}
+	if r1.Accesses < 300_000 {
+		t.Errorf("replayed %d accesses, want >= 300000", r1.Accesses)
+	}
+	if shardedResultFields(r1) != shardedResultFields(r2) {
+		t.Errorf("4-shard run not deterministic:\nr1 %+v\nr2 %+v",
+			shardedResultFields(r1), shardedResultFields(r2))
+	}
+	if r1.Misses == 0 || r1.ExecNs == 0 {
+		t.Errorf("degenerate result: %+v", shardedResultFields(r1))
+	}
+}

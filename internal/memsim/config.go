@@ -20,6 +20,14 @@
 //   - a migration engine that charges transfer time to tier bandwidth and
 //     a configurable interference fraction to application time.
 //
+// Machine itself is single-threaded. For a concurrent access hot path,
+// ShardedMachine (sharded.go, DESIGN.md §12) splits one logical machine
+// by page-hash into N independently locked shards — each a full Machine
+// with its own page state, LRU lists, sampler hook and virtual clock —
+// behind the same Machine/Env surface, with an epoch-based transactional
+// protocol for cross-shard capacity transfer. One shard delegates
+// verbatim, so N=1 reproduces Machine byte for byte.
+//
 // The simulation is deterministic: identical configurations and access
 // streams produce identical virtual timings and counters.
 package memsim

@@ -14,6 +14,12 @@
 // view — it can differ from the machine's exact counters, and it can be
 // empty when the CPU cache absorbed all accesses, which is precisely the
 // situation ArtMem's extra "no events" state exists for.
+//
+// A Sampler is single-threaded and attaches to exactly one machine. On
+// a memsim.ShardedMachine (DESIGN.md §12) each shard gets its own
+// Sampler instance observing only that shard's misses under the shard
+// lock — the sampled-ratio signal each per-shard agent consumes is
+// local by construction, with no cross-shard ring contention.
 package pebs
 
 import (

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"artmem/internal/core"
+	"artmem/internal/memsim"
+)
+
+// TestPumpFanoutAllRecordsApplied drives a fanned-out slot (4 pumps)
+// from concurrent submitters and checks nothing is lost or doubled:
+// every record reaches the backend exactly once and every batch's done
+// callback fires exactly once.
+func TestPumpFanoutAllRecordsApplied(t *testing.T) {
+	fb := newFakeBackend(1)
+	s := NewServer(Config{Backend: fb, PumpsPerSlot: 4, CoalesceRecords: 32})
+	s.Start()
+	const (
+		submitters = 4
+		perG       = 50
+		recsEach   = 8
+	)
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				recs := accessRecs(recsEach, uint64(g)<<32|uint64(i)<<16)
+				for {
+					err := s.Submit(0, uint64(i), recs, func(r Result) {
+						if r.Err == nil {
+							acked.Add(1)
+						}
+					})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("Submit: %v", err)
+						return
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Drain()
+	if got := acked.Load(); got != submitters*perG {
+		t.Errorf("acked %d batches, want %d", got, submitters*perG)
+	}
+	fb.mu.Lock()
+	applied := len(fb.addrs)
+	fb.mu.Unlock()
+	if want := submitters * perG * recsEach; applied != want {
+		t.Errorf("backend saw %d access records, want %d", applied, want)
+	}
+}
+
+// barrierBackend checks the fan-out exclusivity contract: range ops
+// (barrier batches, write-locked) must never overlap an access pass or
+// another range op, and access passes may overlap each other.
+type barrierBackend struct {
+	mu       sync.Mutex
+	log      []string
+	readers  atomic.Int32
+	writerIn atomic.Bool
+	violated atomic.Bool
+}
+
+func (b *barrierBackend) Slots() int      { return 1 }
+func (b *barrierBackend) Check(int) error { return nil }
+func (b *barrierBackend) note(s string)   { b.mu.Lock(); b.log = append(b.log, s); b.mu.Unlock() }
+func (b *barrierBackend) snapshot() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.log...)
+}
+
+func (b *barrierBackend) AccessBatch(slot int, addrs []uint64, writes []bool) {
+	if b.writerIn.Load() {
+		b.violated.Store(true)
+	}
+	b.readers.Add(1)
+	time.Sleep(100 * time.Microsecond)
+	b.note("access")
+	b.readers.Add(-1)
+}
+
+func (b *barrierBackend) AllocRange(slot int, addr, size uint64) int {
+	if b.writerIn.Swap(true) || b.readers.Load() != 0 {
+		b.violated.Store(true)
+	}
+	time.Sleep(100 * time.Microsecond)
+	if b.readers.Load() != 0 {
+		b.violated.Store(true)
+	}
+	b.note("alloc")
+	b.writerIn.Store(false)
+	return 1
+}
+
+func (b *barrierBackend) FreeRange(slot int, addr, size uint64) int {
+	if b.writerIn.Swap(true) || b.readers.Load() != 0 {
+		b.violated.Store(true)
+	}
+	b.note("free")
+	b.writerIn.Store(false)
+	return 1
+}
+
+// TestPumpFanoutBarrierOrdering pins the barrier protocol under real
+// fan-out: with 4 concurrent pumps, a batch carrying an alloc/free
+// record applies exclusively (no overlapping access pass) and in take
+// order — every batch submitted before it lands before it in the
+// backend log, every batch after it lands after.
+func TestPumpFanoutBarrierOrdering(t *testing.T) {
+	bb := &barrierBackend{}
+	// CoalesceRecords below a batch size → one queued batch per take,
+	// so takes (and applyMu acquisitions) map 1:1 to submits.
+	s := NewServer(Config{Backend: bb, PumpsPerSlot: 4, CoalesceRecords: 1})
+	const pre, post = 12, 12
+	for i := 0; i < pre; i++ {
+		if err := s.Submit(0, uint64(i), accessRecs(4, uint64(i)<<16), nil); err != nil {
+			t.Fatalf("Submit pre %d: %v", i, err)
+		}
+	}
+	if err := s.Submit(0, 100, []Record{{Op: OpAlloc, Addr: 0, Size: 4096}}, nil); err != nil {
+		t.Fatalf("Submit barrier: %v", err)
+	}
+	for i := 0; i < post; i++ {
+		if err := s.Submit(0, uint64(200+i), accessRecs(4, uint64(i)<<16), nil); err != nil {
+			t.Fatalf("Submit post %d: %v", i, err)
+		}
+	}
+	s.Start()
+	s.Drain()
+	if bb.violated.Load() {
+		t.Fatalf("barrier exclusivity violated: a range op overlapped another apply")
+	}
+	log := bb.snapshot()
+	joined := strings.Join(log, ",")
+	idx := -1
+	for i, e := range log {
+		if e == "alloc" {
+			idx = i
+		}
+	}
+	if idx != pre {
+		t.Errorf("barrier applied at position %d of log %s, want %d", idx, joined, pre)
+	}
+	if len(log) != pre+post+1 {
+		t.Errorf("backend log has %d entries (%s), want %d", len(log), joined, pre+post+1)
+	}
+}
+
+// TestPumpFanoutDrainAirtight pins that Drain under fan-out retires
+// every accepted batch exactly once even while submitters race it.
+func TestPumpFanoutDrainAirtight(t *testing.T) {
+	fb := newFakeBackend(1)
+	s := NewServer(Config{Backend: fb, PumpsPerSlot: 3})
+	s.Start()
+	var resolved atomic.Int64
+	accepted := 0
+	for i := 0; i < 500; i++ {
+		err := s.Submit(0, uint64(i), accessRecs(2, uint64(i)<<12), func(Result) {
+			resolved.Add(1)
+		})
+		if err == nil {
+			accepted++
+		}
+	}
+	s.Drain()
+	if got := resolved.Load(); got != int64(accepted) {
+		t.Errorf("resolved %d of %d accepted batches", got, accepted)
+	}
+	if err := s.Submit(0, 9999, accessRecs(1, 0), nil); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain Submit err = %v, want ErrDraining", err)
+	}
+}
+
+// TestServerShardedBackendConcurrent is the end-to-end stack test:
+// concurrent submitters → fanned-out pumps → shardedBackend →
+// core.ShardedSystem → memsim.ShardedMachine, with the machine's
+// counter sums and invariants checked after drain.
+func TestServerShardedBackendConcurrent(t *testing.T) {
+	mcfg := memsim.DefaultConfig(64*64*1024, 16*64*1024, 64*1024)
+	mcfg.CacheLines = 0
+	sys := core.NewShardedSystem(core.ShardedSystemConfig{
+		Machine: mcfg,
+		Shards:  4,
+		Policy:  core.Config{SamplePeriod: 1},
+	})
+	s := NewServer(Config{Backend: NewShardedBackend(sys), PumpsPerSlot: 4})
+	s.Start()
+	const submitters, perG, recsEach = 4, 30, 16
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				recs := make([]Record, recsEach)
+				for j := range recs {
+					addr := uint64((g*perG*recsEach+i*recsEach+j)*64*1024) % uint64(mcfg.FootprintBytes)
+					recs[j] = Record{Op: OpAccess, Addr: addr, Write: j%3 == 0}
+				}
+				for s.Submit(0, uint64(i), recs, nil) != nil {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Drain()
+	c := sys.Counters()
+	if want := uint64(submitters * perG * recsEach); c.FastAccesses+c.SlowAccesses != want {
+		t.Errorf("machine saw %d accesses, want %d", c.FastAccesses+c.SlowAccesses, want)
+	}
+	sys.Machine().Quiesce(func() {
+		if err := sys.Machine().CheckInvariants(); err != nil {
+			t.Fatalf("invariants after concurrent serving: %v", err)
+		}
+	})
+	// Draining system refuses at Check.
+	sys.SetDraining(true)
+	if err := NewShardedBackend(sys).Check(0); !errors.Is(err, ErrDraining) {
+		t.Errorf("draining Check err = %v, want ErrDraining", err)
+	}
+}

@@ -1,0 +1,57 @@
+package tenancy
+
+// Cross-shard budget arbitration for the sharded machine
+// (memsim.ShardedMachine): the control plane hands each shard a
+// per-period capacity-borrow budget, and this file decides the split.
+// It is the sharded analogue of the arbiter's TierBPF-style promotion
+// admission control — budgets meter how much fast-tier capacity a
+// shard may pull toward itself per decision period, so a single hot
+// shard cannot strip the others bare in one burst.
+
+// SplitBudget divides total budget units across shards proportionally
+// to demand, deterministically. The split uses the largest-remainder
+// method: each shard gets floor(total*demand/sum) and the leftover
+// units go to the largest fractional remainders, ties broken toward
+// the lowest shard index — so equal inputs always produce equal
+// outputs, which keeps lockstep experiments byte-identical at any
+// worker count. Zero aggregate demand splits evenly (remainder to low
+// shards); a non-positive total returns all zeros. The result always
+// sums to max(total, 0).
+func SplitBudget(total int, demand []uint64) []int {
+	out := make([]int, len(demand))
+	if total <= 0 || len(demand) == 0 {
+		return out
+	}
+	var sum uint64
+	for _, d := range demand {
+		sum += d
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = total / len(demand)
+			if i < total%len(demand) {
+				out[i]++
+			}
+		}
+		return out
+	}
+	assigned := 0
+	rem := make([]uint64, len(demand))
+	for i, d := range demand {
+		q := uint64(total) * d
+		out[i] = int(q / sum)
+		rem[i] = q % sum
+		assigned += out[i]
+	}
+	for left := total - assigned; left > 0; left-- {
+		best := 0
+		for i := 1; i < len(rem); i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		out[best]++
+		rem[best] = 0
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package tenancy
+
+import "testing"
+
+func sumInts(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TestSplitBudgetConserves pins the conservation law: the split always
+// sums exactly to the total, for proportional, even, and degenerate
+// inputs alike.
+func TestSplitBudgetConserves(t *testing.T) {
+	cases := []struct {
+		total  int
+		demand []uint64
+	}{
+		{100, []uint64{1, 2, 3, 4}},
+		{7, []uint64{0, 0, 0}},
+		{7, []uint64{5, 0, 5}},
+		{1, []uint64{1000, 1}},
+		{64, []uint64{3, 3, 3, 3, 3, 3, 3, 3}},
+		{5, []uint64{1, 1, 1, 1, 1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		got := SplitBudget(c.total, c.demand)
+		if sumInts(got) != c.total {
+			t.Errorf("SplitBudget(%d, %v) = %v, sums to %d", c.total, c.demand, got, sumInts(got))
+		}
+	}
+	if got := SplitBudget(0, []uint64{1, 2}); sumInts(got) != 0 {
+		t.Errorf("zero total split %v, want zeros", got)
+	}
+	if got := SplitBudget(-3, []uint64{1, 2}); sumInts(got) != 0 {
+		t.Errorf("negative total split %v, want zeros", got)
+	}
+	if got := SplitBudget(5, nil); len(got) != 0 {
+		t.Errorf("empty demand split %v, want empty", got)
+	}
+}
+
+// TestSplitBudgetProportional checks the proportionality and the
+// deterministic tie-break toward low indices.
+func TestSplitBudgetProportional(t *testing.T) {
+	got := SplitBudget(100, []uint64{1, 3})
+	if got[0] != 25 || got[1] != 75 {
+		t.Errorf("1:3 split of 100 = %v, want [25 75]", got)
+	}
+	// Even demand, indivisible total: remainder to the lowest indices.
+	got = SplitBudget(5, []uint64{2, 2, 2})
+	if got[0] != 2 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("even split of 5 = %v, want [2 2 1]", got)
+	}
+	// Zero-demand shards get nothing while any shard has demand.
+	got = SplitBudget(10, []uint64{0, 4, 0, 6})
+	if got[0] != 0 || got[2] != 0 || got[1] != 4 || got[3] != 6 {
+		t.Errorf("split with idle shards = %v, want [0 4 0 6]", got)
+	}
+	// Determinism: identical inputs, identical outputs.
+	a := SplitBudget(17, []uint64{5, 7, 11})
+	for i := 0; i < 10; i++ {
+		b := SplitBudget(17, []uint64{5, 7, 11})
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("nondeterministic split: %v vs %v", a, b)
+			}
+		}
+	}
+}
