@@ -30,6 +30,12 @@
 //	artmemd -tenants SSSP,XSBench -arbiter dynamic -ratio 1:4
 //	curl localhost:7600/tenants
 //
+// N-tier mode replays against a tier-chain machine (one RL agent per
+// tier boundary) and serves the chain surface at /tiers:
+//
+//	artmemd -tiers DRAM:12.5%/CXL:25%/PM -nonexclusive -workload S2
+//	curl localhost:7600/tiers
+//
 // The daemon is built to survive: SIGINT and SIGTERM drain the HTTP
 // server with a timeout before stopping the system, worker goroutines
 // recover from panics, and (with -checkpoint) the agent's Q-tables are
@@ -84,6 +90,9 @@ func main() {
 		pagetrace = flag.Int("pagetrace", 0, "enable page-lifecycle tracing at 1-in-N page sampling (served at /pagetrace; 0 = off)")
 		serveAddr = flag.String("serve", "", "listen address for the batched streaming access API (artload's target); empty = off")
 		spanRate  = flag.Int("spans", 0, "latency span sampling: record 1-in-N accepted batches into the journal served at /spans (0 = off; needs -serve)")
+		tiers     = flag.String("tiers", "", "tier chain spec for N-tier mode, e.g. DRAM:12.5%/CXL:25%/PM (one RL agent per boundary; serves /tiers)")
+		nonExcl   = flag.Bool("nonexclusive", false, "N-tier mode: non-exclusive (Nomad-style) promotion, demotions discard onto clean shadow copies")
+		bndBudget = flag.Int("boundary-budget", 0, "N-tier mode: migrations per boundary per decision period (0 = unmetered)")
 		tenants   = flag.String("tenants", "", "comma-separated workload list for multi-tenant mode (one tenant + RL agent per workload; serves /tenants)")
 		arbiter   = flag.String("arbiter", "dynamic", "multi-tenant fast-tier arbiter mode: off, static, or dynamic (quotas + admission control)")
 		capacity  = flag.Int("capacity", 0, "multi-tenant slot capacity; 0 = number of listed tenants (extra slots admit runtime POST /register)")
@@ -104,6 +113,10 @@ func main() {
 	}
 	if *tenants != "" {
 		multiMain(*tenants, *arbiter, prof, fast, slow, *capacity, *listen, *serveAddr, *spanRate, *drain, build)
+		return
+	}
+	if *tiers != "" {
+		tieredMain(*tiers, *nonExcl, *bndBudget, *name, prof, *listen, *drain, build)
 		return
 	}
 	spec, err := workloads.ByName(*name)

@@ -13,6 +13,11 @@
 // Rates (migrations/s, accesses/s, ...) are derived from counter deltas
 // between consecutive polls, so the first frame — and every -once frame
 // — shows totals only.
+//
+// Against an N-tier chain daemon (artmemd -tiers) the monitor reads
+// /tiers and swaps the fast/slow panel for per-tier occupancy bars and
+// per-boundary migration rows; two-tier and older daemons serve no
+// /tiers and keep the classic layout.
 package main
 
 import (
@@ -82,6 +87,10 @@ type sample struct {
 	// serves /slo; nil against daemons without the endpoint (older
 	// builds, or -serve off), which omit the burn panel.
 	slo *telemetry.SLOReport
+	// tiers carries the N-tier chain report when the daemon runs in
+	// chain mode (-tiers) and serves /tiers; nil against two-tier and
+	// older daemons, which keep the classic fast/slow panel.
+	tiers *core.TiersReport
 }
 
 // metric returns the value of a series key ("name" or
@@ -127,6 +136,15 @@ func poll(base string, tail int) (*sample, error) {
 		}
 	}
 
+	// Chain daemons (-tiers) serve /tiers; a two-tier or older daemon
+	// 404s it and the frame keeps its fast/slow panel.
+	if body, err := get(base + "/tiers"); err == nil {
+		var rep core.TiersReport
+		if json.Unmarshal(body, &rep) == nil && len(rep.Tiers) > 0 {
+			s.tiers = &rep
+		}
+	}
+
 	body, err = get(fmt.Sprintf("%s/trace?n=%d", base, tail))
 	if err != nil {
 		return nil, err
@@ -167,52 +185,60 @@ func renderFrame(cur, prev *sample, base string) string {
 	fmt.Fprintf(&b, "artmon %s  %s%s\n\n", base,
 		cur.at.Format("15:04:05"), degraded)
 
-	// Tier occupancy as used/capacity bars.
-	for _, tier := range []string{"fast", "slow"} {
-		used := cur.metric(fmt.Sprintf("artmem_tier_pages{tier=%q}", tier))
-		capac := cur.metric(fmt.Sprintf("artmem_tier_capacity_pages{tier=%q}", tier))
-		b.WriteString(gaugeBar(tier, used, capac))
-	}
-	b.WriteByte('\n')
-
-	// Counters worth watching, with per-second rates when a previous
-	// sample exists.
-	rows := []struct{ label, key string }{
-		{"accesses fast", `artmem_accesses_total{tier="fast"}`},
-		{"accesses slow", `artmem_accesses_total{tier="slow"}`},
-		{"migrations", "artmem_migrations_total"},
-		{"promotions", "artmem_promotions_total"},
-		{"demotions", "artmem_demotions_total"},
-		{"migration fails", "artmem_migration_failures_total"},
-		{"pebs samples", "artmem_pebs_samples_total"},
-		{"pebs drops", "artmem_pebs_samples_dropped_total"},
-		{"rl decisions", "artmem_decisions_total"},
-	}
 	dt := 0.0
 	if prev != nil {
 		dt = cur.at.Sub(prev.at).Seconds()
 	}
-	fmt.Fprintf(&b, "%-16s %14s %12s\n", "counter", "total", "per second")
-	for _, r := range rows {
-		v := cur.metric(r.key)
-		rate := "-"
-		if prev != nil && dt > 0 {
-			rate = fmt.Sprintf("%.1f", (v-prev.metric(r.key))/dt)
-		}
-		fmt.Fprintf(&b, "%-16s %14.0f %12s\n", r.label, v, rate)
-	}
-	b.WriteByte('\n')
 
-	// Agent operating point.
-	fmt.Fprintf(&b, "agent: state %.0f  threshold %.0f  epsilon %.2f  period %.0f\n",
-		cur.metric("artmem_state"), cur.metric("artmem_threshold"),
-		cur.metric("artmem_rl_epsilon"), cur.metric("artmem_pebs_sampling_period"))
-	lru := []string{}
-	for _, l := range []string{"fast_active", "fast_inactive", "slow_active", "slow_inactive"} {
-		lru = append(lru, fmt.Sprintf("%s %.0f",
-			l, cur.metric(fmt.Sprintf("artmem_lru_pages{list=%q}", l))))
+	if cur.tiers != nil {
+		// Chain daemon: per-tier occupancy bars and per-boundary agents
+		// replace the two-tier panel, whose series the chain registry
+		// does not export.
+		b.WriteString(renderTiers(cur, prev, dt))
+	} else {
+		// Tier occupancy as used/capacity bars.
+		for _, tier := range []string{"fast", "slow"} {
+			used := cur.metric(fmt.Sprintf("artmem_tier_pages{tier=%q}", tier))
+			capac := cur.metric(fmt.Sprintf("artmem_tier_capacity_pages{tier=%q}", tier))
+			b.WriteString(gaugeBar(tier, used, capac))
+		}
+		b.WriteByte('\n')
+
+		// Counters worth watching, with per-second rates when a previous
+		// sample exists.
+		rows := []struct{ label, key string }{
+			{"accesses fast", `artmem_accesses_total{tier="fast"}`},
+			{"accesses slow", `artmem_accesses_total{tier="slow"}`},
+			{"migrations", "artmem_migrations_total"},
+			{"promotions", "artmem_promotions_total"},
+			{"demotions", "artmem_demotions_total"},
+			{"migration fails", "artmem_migration_failures_total"},
+			{"pebs samples", "artmem_pebs_samples_total"},
+			{"pebs drops", "artmem_pebs_samples_dropped_total"},
+			{"rl decisions", "artmem_decisions_total"},
+		}
+		fmt.Fprintf(&b, "%-16s %14s %12s\n", "counter", "total", "per second")
+		for _, r := range rows {
+			v := cur.metric(r.key)
+			rate := "-"
+			if prev != nil && dt > 0 {
+				rate = fmt.Sprintf("%.1f", (v-prev.metric(r.key))/dt)
+			}
+			fmt.Fprintf(&b, "%-16s %14.0f %12s\n", r.label, v, rate)
+		}
+		b.WriteByte('\n')
+
+		// Agent operating point.
+		fmt.Fprintf(&b, "agent: state %.0f  threshold %.0f  epsilon %.2f  period %.0f\n",
+			cur.metric("artmem_state"), cur.metric("artmem_threshold"),
+			cur.metric("artmem_rl_epsilon"), cur.metric("artmem_pebs_sampling_period"))
+		lru := []string{}
+		for _, l := range []string{"fast_active", "fast_inactive", "slow_active", "slow_inactive"} {
+			lru = append(lru, fmt.Sprintf("%s %.0f",
+				l, cur.metric(fmt.Sprintf("artmem_lru_pages{list=%q}", l))))
+		}
+		fmt.Fprintf(&b, "lru:   %s\n\n", strings.Join(lru, "  "))
 	}
-	fmt.Fprintf(&b, "lru:   %s\n\n", strings.Join(lru, "  "))
 
 	// Serving frontend, only when the daemon runs -serve (the section
 	// keys off the connections gauge, which registers with the server).
@@ -331,6 +357,73 @@ func renderSLO(rep *telemetry.SLOReport) string {
 	}
 	if active == 0 {
 		fmt.Fprintln(&b, "  (no serving traffic yet)")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// renderTiers draws the N-tier chain panel from the /tiers report: one
+// occupancy bar per tier in chain order (with resident shadow copies
+// when the chain runs non-exclusive), per-tier access totals, and one
+// row per boundary with its migration counters, rates derived from the
+// previous sample's report, and the boundary agent's operating point.
+// Only rendered against chain daemons; two-tier daemons serve no /tiers
+// and keep the classic panel.
+func renderTiers(cur, prev *sample, dt float64) string {
+	rep := cur.tiers
+	var b strings.Builder
+	mode := "exclusive"
+	if rep.NonExclusive {
+		mode = "non-exclusive"
+	}
+	fmt.Fprintf(&b, "chain (%d tiers, %s migration):\n", len(rep.Tiers), mode)
+
+	// Rates diff against the previous poll's report, matched by index.
+	prevTier := map[int]core.TierStatus{}
+	prevBd := map[int]core.BoundaryStatus{}
+	if prev != nil && prev.tiers != nil && dt > 0 {
+		for _, t := range prev.tiers.Tiers {
+			prevTier[t.Index] = t
+		}
+		for _, bd := range prev.tiers.Boundaries {
+			prevBd[bd.Boundary] = bd
+		}
+	}
+	rate := func(cur, prev uint64, have bool) string {
+		if !have {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(cur-prev)/dt)
+	}
+
+	for _, t := range rep.Tiers {
+		b.WriteString(gaugeBar(t.Name, float64(t.UsedPages), float64(t.Capacity)))
+	}
+	fmt.Fprintf(&b, "  %-6s %14s %10s %10s\n", "tier", "accesses", "per sec", "shadows")
+	for _, t := range rep.Tiers {
+		pt, ok := prevTier[t.Index]
+		fmt.Fprintf(&b, "  %-6s %14d %10s %10d\n",
+			t.Name, t.Accesses, rate(t.Accesses, pt.Accesses, ok), t.ShadowPages)
+	}
+	b.WriteByte('\n')
+
+	fmt.Fprintf(&b, "  %-10s %10s %8s %10s %8s %9s %5s %6s\n",
+		"boundary", "promos", "/s", "demos", "/s", "discards", "thr", "state")
+	for _, bd := range rep.Boundaries {
+		pb, ok := prevBd[bd.Boundary]
+		state := "ok"
+		if bd.Degraded {
+			state = "DEGR"
+		}
+		fmt.Fprintf(&b, "  %-10s %10d %8s %10d %8s %9d %5d %6s\n",
+			bd.Upper+"|"+bd.Lower,
+			bd.Promotions, rate(bd.Promotions, pb.Promotions, ok),
+			bd.Demotions, rate(bd.Demotions, pb.Demotions, ok),
+			bd.ShadowDiscards, bd.Threshold, state)
+	}
+	if rep.NonExclusive {
+		fmt.Fprintf(&b, "  shadow invalidates %d  reclaims %d\n",
+			rep.ShadowInvalidates, rep.ShadowReclaims)
 	}
 	b.WriteByte('\n')
 	return b.String()

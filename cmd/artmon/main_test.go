@@ -13,6 +13,7 @@ import (
 	"artmem/internal/memsim"
 	"artmem/internal/telemetry"
 	"artmem/internal/tenancy"
+	"artmem/internal/tier"
 )
 
 // TestPollAndRenderAgainstSystem exercises the monitor end to end
@@ -83,6 +84,116 @@ func TestPollAndRenderAgainstSystem(t *testing.T) {
 	}
 	if strings.Contains(frame, "slo burn") {
 		t.Errorf("serve-less frame rendered an SLO panel:\n%s", frame)
+	}
+	// And a two-tier daemon serves no /tiers: the classic fast/slow
+	// panel stays, the chain panel never renders.
+	if cur.tiers != nil {
+		t.Error("poll against two-tier daemon filled tiers")
+	}
+	if strings.Contains(frame, "chain (") {
+		t.Errorf("two-tier frame rendered a chain panel:\n%s", frame)
+	}
+}
+
+// TestPollAndRenderAgainstTieredSystem drives the monitor against an
+// N-tier chain daemon: /tiers is picked up, the chain panel replaces
+// the fast/slow bars and two-tier counter table, and the decision tail
+// drains the merged boundary traces.
+func TestPollAndRenderAgainstTieredSystem(t *testing.T) {
+	ch, err := tier.ParseChain("DRAM:cap=16/CXL:cap=24/PM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := memsim.DefaultConfig(64*64*1024, 0, 64*1024)
+	mcfg.Chain = ch
+	mcfg.NonExclusive = true
+	mcfg.CacheLines = 0
+	sys := core.NewTieredSystem(core.TieredSystemConfig{
+		Machine:           mcfg,
+		Policy:            core.Config{SamplePeriod: 1},
+		SamplingInterval:  500 * time.Microsecond,
+		MigrationInterval: time.Millisecond,
+	})
+	srv := httptest.NewServer(sys.ControlHandler())
+	defer srv.Close()
+
+	for p := uint64(0); p < 64; p++ {
+		sys.Access(p*64*1024, false)
+	}
+
+	cur, err := poll(srv.URL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.tiers == nil {
+		t.Fatal("poll did not pick up /tiers")
+	}
+	if got := len(cur.tiers.Tiers); got != 3 {
+		t.Fatalf("tiers report has %d tiers, want 3", got)
+	}
+	if cur.tiers.Tiers[0].UsedPages == 0 {
+		t.Error("DRAM tier shows no resident pages after the sweep")
+	}
+
+	frame := renderFrame(cur, nil, srv.URL)
+	for _, want := range []string{
+		"chain (3 tiers, non-exclusive migration):",
+		"DRAM  [", "CXL   [", "PM    [", // occupancy bars in chain order
+		"boundary", "DRAM|CXL", "CXL|PM", // one row per boundary
+		"shadow invalidates",
+		"recent decisions",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The two-tier sections must not render against a chain daemon:
+	// their series do not exist in the chain registry.
+	for _, absent := range []string{"fast  [", "slow  [", "lru:", "accesses fast"} {
+		if strings.Contains(frame, absent) {
+			t.Errorf("chain frame rendered two-tier section %q:\n%s", absent, frame)
+		}
+	}
+}
+
+// TestRenderTiersRates pins the chain panel's delta arithmetic and
+// degrade cells against hand-built reports: totals-only on the first
+// frame, per-second rates once a previous report exists, and the DEGR
+// marker for a boundary agent in heuristic fallback.
+func TestRenderTiersRates(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+	mk := func(promos, acc uint64) *core.TiersReport {
+		return &core.TiersReport{
+			NonExclusive: true,
+			Tiers: []core.TierStatus{
+				{Index: 0, Name: "DRAM", UsedPages: 10, Capacity: 16, ShadowPages: 0, Accesses: acc},
+				{Index: 1, Name: "PM", UsedPages: 40, Capacity: 0, ShadowPages: 3, Accesses: 7},
+			},
+			Boundaries: []core.BoundaryStatus{
+				{Boundary: 0, Upper: "DRAM", Lower: "PM", Promotions: promos,
+					Demotions: 4, ShadowDiscards: 2, Threshold: 8, Degraded: true},
+			},
+			ShadowInvalidates: 5,
+			ShadowReclaims:    1,
+		}
+	}
+	prev := &sample{at: t0, tiers: mk(100, 1000)}
+	cur := &sample{at: t0.Add(2 * time.Second), tiers: mk(150, 1200)}
+
+	first := renderTiers(cur, nil, 0)
+	if !strings.Contains(first, " - ") {
+		t.Errorf("first frame should render '-' rates:\n%s", first)
+	}
+	out := renderTiers(cur, prev, 2)
+	for _, want := range []string{
+		"25.0",  // (150-100)/2 promotions per second
+		"100.0", // (1200-1000)/2 accesses per second
+		"DEGR",
+		"shadow invalidates 5  reclaims 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderTiers missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"artmem/internal/faultinject"
+	"artmem/internal/memsim"
+	"artmem/internal/telemetry"
+	"artmem/internal/tier"
+)
+
+// TieredSystem is the N-tier online runtime: one two-tier ArtMem agent
+// per tier boundary, driven by shared background threads, over a chain
+// machine decomposed through a memsim.BoundaryHub. Where ShardedSystem
+// splits the page space and gives each agent a whole private machine,
+// TieredSystem splits the tier chain and gives each agent one adjacent
+// tier pair — boundary b's agent promotes into tier b and demotes into
+// tier b+1, and a page descends or climbs the hierarchy through a
+// relay of boundary decisions (the same decomposition Nomad and
+// multi-tier TPP apply to N-node systems).
+//
+// The machine itself is single-threaded, so like System everything —
+// access path and control passes — serializes behind one lock; the
+// per-boundary structure buys decision decomposition (each agent sees
+// a two-tier problem with its own Q-tables), not access parallelism.
+// Scale-out stays ShardedSystem's job.
+type TieredSystem struct {
+	mu     sync.Mutex
+	m      *memsim.Machine
+	hub    *memsim.BoundaryHub
+	agents []*ArtMem
+	// agentTels holds each boundary agent's private telemetry set:
+	// ArtMem's metric names are fixed, so per-boundary agents cannot
+	// share one registry (the ShardedSystem discipline).
+	agentTels []*telemetry.Set
+
+	budgets  *tier.Budgets
+	injector *faultinject.Injector
+
+	samplingInterval  time.Duration
+	migrationInterval time.Duration
+	watchdogInterval  time.Duration
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	runMu   sync.Mutex // guards started
+	started bool
+
+	tel *telemetry.Set
+
+	sampleBeats   *telemetry.Counter
+	migrateBeats  *telemetry.Counter
+	sampleStalls  *telemetry.Counter
+	migrateStalls *telemetry.Counter
+	panics        *telemetry.Counter
+	ctlBusy       *telemetry.Counter
+
+	draining atomic.Bool
+}
+
+// TieredSystemConfig parameterizes a TieredSystem.
+type TieredSystemConfig struct {
+	// Machine configures the simulated memory; Machine.Chain selects
+	// the hierarchy (nil runs the legacy two-tier pair as a one-boundary
+	// chain).
+	Machine memsim.Config
+	// Policy configures the per-boundary ArtMem agents. Boundary b's
+	// agent gets Seed+b so exploration decorrelates across boundaries
+	// while staying deterministic.
+	Policy Config
+	// SamplingInterval, MigrationInterval and WatchdogInterval follow
+	// SystemConfig's semantics and defaults.
+	SamplingInterval  time.Duration
+	MigrationInterval time.Duration
+	WatchdogInterval  time.Duration
+	// BoundaryBudget caps migrations per boundary per decision period
+	// (the per-boundary analogue of the paper's migration quota,
+	// enforced below the agents so a misbehaving boundary cannot starve
+	// the others' bandwidth). 0 leaves boundaries unmetered.
+	BoundaryBudget int
+	// Faults, when non-nil, installs a fault injector on the machine's
+	// migration path before the agents attach.
+	Faults *faultinject.Config
+	// Telemetry, when non-nil, receives the runtime's aggregate metrics;
+	// nil creates a fresh set. Per-agent metrics live on private
+	// per-boundary sets (AgentTelemetry).
+	Telemetry *telemetry.Set
+}
+
+// NewTieredSystem builds the N-tier runtime. Call Start to launch the
+// background threads and Stop to halt them.
+func NewTieredSystem(cfg TieredSystemConfig) *TieredSystem {
+	if cfg.SamplingInterval == 0 {
+		cfg.SamplingInterval = 2 * time.Millisecond
+	}
+	if cfg.MigrationInterval == 0 {
+		cfg.MigrationInterval = 20 * time.Millisecond
+	}
+	if cfg.WatchdogInterval == 0 {
+		cfg.WatchdogInterval = time.Second
+	}
+	m := memsim.NewMachine(cfg.Machine)
+	var inj *faultinject.Injector
+	if cfg.Faults != nil {
+		inj = faultinject.New(*cfg.Faults)
+		m.SetFaultInjector(inj)
+	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.NewSet()
+	}
+	hub := memsim.NewBoundaryHub(m)
+	s := &TieredSystem{
+		m:                 m,
+		hub:               hub,
+		injector:          inj,
+		samplingInterval:  cfg.SamplingInterval,
+		migrationInterval: cfg.MigrationInterval,
+		watchdogInterval:  cfg.WatchdogInterval,
+		stop:              make(chan struct{}),
+		tel:               tel,
+	}
+	if cfg.BoundaryBudget > 0 {
+		s.budgets = tier.NewBudgets(hub.NumBoundaries(), cfg.BoundaryBudget)
+		s.budgets.Reset()
+		hub.SetBudgets(s.budgets)
+	}
+	for b := 0; b < hub.NumBoundaries(); b++ {
+		pcfg := cfg.Policy
+		pcfg.Seed += uint64(b)
+		a := New(pcfg)
+		at := telemetry.NewSet()
+		a.SetTelemetry(at)
+		a.AttachEnv(hub.View(b)) // pre-Start wiring; no lock needed yet
+		s.agents = append(s.agents, a)
+		s.agentTels = append(s.agentTels, at)
+	}
+	reg := tel.Registry
+	s.sampleBeats = reg.Counter("artmem_tiered_sampling_beats_total",
+		"Completed sampling passes over all boundary agents.")
+	s.migrateBeats = reg.Counter("artmem_tiered_migration_beats_total",
+		"Completed migration passes over all boundary agents.")
+	s.sampleStalls = reg.Counter("artmem_tiered_sampling_stalls_total",
+		"Watchdog intervals in which the sampling thread made no progress.")
+	s.migrateStalls = reg.Counter("artmem_tiered_migration_stalls_total",
+		"Watchdog intervals in which the migration thread made no progress.")
+	s.panics = reg.Counter("artmem_tiered_worker_panics_total",
+		"Recovered panics in the shared worker threads.")
+	s.ctlBusy = reg.Counter("artmem_tiered_control_busy_ns_total",
+		"Wall nanoseconds the control threads held the system lock — the serve layer's stall-attribution source.")
+	reg.GaugeFunc("artmem_tiered_boundaries",
+		"Tier-boundary count of the chain machine (agents running).",
+		func() float64 { return float64(len(s.agents)) })
+	registerChainMetrics(lockedRegistrar{&s.mu, reg}, m)
+	return s
+}
+
+// registerChainMetrics registers the per-tier and per-boundary series
+// of a chain machine — the tier-labelled generalization of
+// registerMachineMetrics' fast/slow pairs. Tier labels carry the chain
+// tier names (e.g. "DRAM", "CXL", "PM"); artmem_tier_index orders them
+// for dashboards that cannot assume name semantics.
+func registerChainMetrics(l lockedRegistrar, m memsim.ChainEnv) {
+	for t := 0; t < m.Tiers(); t++ {
+		t := memsim.TierID(t)
+		lbl := telemetry.L("tier", m.TierName(t))
+		l.reg.GaugeFunc("artmem_tier_index",
+			"Position of the tier in the chain (0 = fastest); orders tier-labelled series.",
+			func() float64 { return float64(t) }, lbl)
+		l.gauge("artmem_tier_pages",
+			"Pages currently resident per tier.",
+			func() float64 { return float64(m.UsedPages(t)) }, lbl)
+		l.gauge("artmem_tier_capacity_pages",
+			"Tier capacity in pages.",
+			func() float64 { return float64(m.CapacityPages(t)) }, lbl)
+		l.gauge("artmem_tier_shadow_pages",
+			"Reclaimable shadow frames held per tier (non-exclusive mode).",
+			func() float64 { return float64(m.ShadowPages(t)) }, lbl)
+		l.counter("artmem_tier_accesses_total",
+			"Cache-missing accesses served per tier.",
+			func() uint64 { return m.TierAccesses(t) }, lbl)
+	}
+	for b := 0; b < m.NumBoundaries(); b++ {
+		b := b
+		lbl := telemetry.L("boundary",
+			fmt.Sprintf("%s|%s", m.TierName(memsim.TierID(b)), m.TierName(memsim.TierID(b+1))))
+		l.counter("artmem_boundary_promotions_total",
+			"Promotions across each tier boundary (into the upper tier).",
+			func() uint64 { return m.BoundaryStatsAt(b).Promotions }, lbl)
+		l.counter("artmem_boundary_demotions_total",
+			"Demotions across each tier boundary (into the lower tier).",
+			func() uint64 { return m.BoundaryStatsAt(b).Demotions }, lbl)
+		l.counter("artmem_boundary_shadow_discards_total",
+			"Demotions completed as free discards onto a clean shadow copy.",
+			func() uint64 { return m.BoundaryStatsAt(b).ShadowDiscards }, lbl)
+	}
+	l.counter("artmem_shadow_invalidates_total",
+		"Shadow copies invalidated by writes to the promoted page.",
+		func() uint64 { return m.Counters().ShadowInvalidates })
+	l.counter("artmem_shadow_reclaims_total",
+		"Shadow frames reclaimed under capacity pressure.",
+		func() uint64 { return m.Counters().ShadowReclaims })
+	l.counter("artmem_cache_hits_total",
+		"Accesses absorbed by the CPU cache model.",
+		func() uint64 { return m.Counters().CacheHits })
+	l.counter("artmem_migrations_total",
+		"Pages moved between tiers.",
+		func() uint64 { return m.Counters().Migrations })
+	l.counter("artmem_promotions_total",
+		"Page moves toward a faster tier.",
+		func() uint64 { return m.Counters().Promotions })
+	l.counter("artmem_demotions_total",
+		"Page moves toward a slower tier.",
+		func() uint64 { return m.Counters().Demotions })
+	l.counter("artmem_migrated_bytes_total",
+		"Total bytes moved between tiers.",
+		func() uint64 { return m.Counters().MigratedBytes })
+	l.counter("artmem_migration_failures_total",
+		"MovePage attempts that failed transiently (ErrMigrationBusy).",
+		func() uint64 { return m.Counters().MigrationFailures })
+	l.counter("artmem_numa_faults_total",
+		"NUMA-hint faults taken.",
+		func() uint64 { return m.Counters().Faults })
+	l.gauge("artmem_virtual_clock_ns",
+		"The machine's virtual clock.",
+		func() float64 { return float64(m.Now()) })
+	l.gauge("artmem_background_cpu_ns",
+		"Virtual CPU time consumed by background work (sampling, RL, migration).",
+		func() float64 { return m.BackgroundNs() })
+	l.reg.HistogramFunc("artmem_access_latency_ns",
+		"Distribution of per-access service latency (virtual ns).",
+		func() telemetry.HistogramData {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return m.AccessLatencyData()
+		})
+}
+
+// Machine returns the underlying chain machine. After Start, use it
+// only through TieredSystem methods.
+func (s *TieredSystem) Machine() *memsim.Machine { return s.m }
+
+// Hub returns the boundary hub decomposing the chain.
+func (s *TieredSystem) Hub() *memsim.BoundaryHub { return s.hub }
+
+// NumBoundaries returns the number of boundary agents.
+func (s *TieredSystem) NumBoundaries() int { return len(s.agents) }
+
+// Agent returns boundary b's ArtMem agent. After Start, interrogate it
+// only while the system is stopped.
+func (s *TieredSystem) Agent(b int) *ArtMem { return s.agents[b] }
+
+// AgentTelemetry returns boundary b's private telemetry set.
+func (s *TieredSystem) AgentTelemetry(b int) *telemetry.Set { return s.agentTels[b] }
+
+// Telemetry returns the runtime's aggregate telemetry set.
+func (s *TieredSystem) Telemetry() *telemetry.Set { return s.tel }
+
+// Injector returns the installed fault injector, or nil.
+func (s *TieredSystem) Injector() *faultinject.Injector { return s.injector }
+
+// ControlBusyNs returns cumulative wall nanoseconds the control
+// threads held the system lock (System.ControlBusyNs's analogue).
+func (s *TieredSystem) ControlBusyNs() int64 { return int64(s.ctlBusy.Value()) }
+
+// SetDraining marks (or clears) the graceful-shutdown state.
+func (s *TieredSystem) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the graceful-shutdown state.
+func (s *TieredSystem) Draining() bool { return s.draining.Load() }
+
+// Access performs one application access under the system lock.
+func (s *TieredSystem) Access(addr uint64, write bool) {
+	s.mu.Lock()
+	s.m.Access(addr, write)
+	s.mu.Unlock()
+}
+
+// AccessBatch applies a batch of accesses under one lock acquisition.
+func (s *TieredSystem) AccessBatch(addrs []uint64, writes []bool) {
+	s.mu.Lock()
+	for i, a := range addrs {
+		s.m.Access(a, writes[i])
+	}
+	s.mu.Unlock()
+}
+
+// Counters returns a snapshot of the machine's counters.
+func (s *TieredSystem) Counters() memsim.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Counters()
+}
+
+// Now returns the machine's virtual time.
+func (s *TieredSystem) Now() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Now()
+}
+
+// Health returns the runtime's liveness snapshot; Degraded reports
+// whether ANY boundary's agent is in the heuristic fallback.
+func (s *TieredSystem) Health() Health {
+	s.mu.Lock()
+	degraded := false
+	for _, a := range s.agents {
+		if a.Degraded() {
+			degraded = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	return Health{
+		SamplingBeats:   s.sampleBeats.Value(),
+		MigrationBeats:  s.migrateBeats.Value(),
+		SamplingStalls:  s.sampleStalls.Value(),
+		MigrationStalls: s.migrateStalls.Value(),
+		Panics:          s.panics.Value(),
+		Degraded:        degraded,
+	}
+}
+
+// Start launches the shared sampling, migration, and watchdog threads.
+// No-op if already started.
+func (s *TieredSystem) Start() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.wg.Add(2)
+	go s.thread(s.samplingInterval, s.sampleBeats, s.samplePass)
+	go s.thread(s.migrationInterval, s.migrateBeats, s.migratePass)
+	if s.watchdogInterval > 0 {
+		s.wg.Add(1)
+		go s.watchdogThread()
+	}
+}
+
+// Stop halts the background threads and waits for them. Idempotent.
+func (s *TieredSystem) Stop() {
+	s.runMu.Lock()
+	if !s.started {
+		s.runMu.Unlock()
+		return
+	}
+	s.started = false
+	s.runMu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+func (s *TieredSystem) thread(interval time.Duration, beat *telemetry.Counter, pass func()) {
+	defer s.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.runProtected(beat, pass)
+		}
+	}
+}
+
+// runProtected runs one control pass under the system lock, recovering
+// panics (a crashing boundary tick must not take the shared thread
+// down) and charging the pass's wall time to the busy counter.
+func (s *TieredSystem) runProtected(beat *telemetry.Counter, pass func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+		}
+	}()
+	s.mu.Lock()
+	t0 := time.Now()
+	defer func() {
+		s.ctlBusy.Add(uint64(time.Since(t0)))
+		s.mu.Unlock()
+	}()
+	pass()
+	beat.Inc()
+}
+
+// samplePass drains the shared PEBS stream into every boundary agent's
+// recency structures, in ascending boundary order.
+func (s *TieredSystem) samplePass() {
+	for _, a := range s.agents {
+		a.PumpSamples()
+	}
+}
+
+// migratePass runs one decision period: refill the per-boundary
+// migration budgets, then run every boundary agent's RL tick in
+// ascending order — promotions into tier b happen before boundary b+1
+// considers the pages left behind, so a hot page relays up the chain
+// one boundary per period, deterministically.
+func (s *TieredSystem) migratePass() {
+	if s.budgets != nil {
+		s.budgets.Reset()
+	}
+	now := s.m.Now()
+	for _, a := range s.agents {
+		a.Tick(now)
+	}
+}
+
+// watchdogThread mirrors System's: a worker whose beat does not
+// advance across an interval is counted as stalled.
+func (s *TieredSystem) watchdogThread() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.watchdogInterval)
+	defer tick.Stop()
+	var lastSample, lastMigrate uint64
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			if cur := s.sampleBeats.Value(); cur == lastSample {
+				s.sampleStalls.Inc()
+			} else {
+				lastSample = cur
+			}
+			if cur := s.migrateBeats.Value(); cur == lastMigrate {
+				s.migrateStalls.Inc()
+			} else {
+				lastMigrate = cur
+			}
+		}
+	}
+}

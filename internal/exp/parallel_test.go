@@ -36,7 +36,7 @@ func TestParallelTablesByteIdenticalToSerial(t *testing.T) {
 	// trace length, and the comparison runs every cell twice.
 	o.Profile = workloads.Profile{Div: 512, PatternAccesses: 400_000, AppAccesses: 200_000, Seed: 1}
 
-	for _, id := range []string{"fig2", "fig7", "fairness", "churn", "latency", "shardscale"} {
+	for _, id := range []string{"fig2", "fig7", "fairness", "churn", "latency", "shardscale", "tiers"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

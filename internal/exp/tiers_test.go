@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestTiersExperimentShape runs the tier-chain study at quick scale and
+// pins its two claims: the 3-tier chain's makespan column is populated
+// and sane (every normalized value positive), and on the ping-pong
+// workload the non-exclusive row reports shadow discards the exclusive
+// row cannot (its discard count is structurally zero).
+func TestTiersExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs take a while")
+	}
+	e, err := ByID("tiers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := e.Run(QuickOptions())
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (crossover, shadow)", len(tables))
+	}
+	cross, shadow := tables[0], tables[1]
+
+	if len(cross.Rows) == 0 {
+		t.Fatal("crossover table empty")
+	}
+	for _, row := range cross.Rows {
+		norm, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || norm <= 0 {
+			t.Errorf("bad 3-tier/2-tier ratio %q in row %v", row[3], row)
+		}
+	}
+
+	// Shadow table rows: workload, mode, migrations, migrated MB,
+	// shadow discards, discard share, invalidates, exec.
+	found := false
+	for _, row := range shadow.Rows {
+		discards, err := strconv.Atoi(row[4])
+		if err != nil {
+			t.Fatalf("bad discard cell %q in row %v", row[4], row)
+		}
+		if row[1] == "exclusive" && discards != 0 {
+			t.Errorf("exclusive run reported %d shadow discards: %v", discards, row)
+		}
+		if row[0] == "PingPong" && row[1] == "non-exclusive" {
+			found = true
+			if discards == 0 {
+				t.Errorf("ping-pong non-exclusive run discarded nothing: %v", row)
+			}
+		}
+	}
+	if !found {
+		t.Error("no PingPong non-exclusive row in shadow table")
+	}
+}

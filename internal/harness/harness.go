@@ -78,6 +78,20 @@ type Config struct {
 	// this). Replay stays single-threaded and on the virtual clock, so
 	// sharded runs cache and parallelize like any other cell.
 	Shards int
+	// TierChain, when non-empty, selects an N-tier chain machine built
+	// from the spec (internal/tier.ParseChain; e.g.
+	// "DRAM:cap=12.5%/CXL:cap=25%/PM") and is consumed by RunTiered —
+	// percentage capacities resolve against the workload footprint, and
+	// Ratio is ignored. Run panics if it is set: chain replays need one
+	// policy agent per boundary, which only RunTiered can construct.
+	TierChain string
+	// NonExclusive enables Nomad-style shadow copies on the chain: a
+	// promotion leaves a reclaimable clean copy in the source tier, so
+	// demoting an unwritten page back is a free discard.
+	NonExclusive bool
+	// BoundaryBudget caps migrations per tier boundary per policy tick
+	// on chain runs; 0 leaves boundaries unmetered.
+	BoundaryBudget int
 }
 
 // Result is the outcome of one run.
@@ -133,6 +147,10 @@ type Result struct {
 	// the run drove the serving frontend with span recording (the
 	// latency experiment); nil otherwise.
 	Stages *StageStats
+
+	// Tiers holds the per-tier and per-boundary outcome of an N-tier
+	// chain run (RunTiered); nil for two-tier runs.
+	Tiers *TierStats
 
 	// MigrationSeries (pages migrated per tick) and RatioSeries
 	// (windowed DRAM access ratio per tick), when collected.
@@ -193,6 +211,9 @@ func (c Config) Canonical() string {
 // parallel runs; internal/exp's determinism test guards it.
 func Run(w workloads.Workload, pol policies.Policy, cfg Config) Result {
 	defer w.Close()
+	if cfg.TierChain != "" {
+		panic("harness: Config.TierChain requires RunTiered (one agent per boundary)")
+	}
 	m, inj, cfg := buildRunMachine(w.FootprintBytes(), pol, cfg)
 
 	interval := pol.Interval()

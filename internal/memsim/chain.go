@@ -1,0 +1,72 @@
+package memsim
+
+// Chain-machine introspection: per-tier and per-boundary accessors that
+// generalize the fast/slow counter pairs. They work on every machine —
+// a legacy two-tier machine reports tiers "fast" and "slow" with one
+// boundary — which is what lets telemetry, the harness, and the
+// boundary-decomposed RL runtime treat both shapes uniformly.
+
+// Tiers returns the number of memory tiers (2 unless Config.Chain).
+func (m *Machine) Tiers() int { return m.nt }
+
+// NumBoundaries returns the number of adjacent tier pairs.
+func (m *Machine) NumBoundaries() int { return m.nt - 1 }
+
+// TierName returns tier t's label: "fast"/"slow" on legacy machines,
+// the chain tier's name otherwise.
+func (m *Machine) TierName(t TierID) string { return m.labels[t] }
+
+// TierSpecAt returns tier t's resolved spec (capacity concrete).
+func (m *Machine) TierSpecAt(t TierID) TierSpec { return m.specs[t] }
+
+// TierAccesses returns the number of cache-missing accesses served by
+// tier t, derived from the latency-class counters (so it costs nothing
+// on the access path).
+func (m *Machine) TierAccesses(t TierID) uint64 {
+	return m.latCounts[latFastRead+2*int(t)] + m.latCounts[latFastWrite+2*int(t)]
+}
+
+// ShadowPages returns the number of shadow frames held in tier t
+// (always 0 without Config.NonExclusive).
+func (m *Machine) ShadowPages(t TierID) int {
+	if m.sh == nil {
+		return 0
+	}
+	return m.sh.Count(int(t))
+}
+
+// ResidentPages returns the pages whose authoritative copy lives in
+// tier t — UsedPages minus shadow frames.
+func (m *Machine) ResidentPages(t TierID) int {
+	return m.used[t] - m.ShadowPages(t)
+}
+
+// ShadowOf reports the tier holding page p's shadow copy, if any.
+func (m *Machine) ShadowOf(p PageID) (TierID, bool) {
+	if m.sh == nil {
+		return 0, false
+	}
+	st, ok := m.sh.At(uint32(p))
+	return TierID(st), ok
+}
+
+// BoundaryStats is migration activity across one tier boundary
+// (boundary b = the edge between tiers b and b+1).
+type BoundaryStats struct {
+	// Promotions and Demotions count moves crossing the boundary,
+	// attributed to the destination side (promotion into tier b,
+	// demotion into tier b+1). ShadowDiscards is the subset of
+	// Demotions that completed as free discards onto a clean shadow.
+	Promotions     uint64
+	Demotions      uint64
+	ShadowDiscards uint64
+}
+
+// BoundaryStatsAt returns cumulative migration counters for boundary b.
+func (m *Machine) BoundaryStatsAt(b int) BoundaryStats {
+	return BoundaryStats{
+		Promotions:     m.bndProm[b],
+		Demotions:      m.bndDem[b],
+		ShadowDiscards: m.bndDisc[b],
+	}
+}

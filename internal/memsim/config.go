@@ -32,7 +32,11 @@
 // streams produce identical virtual timings and counters.
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"artmem/internal/tier"
+)
 
 // TierID identifies one of the two memory tiers.
 type TierID uint8
@@ -121,6 +125,19 @@ type Config struct {
 	// FaultCostNs is charged to application time when an armed
 	// NUMA-hint fault fires (minor fault handling on the critical path).
 	FaultCostNs float64
+	// Chain, when non-nil, replaces the Fast/Slow pair with an ordered
+	// N-tier hierarchy (DRAM/CXL/PM/NVMe chains; see internal/tier and
+	// DESIGN.md §13). Tier 0 is the fastest; the legacy Fast/Slow specs
+	// are ignored. A nil Chain keeps the seed two-tier machine, byte
+	// for byte.
+	Chain tier.Chain
+	// NonExclusive enables Nomad-style non-exclusive migration: a
+	// promotion leaves a reclaimable shadow copy in the source tier, a
+	// demotion back onto a clean shadow is a free discard (no
+	// transfer), and a write invalidates the shadow. Shadow frames
+	// count against their tier's capacity but are reclaimed on demand
+	// by allocations and migrations that need the room.
+	NonExclusive bool
 }
 
 // DefaultConfig returns a Config with the paper's Table 2 tier
@@ -164,6 +181,15 @@ func (c *Config) Validate() error {
 	if c.FootprintBytes <= 0 {
 		return fmt.Errorf("memsim: FootprintBytes must be positive, got %d", c.FootprintBytes)
 	}
+	if c.MigrationInterference < 0 || c.MigrationInterference > 1 {
+		return fmt.Errorf("memsim: MigrationInterference must be in [0,1], got %g",
+			c.MigrationInterference)
+	}
+	if c.Chain != nil {
+		// Chain machines take their tier model from the chain; the
+		// legacy Fast/Slow specs are ignored entirely.
+		return c.Chain.Validate()
+	}
 	if c.Fast.CapacityPages < 0 || c.Slow.CapacityPages < 0 {
 		return fmt.Errorf("memsim: negative tier capacity")
 	}
@@ -173,10 +199,6 @@ func (c *Config) Validate() error {
 	if c.Fast.ReadBWGBs <= 0 || c.Slow.ReadBWGBs <= 0 ||
 		c.Fast.WriteBWGBs <= 0 || c.Slow.WriteBWGBs <= 0 {
 		return fmt.Errorf("memsim: tier bandwidths must be positive")
-	}
-	if c.MigrationInterference < 0 || c.MigrationInterference > 1 {
-		return fmt.Errorf("memsim: MigrationInterference must be in [0,1], got %g",
-			c.MigrationInterference)
 	}
 	return nil
 }

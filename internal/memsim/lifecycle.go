@@ -34,6 +34,13 @@ func (m *Machine) FreePage(p PageID) error {
 	m.dirty[p] = false
 	m.poisoned[p] = false
 	m.used[t]--
+	if m.sh != nil {
+		// A freed page's shadow copy frees with it.
+		if st, ok := m.sh.At(uint32(p)); ok {
+			m.sh.Remove(uint32(p))
+			m.used[st]--
+		}
+	}
 	m.ctr.Freed++
 	if m.ts != nil {
 		m.ts.used[m.ts.owner[p]][t]--
@@ -47,7 +54,7 @@ func (m *Machine) FreePage(p PageID) error {
 			TimeNs: m.clock,
 			Page:   uint64(p),
 			Kind:   telemetry.PageKindFree,
-			Tier:   t.String(),
+			Tier:   m.labels[t],
 		})
 	}
 	return nil
@@ -62,7 +69,7 @@ func (m *Machine) RestorePage(p PageID, t TierID) error {
 	if m.allocated[p] {
 		return ErrPageAllocated
 	}
-	if t >= NumTiers {
+	if int(t) >= m.nt {
 		return fmt.Errorf("memsim: RestorePage into invalid tier %d", t)
 	}
 	if m.used[t] >= m.cap[t] {

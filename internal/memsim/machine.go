@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"artmem/internal/telemetry"
+	"artmem/internal/tier"
 )
 
 // Sampler receives a callback for every cache-missing memory access. The
@@ -63,6 +64,16 @@ type Counters struct {
 	// Freed counts pages unallocated by FreePage (tenant reclamation);
 	// a rolled-back free (RestorePage) is not counted.
 	Freed uint64
+	// Non-exclusive (Nomad-style) migration activity, all zero unless
+	// Config.NonExclusive is set. ShadowDiscards counts demotions that
+	// completed as free discards onto a clean shadow copy (counted in
+	// Migrations/Demotions but transferring no bytes);
+	// ShadowInvalidates counts shadows dropped because their page was
+	// written; ShadowReclaims counts shadow frames evicted to make room
+	// for an allocation or migration.
+	ShadowDiscards    uint64
+	ShadowInvalidates uint64
+	ShadowReclaims    uint64
 	// MigrationStallNs is the cumulative application-visible migration
 	// interference in whole virtual nanoseconds: the interference share
 	// of every migration's transfer cost, exactly the amount the
@@ -82,13 +93,15 @@ func (c Counters) DRAMRatio() float64 {
 	return float64(c.FastAccesses) / float64(tot)
 }
 
-// Machine is the simulated two-tier memory system. It is not safe for
-// concurrent use; the online runtime in internal/core serializes access
-// to it.
+// Machine is the simulated tiered memory system: the seed's fast/slow
+// pair by default, or an arbitrary tier chain when Config.Chain is set
+// (tier 0 fastest). It is not safe for concurrent use; the online
+// runtime in internal/core serializes access to it.
 type Machine struct {
 	cfg       Config
 	pageShift uint
 	numPages  int
+	nt        int // number of tiers (2 unless Config.Chain says otherwise)
 
 	clock int64 // virtual time, ns
 
@@ -99,14 +112,33 @@ type Machine struct {
 	dirty     []bool
 	poisoned  []bool // armed for a NUMA-hint fault
 
-	used [NumTiers]int // pages resident per tier
-	cap  [NumTiers]int
+	// Resolved per-tier specs (capacities concrete) and the tier labels
+	// used in traces and telemetry ("fast"/"slow" on legacy machines,
+	// chain names otherwise). All per-tier slices have length nt.
+	specs  []TierSpec
+	labels []string
+
+	used []int // frames in use per tier: residents + shadow copies
+	cap  []int
 
 	// Cost model, precomputed per tier: latency + 64B transfer.
-	readCostNs  [NumTiers]float64
-	writeCostNs [NumTiers]float64
+	readCostNs  []float64
+	writeCostNs []float64
 	// Migration transfer cost per page between tiers, ns.
-	migCostNs [NumTiers][NumTiers]float64
+	migCostNs [][]float64
+
+	// sh tracks shadow copies under non-exclusive migration; nil unless
+	// Config.NonExclusive, costing the exclusive mode one branch per
+	// write and per migration.
+	sh *tier.ShadowTable
+
+	// Per-boundary migration counters (boundary b = edge between tiers
+	// b and b+1), length nt-1. A move is attributed to the boundary on
+	// its destination side: promotions to boundary dst, demotions to
+	// boundary dst-1.
+	bndProm []uint64
+	bndDem  []uint64
+	bndDisc []uint64
 
 	cache cacheModel
 
@@ -133,7 +165,7 @@ type Machine struct {
 	// keeps default telemetry off the hot path (see DESIGN.md §6). The
 	// optional push histogram observes every access individually
 	// (atomic ops per access) for callers that want one.
-	latCounts  [numLatClasses]uint64
+	latCounts  []uint64 // 1 + 2*nt classes: cache hit, then read/write per tier
 	accessHist *telemetry.Histogram
 
 	// ts holds multi-tenant accounting (owner tags, per-tenant RSS and
@@ -142,14 +174,15 @@ type Machine struct {
 	ts *tenantState
 }
 
-// Latency classes indexing latCounts.
+// Latency classes indexing latCounts. Tier t's read class is
+// latFastRead + 2*t, its write class one above; chains extend the
+// ladder downward tier by tier.
 const (
 	latCacheHit = iota
 	latFastRead
 	latFastWrite
 	latSlowRead
 	latSlowWrite
-	numLatClasses
 )
 
 // NewMachine builds a Machine from cfg. It panics on an invalid
@@ -177,27 +210,62 @@ func NewMachine(cfg Config) *Machine {
 		// Non-power-of-two page size: fall back to division in addrToPage.
 		m.pageShift = 0
 	}
-	m.cap[Fast] = cfg.Fast.CapacityPages
-	m.cap[Slow] = cfg.Slow.CapacityPages
-	if m.cap[Slow] == 0 {
-		// Unbounded slow tier: size it so the footprint always fits.
-		m.cap[Slow] = n
+	if cfg.Chain != nil {
+		rs, err := cfg.Chain.Resolve(n)
+		if err != nil {
+			panic(err)
+		}
+		m.specs = make([]TierSpec, len(rs))
+		m.labels = make([]string, len(rs))
+		for i, r := range rs {
+			m.specs[i] = TierSpec{
+				Name:          r.Name,
+				LatencyNs:     r.LatencyNs,
+				ReadBWGBs:     r.ReadBWGBs,
+				WriteBWGBs:    r.WriteBWGBs,
+				CapacityPages: r.Pages,
+			}
+			m.labels[i] = r.Name
+		}
+	} else {
+		m.specs = []TierSpec{cfg.Fast, cfg.Slow}
+		m.labels = []string{"fast", "slow"}
 	}
-	specs := [NumTiers]TierSpec{cfg.Fast, cfg.Slow}
-	for t := 0; t < NumTiers; t++ {
-		m.readCostNs[t] = specs[t].LatencyNs + 64/gbsToBytesPerNs(specs[t].ReadBWGBs)
-		m.writeCostNs[t] = specs[t].LatencyNs + 64/gbsToBytesPerNs(specs[t].WriteBWGBs)
+	m.nt = len(m.specs)
+	m.used = make([]int, m.nt)
+	m.cap = make([]int, m.nt)
+	for t := range m.specs {
+		m.cap[t] = m.specs[t].CapacityPages
 	}
-	for src := 0; src < NumTiers; src++ {
-		for dst := 0; dst < NumTiers; dst++ {
-			read := gbsToBytesPerNs(specs[src].ReadBWGBs)
-			write := gbsToBytesPerNs(specs[dst].WriteBWGBs)
+	if m.cap[m.nt-1] == 0 {
+		// Unbounded last tier: size it so the footprint always fits.
+		m.cap[m.nt-1] = n
+	}
+	m.readCostNs = make([]float64, m.nt)
+	m.writeCostNs = make([]float64, m.nt)
+	m.migCostNs = make([][]float64, m.nt)
+	for t := 0; t < m.nt; t++ {
+		m.readCostNs[t] = m.specs[t].LatencyNs + 64/gbsToBytesPerNs(m.specs[t].ReadBWGBs)
+		m.writeCostNs[t] = m.specs[t].LatencyNs + 64/gbsToBytesPerNs(m.specs[t].WriteBWGBs)
+	}
+	for src := 0; src < m.nt; src++ {
+		m.migCostNs[src] = make([]float64, m.nt)
+		for dst := 0; dst < m.nt; dst++ {
+			read := gbsToBytesPerNs(m.specs[src].ReadBWGBs)
+			write := gbsToBytesPerNs(m.specs[dst].WriteBWGBs)
 			bw := read
 			if write < bw {
 				bw = write
 			}
 			m.migCostNs[src][dst] = float64(cfg.PageSize)/bw + cfg.MigrationFixedNs
 		}
+	}
+	m.latCounts = make([]uint64, 1+2*m.nt)
+	m.bndProm = make([]uint64, m.nt-1)
+	m.bndDem = make([]uint64, m.nt-1)
+	m.bndDisc = make([]uint64, m.nt-1)
+	if cfg.NonExclusive {
+		m.sh = tier.NewShadowTable(n, m.nt)
 	}
 	if cfg.CacheLines > 0 {
 		m.cache.init(cfg.CacheLines)
@@ -241,8 +309,8 @@ func (m *Machine) SetSampler(s Sampler) { m.sampler = s }
 func (m *Machine) SetAccessHistogram(h *telemetry.Histogram) { m.accessHist = h }
 
 // AccessLatencyData returns the access-latency distribution as
-// histogram buckets. Every access is served at one of five constant
-// model costs (cache hit, fast/slow × read/write), so the exact
+// histogram buckets. Every access is served at one of 1+2N constant
+// model costs (cache hit, read/write per tier), so the exact
 // distribution is reconstructed from per-class counters with zero
 // hot-path overhead. Not safe to call concurrently with Access; the
 // online runtime reads it under its lock.
@@ -251,12 +319,11 @@ func (m *Machine) AccessLatencyData() telemetry.HistogramData {
 		cost float64
 		n    uint64
 	}
-	bins := []bin{
-		{m.cfg.CacheHitNs, m.latCounts[latCacheHit]},
-		{m.readCostNs[Fast], m.latCounts[latFastRead]},
-		{m.writeCostNs[Fast], m.latCounts[latFastWrite]},
-		{m.readCostNs[Slow], m.latCounts[latSlowRead]},
-		{m.writeCostNs[Slow], m.latCounts[latSlowWrite]},
+	bins := make([]bin, 0, 1+2*m.nt)
+	bins = append(bins, bin{m.cfg.CacheHitNs, m.latCounts[latCacheHit]})
+	for t := 0; t < m.nt; t++ {
+		bins = append(bins, bin{m.readCostNs[t], m.latCounts[latFastRead+2*t]})
+		bins = append(bins, bin{m.writeCostNs[t], m.latCounts[latFastWrite+2*t]})
 	}
 	// Sort by cost and merge classes that share one (e.g. symmetric
 	// read/write bandwidth), keeping bucket bounds strictly increasing.
@@ -345,6 +412,15 @@ func (m *Machine) Access(addr uint64, write bool) {
 	m.accessed[p] = true
 	if write {
 		m.dirty[p] = true
+		if m.sh != nil {
+			// Invalidate-on-write: the shadow copy is stale now. Its
+			// frame frees immediately.
+			if st, ok := m.sh.At(uint32(p)); ok {
+				m.sh.Remove(uint32(p))
+				m.used[st]--
+				m.ctr.ShadowInvalidates++
+			}
+		}
 	}
 	if m.poisoned[p] {
 		m.poisoned[p] = false
@@ -416,14 +492,23 @@ func (m *Machine) AdvanceIdle(ns float64) {
 	}
 }
 
-// allocate performs first-touch placement: fast tier first, overflowing
-// to the slow tier when the fast tier is full (the paper's setup: "ArtMem
+// allocate performs first-touch placement: fastest tier first,
+// overflowing down the chain tier by tier (the paper's setup: "ArtMem
 // first places pages in fast memory before overflowing to the slower
 // tier", §6.2 — the same policy applies to every evaluated system).
+// Under non-exclusive migration a tier full only of shadow frames still
+// accepts allocations: shadows are reclaimable on demand.
 func (m *Machine) allocate(p PageID) {
-	t := Slow
-	if m.used[Fast] < m.cap[Fast] {
-		t = Fast
+	last := TierID(m.nt - 1)
+	t := last
+	for i := TierID(0); i < last; i++ {
+		if m.used[i] < m.cap[i] || m.reclaimShadow(i) {
+			t = i
+			break
+		}
+	}
+	if t == last && m.used[last] >= m.cap[last] {
+		m.reclaimShadow(last)
 	}
 	if m.ts != nil {
 		cur := m.ts.current
@@ -456,18 +541,33 @@ func (m *Machine) allocate(p PageID) {
 			TimeNs: m.clock,
 			Page:   uint64(p),
 			Kind:   telemetry.PageKindAlloc,
-			Tier:   t.String(),
+			Tier:   m.labels[t],
 		})
 	}
 	if m.onAlloc != nil {
 		m.onAlloc(p, t)
 	}
-	if m.used[Slow] > m.cap[Slow] {
+	if m.used[last] > m.cap[last] {
 		// The footprint exceeded total machine capacity; this is a
 		// harness configuration error worth failing loudly on.
-		panic(fmt.Sprintf("memsim: slow tier overflow (%d > %d pages)",
-			m.used[Slow], m.cap[Slow]))
+		panic(fmt.Sprintf("memsim: %s tier overflow (%d > %d pages)",
+			m.labels[last], m.used[last], m.cap[last]))
 	}
+}
+
+// reclaimShadow evicts one shadow frame from tier t to free a frame,
+// reporting whether it did. Shadow eviction is free (the resident copy
+// is elsewhere; nothing transfers).
+func (m *Machine) reclaimShadow(t TierID) bool {
+	if m.sh == nil {
+		return false
+	}
+	if _, ok := m.sh.PopReclaim(int(t)); ok {
+		m.used[t]--
+		m.ctr.ShadowReclaims++
+		return true
+	}
+	return false
 }
 
 // ErrTierFull is returned by MovePage when the destination tier has no
@@ -523,9 +623,30 @@ func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
 	if src == dst {
 		return nil
 	}
+	if m.sh != nil {
+		if st, ok := m.sh.At(uint32(p)); ok && TierID(st) == dst {
+			// Non-exclusive discard-on-demote: the destination already
+			// holds a clean copy of the page (the shadow left by its
+			// promotion), so the demotion is a pointer flip — the fast
+			// frame frees, the shadow becomes the resident copy, and
+			// nothing transfers. This is the re-migration Nomad avoids.
+			m.sh.Remove(uint32(p))
+			m.used[src]--
+			m.tier[p] = dst
+			m.ctr.Migrations++
+			m.ctr.Demotions++
+			m.ctr.ShadowDiscards++
+			m.bndDem[int(dst)-1]++
+			m.bndDisc[int(dst)-1]++
+			m.tracePageMove(p, src, dst, telemetry.OutcomeDiscarded)
+			return nil
+		}
+	}
 	if m.used[dst] >= m.cap[dst] {
-		m.tracePageMove(p, src, dst, telemetry.OutcomeTierFull)
-		return ErrTierFull
+		if !m.reclaimShadow(dst) {
+			m.tracePageMove(p, src, dst, telemetry.OutcomeTierFull)
+			return ErrTierFull
+		}
 	}
 	var owner TenantID
 	if m.ts != nil {
@@ -548,7 +669,30 @@ func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
 			cost *= f
 		}
 	}
-	m.used[src]--
+	if m.sh != nil && dst < src {
+		// Non-exclusive promotion: copy up, keep the source frame as a
+		// clean shadow. A page carries at most one shadow — promoting
+		// from a tier while an older, deeper shadow exists drops the
+		// old one first (its frame frees).
+		if st, ok := m.sh.At(uint32(p)); ok {
+			m.sh.Remove(uint32(p))
+			m.used[st]--
+			m.ctr.ShadowInvalidates++
+		}
+		m.sh.Add(uint32(p), int(src))
+	} else {
+		m.used[src]--
+		if m.sh != nil {
+			// Demotion: a shadow strictly below the new residence is
+			// still a valid clean copy and stays; one at or above it
+			// would invert the invariant, so it frees.
+			if st, ok := m.sh.At(uint32(p)); ok && TierID(st) <= dst {
+				m.sh.Remove(uint32(p))
+				m.used[st]--
+				m.ctr.ShadowInvalidates++
+			}
+		}
+	}
 	m.used[dst]++
 	m.tier[p] = dst
 	m.advance(cost * appFrac)
@@ -559,10 +703,12 @@ func (m *Machine) movePage(p PageID, dst TierID, appFrac float64) error {
 	m.backgroundNs += cost * (1 - appFrac)
 	m.ctr.Migrations++
 	m.ctr.MigratedBytes += uint64(m.cfg.PageSize)
-	if dst == Fast {
+	if dst < src {
 		m.ctr.Promotions++
+		m.bndProm[dst]++
 	} else {
 		m.ctr.Demotions++
+		m.bndDem[int(dst)-1]++
 	}
 	if m.ts != nil {
 		m.ts.used[owner][src]--
@@ -587,8 +733,8 @@ func (m *Machine) tracePageMove(p PageID, src, dst TierID, outcome string) {
 		TimeNs:  m.clock,
 		Page:    uint64(p),
 		Kind:    telemetry.PageKindMigration,
-		From:    src.String(),
-		To:      dst.String(),
+		From:    m.labels[src],
+		To:      m.labels[dst],
 		Outcome: outcome,
 	})
 }
@@ -617,11 +763,15 @@ func (m *Machine) Dirty(p PageID) bool { return m.dirty[p] }
 // counters match a full recount of the tier map over allocated pages
 // (each page is in exactly one tier by construction; the recount catches
 // counter drift), no tier exceeds its capacity, and the allocation
-// counters agree with the number of allocated pages. It is O(pages) and
-// intended for tests and chaos harnesses, not hot paths. It returns nil
-// when all invariants hold.
+// counters agree with the number of allocated pages. Under non-exclusive
+// migration it additionally recounts the shadow table: every shadow
+// belongs to an allocated page resident in a strictly faster tier (a
+// write would have invalidated it; a demotion onto it would have
+// discarded it), and each tier's used counter equals residents plus
+// shadow frames. It is O(pages) and intended for tests and chaos
+// harnesses, not hot paths. It returns nil when all invariants hold.
 func (m *Machine) CheckInvariants() error {
-	var used [NumTiers]int
+	used := make([]int, m.nt)
 	allocated := 0
 	for p, ok := range m.allocated {
 		if !ok {
@@ -629,19 +779,42 @@ func (m *Machine) CheckInvariants() error {
 		}
 		allocated++
 		t := m.tier[p]
-		if t >= NumTiers {
+		if int(t) >= m.nt {
 			return fmt.Errorf("memsim: page %d in invalid tier %d", p, t)
 		}
 		used[t]++
 	}
-	for t := 0; t < NumTiers; t++ {
-		if used[t] != m.used[t] {
-			return fmt.Errorf("memsim: %s tier counter %d != recounted %d",
-				TierID(t), m.used[t], used[t])
+	shadows := make([]int, m.nt)
+	if m.sh != nil {
+		for p := 0; p < m.numPages; p++ {
+			st, ok := m.sh.At(uint32(p))
+			if !ok {
+				continue
+			}
+			if !m.allocated[p] {
+				return fmt.Errorf("memsim: shadow copy of unallocated page %d in %s", p, m.labels[st])
+			}
+			if int(m.tier[p]) >= st {
+				return fmt.Errorf("memsim: page %d resident in %s but shadowed in %s (shadow must be strictly below)",
+					p, m.labels[m.tier[p]], m.labels[st])
+			}
+			shadows[st]++
+		}
+		for t := 0; t < m.nt; t++ {
+			if shadows[t] != m.sh.Count(t) {
+				return fmt.Errorf("memsim: %s shadow stack holds %d pages, recounted %d",
+					m.labels[t], m.sh.Count(t), shadows[t])
+			}
+		}
+	}
+	for t := 0; t < m.nt; t++ {
+		if used[t]+shadows[t] != m.used[t] {
+			return fmt.Errorf("memsim: %s tier counter %d != recounted %d residents + %d shadows",
+				m.labels[t], m.used[t], used[t], shadows[t])
 		}
 		if m.used[t] > m.cap[t] {
 			return fmt.Errorf("memsim: %s tier over capacity (%d > %d pages)",
-				TierID(t), m.used[t], m.cap[t])
+				m.labels[t], m.used[t], m.cap[t])
 		}
 	}
 	if total := m.ctr.AllocFast + m.ctr.AllocSlow - m.ctr.Freed; total != uint64(allocated) {

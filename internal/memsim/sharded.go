@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"artmem/internal/telemetry"
+	"artmem/internal/tier"
 )
 
 // ShardedMachine partitions one simulated machine into N independently
@@ -59,9 +60,10 @@ type ShardedMachine struct {
 	// while it has budget). Guarded by mu[s].
 	borrowLeft []int
 
-	// origCap pins the machine-wide capacity totals at construction;
-	// capacity transfers conserve them and CheckInvariants recounts.
-	origCap [NumTiers]int
+	// origCap pins the machine-wide capacity totals at construction
+	// (one entry per tier of the chain); capacity transfers conserve
+	// them and CheckInvariants recounts.
+	origCap []int
 
 	splitPool sync.Pool // *splitScratch, sized to nshards
 }
@@ -128,6 +130,40 @@ func NewShardedMachine(cfg Config, nshards int) *ShardedMachine {
 	if nshards == 1 {
 		// Compatibility mode: the one shard IS the seed machine.
 		sm.shards[0] = NewMachine(cfg)
+	} else if cfg.Chain != nil {
+		// Chain machine: resolve percentage capacities against the
+		// whole footprint once, then hand each shard an explicit
+		// per-tier page split. An unbounded last tier stays unbounded
+		// per shard (each sizes it to its local footprint), mirroring
+		// the legacy slow-tier split below.
+		resolved, err := cfg.Chain.Resolve(total)
+		if err != nil {
+			panic(err)
+		}
+		for _, r := range resolved {
+			// A bounded tier must give every shard at least one page:
+			// a zero split is invalid for middle tiers and would
+			// silently mean "unbounded" for the last one.
+			if r.Pages > 0 && r.Pages < nshards {
+				panic(fmt.Sprintf("memsim: chain tier %s has %d pages, too small for %d shards",
+					r.Name, r.Pages, nshards))
+			}
+		}
+		lines := cfg.CacheLines
+		for s := 0; s < nshards; s++ {
+			local := (total - s + nshards - 1) / nshards // pages ≡ s (mod N)
+			scfg := cfg
+			scfg.FootprintBytes = int64(local) * cfg.PageSize
+			chain := make([]tier.Desc, len(resolved))
+			for i, r := range resolved {
+				chain[i] = r.Desc
+				chain[i].CapacityPct = 0
+				chain[i].CapacityPages = r.Pages/nshards + extra(r.Pages, nshards, s)
+			}
+			scfg.Chain = chain
+			scfg.CacheLines = lines/nshards + extra(lines, nshards, s)
+			sm.shards[s] = NewMachine(scfg)
+		}
 	} else {
 		fastCap := cfg.Fast.CapacityPages
 		slowCap := cfg.Slow.CapacityPages
@@ -144,7 +180,8 @@ func NewShardedMachine(cfg Config, nshards int) *ShardedMachine {
 			sm.shards[s] = NewMachine(scfg)
 		}
 	}
-	for t := 0; t < NumTiers; t++ {
+	sm.origCap = make([]int, sm.shards[0].Tiers())
+	for t := range sm.origCap {
 		for _, m := range sm.shards {
 			sm.origCap[t] += m.CapacityPages(TierID(t))
 		}
@@ -589,6 +626,9 @@ func (c *Counters) add(o Counters) {
 	c.AllocFast += o.AllocFast
 	c.AllocSlow += o.AllocSlow
 	c.Freed += o.Freed
+	c.ShadowDiscards += o.ShadowDiscards
+	c.ShadowInvalidates += o.ShadowInvalidates
+	c.ShadowReclaims += o.ShadowReclaims
 	c.MigrationStallNs += o.MigrationStallNs
 }
 
@@ -599,6 +639,21 @@ func (sm *ShardedMachine) BackgroundNs() float64 {
 		ns += m.BackgroundNs()
 	}
 	return ns
+}
+
+// AccessLatencyData merges the shards' latency histograms. Every shard
+// shares one cost model, so the bucket bounds are identical and the
+// cumulative counts sum elementwise.
+func (sm *ShardedMachine) AccessLatencyData() telemetry.HistogramData {
+	d := sm.shards[0].AccessLatencyData()
+	for _, m := range sm.shards[1:] {
+		o := m.AccessLatencyData()
+		for i := range d.Counts {
+			d.Counts[i] += o.Counts[i]
+		}
+		d.Sum += o.Sum
+	}
+	return d
 }
 
 // TierOf returns the tier of global page p.
@@ -881,17 +936,74 @@ func (sm *ShardedMachine) CheckInvariants() error {
 			return fmt.Errorf("shard %d: %w", s, err)
 		}
 	}
-	for t := 0; t < NumTiers; t++ {
+	for t := range sm.origCap {
 		total := 0
 		for _, m := range sm.shards {
 			total += m.CapacityPages(TierID(t))
 		}
 		if total != sm.origCap[t] {
 			return fmt.Errorf("memsim: %s capacity not conserved: %d != %d",
-				TierID(t), total, sm.origCap[t])
+				sm.shards[0].TierName(TierID(t)), total, sm.origCap[t])
 		}
 	}
 	return nil
+}
+
+// Tiers returns the number of memory tiers.
+func (sm *ShardedMachine) Tiers() int { return sm.shards[0].Tiers() }
+
+// NumBoundaries returns the number of adjacent tier pairs.
+func (sm *ShardedMachine) NumBoundaries() int { return sm.shards[0].NumBoundaries() }
+
+// TierName returns tier t's label (see Machine.TierName).
+func (sm *ShardedMachine) TierName(t TierID) string { return sm.shards[0].TierName(t) }
+
+// TierSpecAt returns tier t's spec with the machine-wide capacity.
+func (sm *ShardedMachine) TierSpecAt(t TierID) TierSpec {
+	s := sm.shards[0].TierSpecAt(t)
+	s.CapacityPages = sm.CapacityPages(t)
+	return s
+}
+
+// TierAccesses returns cache-missing accesses served by tier t across
+// all shards.
+func (sm *ShardedMachine) TierAccesses(t TierID) uint64 {
+	var n uint64
+	for _, m := range sm.shards {
+		n += m.TierAccesses(t)
+	}
+	return n
+}
+
+// ShadowPages returns shadow frames held in tier t across all shards.
+func (sm *ShardedMachine) ShadowPages(t TierID) int {
+	n := 0
+	for _, m := range sm.shards {
+		n += m.ShadowPages(t)
+	}
+	return n
+}
+
+// ResidentPages returns pages resident in tier t across all shards.
+func (sm *ShardedMachine) ResidentPages(t TierID) int {
+	n := 0
+	for _, m := range sm.shards {
+		n += m.ResidentPages(t)
+	}
+	return n
+}
+
+// BoundaryStatsAt returns boundary b's migration counters summed
+// across shards.
+func (sm *ShardedMachine) BoundaryStatsAt(b int) BoundaryStats {
+	var s BoundaryStats
+	for _, m := range sm.shards {
+		o := m.BoundaryStatsAt(b)
+		s.Promotions += o.Promotions
+		s.Demotions += o.Demotions
+		s.ShadowDiscards += o.ShadowDiscards
+	}
+	return s
 }
 
 var _ Env = (*ShardedMachine)(nil)

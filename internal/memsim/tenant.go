@@ -78,6 +78,12 @@ func (m *Machine) EnableTenants(n int) {
 	if m.ctr.AllocFast+m.ctr.AllocSlow != 0 {
 		panic("memsim: EnableTenants after first allocation")
 	}
+	if m.nt != 2 || m.sh != nil {
+		// Tenant RSS accounting is a fixed two-tier split and quotas
+		// gate the fast tier only; composing tenancy with tier chains
+		// or non-exclusive shadows is future work (see DESIGN.md §13).
+		panic("memsim: tenancy requires the two-tier exclusive machine")
+	}
 	m.ts = &tenantState{
 		owner: make([]TenantID, m.numPages),
 		used:  make([][NumTiers]int, n),

@@ -50,6 +50,9 @@ const (
 	OutcomeRejected = "rejected"
 	// OutcomeSettled: the migration succeeded; To is the settled tier.
 	OutcomeSettled = "settled"
+	// OutcomeDiscarded: a demotion completed as a free discard onto the
+	// page's clean shadow copy (non-exclusive migration; no transfer).
+	OutcomeDiscarded = "discarded"
 	// OutcomeBusy: one MovePage attempt failed transiently.
 	OutcomeBusy = "busy"
 	// OutcomeTierFull: the destination tier had no capacity.

@@ -1,0 +1,112 @@
+package tenancy
+
+import (
+	"errors"
+	"testing"
+
+	"artmem/internal/memsim"
+)
+
+// TestArbiterPerBoundaryBudgetsIndependent pins the per-boundary
+// admission split (ISSUE 10): with Boundaries=3, spending one
+// boundary's promotion budget to exhaustion must not consume any other
+// boundary's — each tier edge is its own migration link.
+func TestArbiterPerBoundaryBudgetsIndependent(t *testing.T) {
+	a := newArbiter(testMachine(), 2, ArbiterConfig{
+		Mode: ModeOff, Admission: true,
+		BandwidthPagesPerPeriod: 4, Boundaries: 3,
+	})
+	a.addTenant(0, 1, ClassBatch)
+	a.addTenant(1, 1, ClassBatch)
+	if a.Boundaries() != 3 {
+		t.Fatalf("Boundaries() = %d, want 3", a.Boundaries())
+	}
+
+	// Tenant 0's split is 4*1/2 = 2 per boundary. Drain boundary 1.
+	for i := 0; i < 2; i++ {
+		if err := a.admitPromotion(0, 1); err != nil {
+			t.Fatalf("boundary 1 admit %d: %v", i, err)
+		}
+	}
+	// Its own boundary-1 budget is spent (a batch tenant cannot draw on
+	// the pool alone), so boundary 1 denies tenant 0 — while tenant 1's
+	// boundary-1 budget is untouched.
+	if err := a.admitPromotion(0, 1); !errors.Is(err, memsim.ErrTierFull) {
+		t.Fatalf("boundary 1 exhausted admit: %v, want ErrTierFull via ErrAdmissionDenied", err)
+	}
+	if err := a.admitPromotion(1, 1); err != nil {
+		t.Fatalf("tenant 1 boundary 1 admit: %v", err)
+	}
+
+	// Boundaries 0 and 2 are untouched: full budget remains for both
+	// tenants.
+	for _, bd := range []int{0, 2} {
+		if got := a.BudgetRemaining(0, bd); got != 2 {
+			t.Errorf("boundary %d remaining = %d, want 2", bd, got)
+		}
+		if err := a.admitPromotion(1, bd); err != nil {
+			t.Errorf("tenant 1 boundary %d admit: %v", bd, err)
+		}
+	}
+
+	// A period refill restores every boundary.
+	a.beginPeriod()
+	for bd := 0; bd < 3; bd++ {
+		if got := a.BudgetRemaining(0, bd); got != 2 {
+			t.Errorf("post-refill boundary %d remaining = %d, want 2", bd, got)
+		}
+	}
+}
+
+// TestArbiterLatencyPreemptsPerBoundary: a latency tenant's preemption
+// of the batch pool is scoped to the boundary it promotes across.
+func TestArbiterLatencyPreemptsPerBoundary(t *testing.T) {
+	a := newArbiter(testMachine(), 2, ArbiterConfig{
+		Mode: ModeOff, Admission: true,
+		BandwidthPagesPerPeriod: 2, Boundaries: 2,
+	})
+	a.addTenant(0, 1, ClassLatency)
+	a.addTenant(1, 1, ClassBatch)
+
+	// Latency tenant spends its own boundary-0 budget (1), then preempts
+	// the batch pool (1), then is denied — all on boundary 0.
+	for i := 0; i < 2; i++ {
+		if err := a.admitPromotion(0, 0); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	if err := a.admitPromotion(0, 0); !errors.Is(err, ErrAdmissionDenied) {
+		t.Fatalf("boundary 0 should be exhausted: %v", err)
+	}
+	if a.Preemptions(0) != 1 {
+		t.Fatalf("preemptions = %d, want 1", a.Preemptions(0))
+	}
+	// Boundary 1's batch pool is untouched: the batch tenant still
+	// promotes there.
+	if err := a.admitPromotion(1, 1); err != nil {
+		t.Fatalf("batch tenant on boundary 1: %v", err)
+	}
+}
+
+// TestArbiterDefaultSingleBoundary pins the compatibility contract: a
+// zero Boundaries config is one boundary, and the legacy single-budget
+// arithmetic is unchanged.
+func TestArbiterDefaultSingleBoundary(t *testing.T) {
+	a := newArbiter(testMachine(), 1, ArbiterConfig{
+		Mode: ModeOff, Admission: true, BandwidthPagesPerPeriod: 3,
+	})
+	a.addTenant(0, 1, ClassBatch)
+	if a.Boundaries() != 1 {
+		t.Fatalf("Boundaries() = %d, want 1", a.Boundaries())
+	}
+	admitted := 0
+	for a.admitPromotion(0, 0) == nil {
+		admitted++
+		if admitted > 10 {
+			t.Fatal("budget never exhausted")
+		}
+	}
+	if admitted != 3 {
+		t.Errorf("admitted %d promotions, want 3 (the period budget)", admitted)
+	}
+}

@@ -133,7 +133,9 @@ func (v *TenantView) admit(p memsim.PageID, dst memsim.TierID) error {
 		return memsim.ErrNotAllocated
 	}
 	if dst == memsim.Fast {
-		return v.plane.arb.admitPromotion(v.id)
+		// The tenant plane runs on two-tier machines, so every promotion
+		// crosses boundary 0; chain planes would map dst to its boundary.
+		return v.plane.arb.admitPromotion(v.id, 0)
 	}
 	return nil
 }

@@ -1,0 +1,57 @@
+package tier
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzTierChain covers the chain parser/canonicalizer the way
+// FuzzDecodeFrame covers the wire protocol: no input may panic, and
+// every accepted input must obey the canonicalization contract —
+// the parsed chain validates, Canonical re-parses to an identical
+// chain, and Canonical is a fixed point.
+func FuzzTierChain(f *testing.F) {
+	for _, seed := range []string{
+		"DRAM:25%/PM",
+		"DRAM:12.5%/CXL:25%/PM",
+		"DRAM:cap=4096/CXL:cap=8192/PM:cap=65536/NVMe",
+		"hbm:lat=50,bw=400,cap=1024/DRAM",
+		"dram:25%/pm",
+		"DRAM:lat=92,rbw=81,wbw=81,cap=25%/PM:lat=323,rbw=26,wbw=8.666666666666666",
+		"",
+		"DRAM",
+		"PM/DRAM",
+		"a:lat=1,bw=1,cap=1/b:lat=2,bw=1",
+		"DRAM:cap=0/PM",
+		"DRAM:150%/PM",
+		"x:lat=1e308,bw=1e-300,cap=1/y:lat=1e309,bw=1",
+		"DRAM:25%//PM",
+		"DRAM:25%,zap/PM",
+		"DRAM:25%\x00/PM",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseChain(spec)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("ParseChain(%q) accepted a chain that fails Validate: %v", spec, verr)
+		}
+		canon := c.Canonical()
+		c2, err := ParseChain(canon)
+		if err != nil {
+			t.Fatalf("Canonical of accepted spec %q does not re-parse: %q: %v", spec, canon, err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("canonical round trip changed chain for %q:\n  %+v\n  %+v", spec, c, c2)
+		}
+		if c2.Canonical() != canon {
+			t.Fatalf("Canonical not a fixed point for %q", spec)
+		}
+		if _, err := c.Resolve(1 << 16); err != nil {
+			t.Fatalf("valid chain fails Resolve: %v", err)
+		}
+	})
+}

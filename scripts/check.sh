@@ -20,6 +20,10 @@
 #                      fixed seed, failing on any lost batch — the
 #                      zero-loss serving contract, end to end over a
 #                      real TCP socket.
+#   6. exp tiers       N-tier chain smoke: the tier-crossover experiment
+#                      at quick scale through the sched cache, so the
+#                      chain machine + per-boundary agents + shadow-copy
+#                      accounting run end to end on every gate.
 #
 # Usage: scripts/check.sh  (or: make check)
 set -eu
@@ -39,5 +43,8 @@ go test -race -short ./...
 
 echo "== make loadtest (serving smoke)"
 make loadtest
+
+echo "== exp tiers smoke (quick)"
+go run ./cmd/artbench -exp tiers -quick -parallel 4 -outdir bench_results
 
 echo "check: all green"
